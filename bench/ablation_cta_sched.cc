@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Section X.B ablation: clustered CTA scheduling vs the round-robin
+ * baseline.
+ *
+ * The paper *suggests* (without evaluating) that assigning neighboring CTAs
+ * to the same SM should convert the inter-CTA locality of Figs 11/12 into
+ * L1 hits. This bench runs both policies and reports the L1 miss-ratio and
+ * cycle deltas.
+ */
+
+#include <iostream>
+
+#include "common/figures.hh"
+#include "common/runner.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gcl;
+    auto base = bench::defaultConfig();
+    auto clustered = base;
+    clustered.ctaSched = sim::CtaSchedPolicy::Clustered;
+    clustered.ctaClusterSize = 2;
+
+    bench::printHeader("Ablation X.B: CTA scheduling policy "
+                       "(round-robin vs clustered pairs)",
+                       base);
+
+    Table table({"app", "L1 miss RR", "L1 miss clustered", "cycles RR",
+                 "cycles clustered", "speedup"});
+    for (const auto &workload_rr : bench::runSuite(base)) {
+        const auto app_cl = bench::runApp(workload_rr.name, clustered);
+        auto miss = [](const bench::AppResult &app) {
+            const double access = app.stats.get("l1.access.det") +
+                                  app.stats.get("l1.access.nondet");
+            const double misses = app.stats.get("l1.miss.det") +
+                                  app.stats.get("l1.miss.nondet");
+            return access ? misses / access : 0.0;
+        };
+        const double cyc_rr = workload_rr.stats.get("cycles");
+        const double cyc_cl = app_cl.stats.get("cycles");
+        table.addRow({
+            workload_rr.name,
+            Table::fmtPct(miss(workload_rr)),
+            Table::fmtPct(miss(app_cl)),
+            Table::fmtInt(static_cast<uint64_t>(cyc_rr)),
+            Table::fmtInt(static_cast<uint64_t>(cyc_cl)),
+            Table::fmt(cyc_cl ? cyc_rr / cyc_cl : 0.0, 3),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n";
+    table.printCsv(std::cout);
+    return 0;
+}

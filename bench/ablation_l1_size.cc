@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cache-size sensitivity ablation.
+ *
+ * Section II echoes Xu et al.'s finding that L1 capacity barely correlates
+ * with graph-application performance, and Section VIII explains why: the
+ * miss problem is reservation-fail contention plus low temporal locality
+ * per SM, not capacity. This bench sweeps the L1D from half to 4x the
+ * Table II size on representative apps from each category.
+ */
+
+#include <iostream>
+
+#include "common/runner.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gcl;
+    const auto base = bench::defaultConfig();
+    bench::printHeader("Ablation: L1D capacity sweep (8KB / 16KB / 32KB / "
+                       "64KB)",
+                       base);
+
+    static const char *kApps[] = {"2mm", "spmv", "dwt", "bfs", "ccl"};
+    static const uint32_t kSizes[] = {8, 16, 32, 64};
+
+    Table table({"app", "L1 size", "L1 miss", "cycles",
+                 "speedup vs 16KB"});
+    for (const char *name : kApps) {
+        const auto baseline = bench::runApp(name, base);
+        const double base_cycles = baseline.stats.get("cycles");
+        for (uint32_t kb : kSizes) {
+            auto config = base;
+            config.l1.sizeBytes = kb * 1024;
+            const auto app = bench::runApp(name, config);
+            const double access = app.stats.get("l1.access.det") +
+                                  app.stats.get("l1.access.nondet");
+            const double miss = app.stats.get("l1.miss.det") +
+                                app.stats.get("l1.miss.nondet");
+            const double cycles = app.stats.get("cycles");
+            table.addRow({
+                name,
+                std::to_string(kb) + "KB",
+                Table::fmtPct(access ? miss / access : 0.0),
+                Table::fmtInt(static_cast<uint64_t>(cycles)),
+                Table::fmt(cycles ? base_cycles / cycles : 0.0, 3),
+            });
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\n(paper/Xu et al.: cache size is not correlated with "
+                 "graph-app performance)\n\nCSV:\n";
+    table.printCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Section X.C ablation: semi-global L2 — clusters of SMs each own a slice
+ * of the L2 partitions instead of all SMs striping over all partitions.
+ *
+ * The paper suggests this to shorten interconnect paths and to let nearby
+ * CTAs (which share data, Fig 11) hit in the same slice. The bench compares
+ * L2 miss ratios and end-to-end cycles.
+ */
+
+#include <iostream>
+
+#include "common/figures.hh"
+#include "common/runner.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gcl;
+    auto base = bench::defaultConfig();
+    auto semi = base;
+    semi.smsPerL2Cluster = 5;   // 3 clusters x 2 partitions each
+
+    bench::printHeader("Ablation X.C: unified vs semi-global L2 "
+                       "(5 SMs per cluster)",
+                       base);
+
+    Table table({"app", "L2 miss unified", "L2 miss semi", "cycles unified",
+                 "cycles semi", "speedup"});
+    for (const auto &app_base : bench::runSuite(base)) {
+        const auto app_semi = bench::runApp(app_base.name, semi);
+        auto miss = [](const bench::AppResult &app) {
+            const double access = app.stats.get("l2.access.det") +
+                                  app.stats.get("l2.access.nondet");
+            const double misses = app.stats.get("l2.miss.det") +
+                                  app.stats.get("l2.miss.nondet");
+            return access ? misses / access : 0.0;
+        };
+        const double cyc_b = app_base.stats.get("cycles");
+        const double cyc_s = app_semi.stats.get("cycles");
+        table.addRow({
+            app_base.name,
+            Table::fmtPct(miss(app_base)),
+            Table::fmtPct(miss(app_semi)),
+            Table::fmtInt(static_cast<uint64_t>(cyc_b)),
+            Table::fmtInt(static_cast<uint64_t>(cyc_s)),
+            Table::fmt(cyc_s ? cyc_b / cyc_s : 0.0, 3),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n";
+    table.printCsv(std::cout);
+    return 0;
+}

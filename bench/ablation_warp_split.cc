@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Section X.A ablation: splitting non-deterministic loads into sub-warps.
+ *
+ * The paper suggests bounding the burst of memory requests a single
+ * non-deterministic load may issue so it stops monopolizing the LD/ST
+ * stage and the L1 resources. With the knob on, a non-deterministic load
+ * yields the LD/ST first stage after N requests. The bench compares the
+ * irregular apps (graph suite + spmv) against the baseline.
+ */
+
+#include <iostream>
+
+#include "common/figures.hh"
+#include "common/runner.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gcl;
+    auto base = bench::defaultConfig();
+    auto split = base;
+    split.nondetSplitRequests = 4;
+
+    bench::printHeader("Ablation X.A: non-deterministic warp splitting "
+                       "(burst limit 4 requests)",
+                       base);
+
+    Table table({"app", "D turnaround base", "D turnaround split",
+                 "N turnaround base", "N turnaround split", "cycles base",
+                 "cycles split"});
+    for (const char *name : {"spmv", "bfs", "sssp", "ccl", "mst", "mis"}) {
+        const auto app_base = bench::runApp(name, base);
+        const auto app_split = bench::runApp(name, split);
+        auto turn = [](const bench::AppResult &app, bool non_det) {
+            const auto &s = app.stats;
+            const double cnt = s.get(bench::classKey("turn.cnt", non_det));
+            return cnt ? s.get(bench::classKey("turn.sum", non_det)) / cnt
+                       : 0.0;
+        };
+        table.addRow({
+            name,
+            Table::fmt(turn(app_base, false), 1),
+            Table::fmt(turn(app_split, false), 1),
+            Table::fmt(turn(app_base, true), 1),
+            Table::fmt(turn(app_split, true), 1),
+            Table::fmtInt(
+                static_cast<uint64_t>(app_base.stats.get("cycles"))),
+            Table::fmtInt(
+                static_cast<uint64_t>(app_split.stats.get("cycles"))),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n";
+    table.printCsv(std::cout);
+    return 0;
+}

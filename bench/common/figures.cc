@@ -1,0 +1,50 @@
+#include "figures.hh"
+
+#include <algorithm>
+
+namespace gcl::bench
+{
+
+std::vector<PcSeries>
+discoverPcSeries(const StatsSet &stats)
+{
+    std::vector<PcSeries> out;
+    const std::string suffix = ".turn_cnt";
+    for (const auto &[key, hist] : stats.hists()) {
+        if (key.rfind("pc.", 0) != 0)
+            continue;
+        if (key.size() < suffix.size() ||
+            key.compare(key.size() - suffix.size(), suffix.size(), suffix))
+            continue;
+        const std::string prefix =
+            key.substr(0, key.size() - suffix.size() + 1);  // keep the '.'
+        // prefix == "pc.<kernel>#<pc>."
+        const size_t hash = prefix.rfind('#');
+        if (hash == std::string::npos)
+            continue;
+        PcSeries series;
+        series.prefix = prefix;
+        series.kernel = prefix.substr(3, hash - 3);
+        series.pc = static_cast<uint32_t>(
+            std::stoul(prefix.substr(hash + 1)));
+        series.nonDet = stats.get(prefix + "nondet") != 0.0;
+        series.totalWarps = hist.totalWeight();
+        out.push_back(std::move(series));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PcSeries &a, const PcSeries &b) {
+                  return a.totalWarps > b.totalWarps;
+              });
+    return out;
+}
+
+PcSeries
+hottestPc(const StatsSet &stats, bool non_det)
+{
+    for (const auto &series : discoverPcSeries(stats))
+        if (series.nonDet == non_det)
+            return series;
+    return PcSeries{};
+}
+
+} // namespace gcl::bench

@@ -1,0 +1,134 @@
+#include "runner.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/gpu.hh"
+#include "util/logging.hh"
+#include "workloads/workload.hh"
+
+namespace gcl::bench
+{
+
+namespace
+{
+
+/** Bump when any workload's dataset or kernel changes shape. */
+constexpr unsigned kDatasetVersion = 5;
+
+std::filesystem::path
+cacheDir()
+{
+    if (const char *env = std::getenv("GCL_BENCH_CACHE"))
+        return env;
+    return "bench_results";
+}
+
+bool
+cacheDisabled()
+{
+    const char *env = std::getenv("GCL_BENCH_FRESH");
+    return env && env[0] == '1';
+}
+
+std::filesystem::path
+cachePath(const std::string &name, const sim::GpuConfig &config)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s.v%u.%016llx.stats", name.c_str(),
+                  kDatasetVersion,
+                  static_cast<unsigned long long>(config.fingerprint()));
+    return cacheDir() / buf;
+}
+
+bool
+loadCached(const std::filesystem::path &path, AppResult &result)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string header;
+    if (!std::getline(in, header))
+        return false;
+    std::istringstream hs(header);
+    std::string tag;
+    int verified = 0;
+    if (!(hs >> tag >> verified) || tag != "gclbench")
+        return false;
+    std::stringstream body;
+    body << in.rdbuf();
+    if (!result.stats.deserialize(body.str()))
+        return false;
+    result.verified = verified != 0;
+    return true;
+}
+
+void
+storeCached(const std::filesystem::path &path, const AppResult &result)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    std::ofstream out(path);
+    if (!out)
+        return;
+    out << "gclbench " << (result.verified ? 1 : 0) << '\n';
+    out << result.stats.serialize();
+}
+
+} // namespace
+
+sim::GpuConfig
+defaultConfig()
+{
+    return sim::GpuConfig{};
+}
+
+AppResult
+runApp(const std::string &name, const sim::GpuConfig &config)
+{
+    const auto &workload = workloads::byName(name);
+
+    AppResult result;
+    result.name = name;
+    result.category = workloads::toString(workload.category);
+
+    const auto path = cachePath(name, config);
+    if (!cacheDisabled() && loadCached(path, result))
+        return result;
+
+    sim::Gpu gpu(config);
+    result.verified = workload.run(gpu);
+    gpu.finalizeStats();
+    result.stats = gpu.stats().set();
+    if (!result.verified)
+        gcl_warn("workload '", name, "' failed its reference check");
+
+    storeCached(path, result);
+    return result;
+}
+
+std::vector<AppResult>
+runSuite(const sim::GpuConfig &config)
+{
+    std::vector<AppResult> results;
+    results.reserve(workloads::all().size());
+    for (const auto &workload : workloads::all()) {
+        std::fprintf(stderr, "[bench] %s ...\n", workload.name.c_str());
+        results.push_back(runApp(workload.name, config));
+    }
+    return results;
+}
+
+void
+printHeader(const std::string &title, const sim::GpuConfig &config)
+{
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("config fingerprint %016llx, cache %s\n\n",
+                static_cast<unsigned long long>(config.fingerprint()),
+                cacheDisabled() ? "disabled" : cacheDir().string().c_str());
+}
+
+} // namespace gcl::bench

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared experiment runner for the figure/table benches.
+ *
+ * Every bench binary regenerates its figure from the same 15-application
+ * simulation sweep. Since one sweep costs the better part of a minute, the
+ * runner memoizes finished runs on disk keyed by (application, dataset
+ * version, config fingerprint); `for b in build/bench/*; do $b; done`
+ * therefore simulates each configuration once and replays it everywhere
+ * else. Set GCL_BENCH_FRESH=1 to ignore the cache, GCL_BENCH_CACHE to move
+ * it (default: ./bench_results).
+ */
+
+#ifndef GCL_BENCH_COMMON_RUNNER_HH
+#define GCL_BENCH_COMMON_RUNNER_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/config.hh"
+#include "util/stats.hh"
+
+namespace gcl::bench
+{
+
+/** One finished application run. */
+struct AppResult
+{
+    std::string name;
+    std::string category;    //!< "linear" / "image" / "graph"
+    bool verified = false;   //!< CPU reference check passed
+    StatsSet stats;          //!< finalized simulator stats
+};
+
+/** Run (or load) one application under @p config. */
+AppResult runApp(const std::string &name, const sim::GpuConfig &config);
+
+/** Run (or load) the full Table I suite in order. */
+std::vector<AppResult> runSuite(const sim::GpuConfig &config);
+
+/** Default Table II configuration. */
+sim::GpuConfig defaultConfig();
+
+/** Print the standard bench header (config fingerprint + cache status). */
+void printHeader(const std::string &title, const sim::GpuConfig &config);
+
+} // namespace gcl::bench
+
+#endif // GCL_BENCH_COMMON_RUNNER_HH

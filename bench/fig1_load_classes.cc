@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 1 reproduction: distribution of dynamic global-load warps into
+ * deterministic and non-deterministic classes per application.
+ *
+ * Paper shape: linear/image apps are (almost) fully deterministic except
+ * spmv; graph apps run a large non-deterministic fraction but still keep
+ * a majority-deterministic static mix overall.
+ */
+
+#include <iostream>
+
+#include "common/runner.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gcl;
+    const auto config = bench::defaultConfig();
+    bench::printHeader("Figure 1: deterministic vs non-deterministic "
+                       "global-load warps",
+                       config);
+
+    Table table({"app", "category", "det fraction", "nondet fraction",
+                 "det warps", "nondet warps"});
+    for (const auto &app : bench::runSuite(config)) {
+        const double det = app.stats.get("gload.warps.det");
+        const double nondet = app.stats.get("gload.warps.nondet");
+        const double total = det + nondet;
+        table.addRow({
+            app.name,
+            app.category,
+            Table::fmtPct(total ? det / total : 0.0),
+            Table::fmtPct(total ? nondet / total : 0.0),
+            Table::fmtInt(static_cast<uint64_t>(det)),
+            Table::fmtInt(static_cast<uint64_t>(nondet)),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n";
+    table.printCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 2 reproduction: average memory requests generated per warp and per
+ * active thread, for non-deterministic (N) and deterministic (D) loads.
+ *
+ * Paper shape: D loads coalesce to ~1-2 requests/warp in every app; N loads
+ * generate many more (bfs approaches one request per active thread).
+ */
+
+#include <iostream>
+
+#include "common/figures.hh"
+#include "common/runner.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gcl;
+    const auto config = bench::defaultConfig();
+    bench::printHeader("Figure 2: memory requests per warp / active thread",
+                       config);
+
+    Table table({"app", "N req/warp", "D req/warp", "N req/thread",
+                 "D req/thread"});
+    for (const auto &app : bench::runSuite(config)) {
+        const auto &s = app.stats;
+        table.addRow({
+            app.name,
+            Table::fmt(bench::classRatio(s, "gload.reqs", "gload.warps",
+                                         true),
+                       2),
+            Table::fmt(bench::classRatio(s, "gload.reqs", "gload.warps",
+                                         false),
+                       2),
+            Table::fmt(bench::classRatio(s, "gload.reqs", "gload.active",
+                                         true),
+                       3),
+            Table::fmt(bench::classRatio(s, "gload.reqs", "gload.active",
+                                         false),
+                       3),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n";
+    table.printCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 4 reproduction: fraction of cycles the first pipeline stage of
+ * each function unit (SP, SFU, LD/ST) is idle.
+ *
+ * Paper shape: the LD/ST unit is by far the busiest (~54% busy on average)
+ * although global loads are only ~6% of instructions; SP/SFU stay mostly
+ * idle.
+ */
+
+#include <iostream>
+
+#include "common/runner.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gcl;
+    const auto config = bench::defaultConfig();
+    bench::printHeader("Figure 4: function-unit idle fractions", config);
+
+    Table table({"app", "SP idle", "SFU idle", "LD/ST idle"});
+    double busy_sum[3] = {0, 0, 0};
+    for (const auto &app : bench::runSuite(config)) {
+        const double cycles = app.stats.get("sm_cycles");
+        const double sp = app.stats.get("busy.sp") / cycles;
+        const double sfu = app.stats.get("busy.sfu") / cycles;
+        const double ldst = app.stats.get("busy.ldst") / cycles;
+        busy_sum[0] += sp;
+        busy_sum[1] += sfu;
+        busy_sum[2] += ldst;
+        table.addRow({
+            app.name,
+            Table::fmtPct(1.0 - sp),
+            Table::fmtPct(1.0 - sfu),
+            Table::fmtPct(1.0 - ldst),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\naverage busy fractions: SP "
+              << Table::fmtPct(busy_sum[0] / 15) << ", SFU "
+              << Table::fmtPct(busy_sum[1] / 15) << ", LD/ST "
+              << Table::fmtPct(busy_sum[2] / 15)
+              << " (paper: 9.3% / 11.5% / 54.4%)\n\nCSV:\n";
+    table.printCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 5 reproduction: average turnaround time of a global-load warp,
+ * decomposed into unloaded memory latency, reservation fails caused by
+ * previous warps, reservation fails within the current warp's own request
+ * burst, and wasted cycles in the L2/DRAM partitions — for N and D loads.
+ *
+ * Paper shape: non-deterministic loads pay far more in both reservation
+ * stalls and partition imbalance; deterministic loads sit close to the
+ * unloaded latency.
+ */
+
+#include <iostream>
+
+#include "common/figures.hh"
+#include "common/runner.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+std::vector<std::string>
+row(const gcl::bench::AppResult &app, bool non_det)
+{
+    using gcl::Table;
+    const auto &s = app.stats;
+    const double cnt = s.get(gcl::bench::classKey("turn.cnt", non_det));
+    auto avg = [&](const char *key) {
+        return cnt ? s.get(gcl::bench::classKey(key, non_det)) / cnt : 0.0;
+    };
+    return {
+        app.name,
+        non_det ? "N" : "D",
+        Table::fmt(avg("turn.unloaded"), 1),
+        Table::fmt(avg("turn.rsrv_prev"), 1),
+        Table::fmt(avg("turn.rsrv_cur"), 1),
+        Table::fmt(avg("turn.mem"), 1),
+        Table::fmt(avg("turn.sum"), 1),
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace gcl;
+    const auto config = bench::defaultConfig();
+    bench::printHeader("Figure 5: global-load turnaround decomposition "
+                       "(cycles)",
+                       config);
+
+    Table table({"app", "class", "unloaded", "rsrv_prev_warps",
+                 "rsrv_cur_warp", "wasted_l2_dram", "total"});
+    for (const auto &app : bench::runSuite(config)) {
+        if (app.stats.get("turn.cnt.nondet") > 0)
+            table.addRow(row(app, true));
+        if (app.stats.get("turn.cnt.det") > 0)
+            table.addRow(row(app, false));
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n";
+    table.printCsv(std::cout);
+    return 0;
+}

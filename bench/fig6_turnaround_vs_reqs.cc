@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 6 reproduction: per-pc load turnaround time as a function of the
+ * number of memory requests the warp generated, for selected deterministic
+ * and non-deterministic loads from bfs, sssp and spmv.
+ *
+ * Paper shape: deterministic loads only ever generate 1-2 requests; the
+ * same non-deterministic pc spans 1..32 requests, and average turnaround
+ * grows with the request count.
+ */
+
+#include <iostream>
+
+#include "common/figures.hh"
+#include "common/runner.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gcl;
+    const auto config = bench::defaultConfig();
+    bench::printHeader("Figure 6: turnaround vs generated requests",
+                       config);
+
+    Table table({"app", "kernel", "pc", "class", "requests", "warps",
+                 "avg turnaround"});
+
+    for (const char *name : {"bfs", "sssp", "spmv"}) {
+        const auto app = bench::runApp(name, config);
+        // The heaviest non-deterministic pc and the heaviest deterministic
+        // pc of each app.
+        for (bool non_det : {true, false}) {
+            const auto series = bench::hottestPc(app.stats, non_det);
+            if (series.prefix.empty())
+                continue;
+            const auto &cnt =
+                app.stats.histOrEmpty(series.prefix + "turn_cnt");
+            const auto &sum =
+                app.stats.histOrEmpty(series.prefix + "turn_sum");
+            for (const auto &[nreq, warps] : cnt.buckets()) {
+                table.addRow({
+                    app.name,
+                    series.kernel,
+                    Table::fmtInt(series.pc),
+                    non_det ? "N" : "D",
+                    Table::fmtInt(static_cast<uint64_t>(nreq)),
+                    Table::fmtInt(static_cast<uint64_t>(warps)),
+                    Table::fmt(sum.weightAt(nreq) / warps, 1),
+                });
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n";
+    table.printCsv(std::cout);
+    return 0;
+}

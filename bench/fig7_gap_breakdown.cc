@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 7 reproduction: turnaround breakdown of one non-deterministic bfs
+ * load versus the number of generated requests — common (unloaded) latency,
+ * the gap accumulating reservations at L1D, the queueing gap on the way
+ * into the L2, and the first-to-last data return spread at L2-icnt.
+ *
+ * Paper shape: "Gap at L1D" and "Gap at L2-icnt" grow with the request
+ * count; "Gap at icnt-L2" stays comparatively flat.
+ */
+
+#include <iostream>
+
+#include "common/figures.hh"
+#include "common/runner.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gcl;
+    const auto config = bench::defaultConfig();
+    bench::printHeader("Figure 7: per-request-count gap breakdown (bfs, "
+                       "hottest non-deterministic load)",
+                       config);
+
+    const auto app = bench::runApp("bfs", config);
+    const auto series = bench::hottestPc(app.stats, true);
+    if (series.prefix.empty()) {
+        std::cout << "no non-deterministic load recorded\n";
+        return 1;
+    }
+    std::cout << "load: kernel " << series.kernel << ", pc " << series.pc
+              << "\n\n";
+
+    const auto &cnt = app.stats.histOrEmpty(series.prefix + "turn_cnt");
+    const auto &g1 = app.stats.histOrEmpty(series.prefix + "gap_l1d");
+    const auto &g2 = app.stats.histOrEmpty(series.prefix + "gap_icnt_l2");
+    const auto &g3 = app.stats.histOrEmpty(series.prefix + "gap_l2icnt");
+
+    Table table({"requests", "warps", "common latency", "gap at L1D",
+                 "gap at icnt-L2", "gap at L2-icnt"});
+    for (const auto &[nreq, warps] : cnt.buckets()) {
+        table.addRow({
+            Table::fmtInt(static_cast<uint64_t>(nreq)),
+            Table::fmtInt(static_cast<uint64_t>(warps)),
+            Table::fmt(config.unloadedDramLatency(), 1),
+            Table::fmt(g1.weightAt(nreq) / warps, 1),
+            Table::fmt(g2.weightAt(nreq) / warps, 1),
+            Table::fmt(g3.weightAt(nreq) / warps, 1),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n";
+    table.printCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 9 reproduction: shared-memory loads per global-memory load.
+ *
+ * Paper shape: image-processing apps use shared memory heavily (~2.5 shared
+ * loads per global load on average); the other categories barely touch it.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "common/runner.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gcl;
+    const auto config = bench::defaultConfig();
+    bench::printHeader("Figure 9: shared loads per global load", config);
+
+    Table table({"app", "category", "shared loads", "global loads",
+                 "ratio"});
+    std::map<std::string, std::pair<double, int>> by_category;
+    for (const auto &app : bench::runSuite(config)) {
+        const double sload = app.stats.get("sload.warps");
+        const double gload = app.stats.get("gload.warps.det") +
+                             app.stats.get("gload.warps.nondet");
+        const double ratio = gload ? sload / gload : 0.0;
+        by_category[app.category].first += ratio;
+        by_category[app.category].second += 1;
+        table.addRow({
+            app.name,
+            app.category,
+            Table::fmtInt(static_cast<uint64_t>(sload)),
+            Table::fmtInt(static_cast<uint64_t>(gload)),
+            Table::fmt(ratio, 2),
+        });
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+    for (const auto &[category, acc] : by_category)
+        std::cout << "category " << category << " average ratio: "
+                  << Table::fmt(acc.first / acc.second, 2) << '\n';
+    std::cout << "(paper: image apps average ~2.5x)\n\nCSV:\n";
+    table.printCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table I reproduction: application characteristics — CTA counts, CTA
+ * sizes, dynamic warp-instruction counts, global-load counts and the
+ * global-load fraction, per application.
+ */
+
+#include <iostream>
+
+#include "common/runner.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gcl;
+    const auto config = bench::defaultConfig();
+    bench::printHeader("Table I: application characteristics", config);
+
+    Table table({"app", "category", "ctas", "threads/cta", "warp insts",
+                 "gld warps", "gld fraction", "verified"});
+
+    double total_fraction = 0.0;
+    for (const auto &app : bench::runSuite(config)) {
+        const auto &s = app.stats;
+        const double gld = s.get("gload.warps.det") +
+                           s.get("gload.warps.nondet");
+        const double fraction = gld / s.get("warp_insts");
+        total_fraction += fraction;
+        table.addRow({
+            app.name,
+            app.category,
+            Table::fmtInt(static_cast<uint64_t>(s.get("ctas_launched"))),
+            Table::fmtInt(static_cast<uint64_t>(s.get("threads_per_cta"))),
+            Table::fmtInt(static_cast<uint64_t>(s.get("warp_insts"))),
+            Table::fmtInt(static_cast<uint64_t>(gld)),
+            Table::fmtPct(fraction),
+            app.verified ? "yes" : "NO",
+        });
+    }
+
+    table.print(std::cout);
+    std::cout << "\naverage global-load fraction: "
+              << Table::fmtPct(total_fraction / 15.0)
+              << " (paper: 6.43% on its inputs)\n\nCSV:\n";
+    table.printCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Table II reproduction: the simulated device configuration (GPGPU-Sim
+ * v3.2.2, Tesla C2050-class defaults).
+ */
+
+#include <cstdio>
+
+#include "common/runner.hh"
+
+int
+main()
+{
+    const auto config = gcl::bench::defaultConfig();
+    gcl::bench::printHeader("Table II: experiment environment", config);
+    std::printf("%s", config.describe().c_str());
+    std::printf("\nAnalytic unloaded latencies: L1 hit %u, L2 hit %u, "
+                "DRAM %u cycles\n",
+                config.l1HitLatency, config.unloadedL2Latency(),
+                config.unloadedDramLatency());
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table III reproduction: the CUDA-Profiler counter set, collected from the
+ * simulator for every application.
+ */
+
+#include <iostream>
+#include <numeric>
+
+#include "common/runner.hh"
+#include "profiler/counters.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace gcl;
+    const auto config = bench::defaultConfig();
+    bench::printHeader("Table III: profiler counters", config);
+
+    Table table({"app", "gld_request", "shared_load", "l1_gld_hit",
+                 "l1_gld_miss", "l2_read_queries", "l2_read_hits"});
+
+    for (const auto &app : bench::runSuite(config)) {
+        const auto counters = profiler::Counters::fromStats(
+            app.stats, config.numPartitions);
+        const double queries =
+            std::accumulate(counters.l2ReadQueries.begin(),
+                            counters.l2ReadQueries.end(), 0.0);
+        const double hits = std::accumulate(counters.l2ReadHits.begin(),
+                                            counters.l2ReadHits.end(), 0.0);
+        table.addRow({
+            app.name,
+            Table::fmtInt(static_cast<uint64_t>(counters.gldRequest)),
+            Table::fmtInt(static_cast<uint64_t>(counters.sharedLoad)),
+            Table::fmtInt(static_cast<uint64_t>(counters.l1GlobalLoadHit)),
+            Table::fmtInt(static_cast<uint64_t>(counters.l1GlobalLoadMiss)),
+            Table::fmtInt(static_cast<uint64_t>(queries)),
+            Table::fmtInt(static_cast<uint64_t>(hits)),
+        });
+    }
+
+    table.print(std::cout);
+
+    // Per-slice view for one representative app (the paper's counters are
+    // per L2 slice).
+    const auto bfs = bench::runApp("bfs", config);
+    const auto counters =
+        gcl::profiler::Counters::fromStats(bfs.stats, config.numPartitions);
+    std::cout << "\nbfs per-slice profiler output:\n"
+              << counters.report() << "\nCSV:\n";
+    table.printCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Domain example: a memory-system study of graph traversal.
+ *
+ * Runs the bfs workload end-to-end on the simulated GPU and reproduces the
+ * paper's headline findings on a single application: the two load classes'
+ * request counts (Fig 2), the L1 cycle breakdown (Fig 3), the turnaround
+ * asymmetry (Fig 5), and inter-CTA sharing (Fig 11).
+ */
+
+#include <cstdio>
+
+#include "sim/gpu.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace gcl;
+
+    sim::Gpu gpu;
+    const bool ok = workloads::byName("bfs").run(gpu);
+    gpu.finalizeStats();
+    const auto &s = gpu.stats().set();
+
+    std::printf("bfs on a 32768-node R-MAT graph: %s\n\n",
+                ok ? "verified against CPU BFS" : "VERIFICATION FAILED");
+
+    std::printf("-- load classes (Fig 1/2) --\n");
+    for (bool nd : {false, true}) {
+        const char *cls = nd ? "non-deterministic" : "deterministic";
+        const char *sfx = nd ? ".nondet" : ".det";
+        const double warps = s.get(std::string("gload.warps") + sfx);
+        const double reqs = s.get(std::string("gload.reqs") + sfx);
+        const double active = s.get(std::string("gload.active") + sfx);
+        std::printf("  %-18s %8.0f warps  %5.2f req/warp  %5.3f "
+                    "req/thread\n",
+                    cls, warps, warps ? reqs / warps : 0.0,
+                    active ? reqs / active : 0.0);
+    }
+
+    std::printf("\n-- L1 cycle breakdown (Fig 3) --\n");
+    double total = 0.0;
+    for (const char *o : {"hit", "hit_reserved", "miss", "fail_tag",
+                          "fail_mshr", "fail_icnt"})
+        total += s.get(std::string("l1.outcome.") + o);
+    for (const char *o : {"hit", "hit_reserved", "miss", "fail_tag",
+                          "fail_mshr", "fail_icnt"})
+        std::printf("  %-14s %5.1f%%\n", o,
+                    100.0 * s.get(std::string("l1.outcome.") + o) / total);
+
+    std::printf("\n-- turnaround (Fig 5) --\n");
+    for (bool nd : {false, true}) {
+        const char *sfx = nd ? ".nondet" : ".det";
+        const double cnt = s.get(std::string("turn.cnt") + sfx);
+        if (!cnt)
+            continue;
+        std::printf("  %-18s avg %7.1f cycles (unloaded %5.1f, rsrv_prev "
+                    "%6.1f, rsrv_cur %6.1f, mem %6.1f)\n",
+                    nd ? "non-deterministic" : "deterministic",
+                    s.get(std::string("turn.sum") + sfx) / cnt,
+                    s.get(std::string("turn.unloaded") + sfx) / cnt,
+                    s.get(std::string("turn.rsrv_prev") + sfx) / cnt,
+                    s.get(std::string("turn.rsrv_cur") + sfx) / cnt,
+                    s.get(std::string("turn.mem") + sfx) / cnt);
+    }
+
+    std::printf("\n-- inter-CTA locality (Fig 11) --\n");
+    std::printf("  blocks touched: %.0f, shared by >=2 CTAs: %.0f "
+                "(%.1f%%)\n",
+                s.get("blocks.count"), s.get("blocks.shared"),
+                100.0 * s.ratio("blocks.shared", "blocks.count"));
+    std::printf("  accesses to shared blocks: %.1f%%  avg CTAs per shared "
+                "block: %.1f\n",
+                100.0 * s.ratio("blocks.shared_accesses",
+                                "blocks.accesses"),
+                s.ratio("blocks.shared_cta_sum", "blocks.shared"));
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Domain example: hidden inter-CTA locality and the CTA scheduler.
+ *
+ * Runs the 2mm workload under the baseline round-robin CTA scheduler and
+ * again with clustered CTA assignment (Section X.B), showing how the
+ * inter-CTA sharing of Figs 11/12 interacts with the scheduling policy.
+ */
+
+#include <cstdio>
+
+#include "sim/gpu.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+struct RunSummary
+{
+    double l1MissRatio;
+    double cycles;
+    double sharedBlockRatio;
+    double avgCtasPerSharedBlock;
+};
+
+RunSummary
+runWith(gcl::sim::CtaSchedPolicy policy)
+{
+    gcl::sim::GpuConfig config;
+    config.ctaSched = policy;
+    gcl::sim::Gpu gpu(config);
+    gcl::workloads::byName("2mm").run(gpu);
+    gpu.finalizeStats();
+    const auto &s = gpu.stats().set();
+
+    RunSummary summary;
+    const double access =
+        s.get("l1.access.det") + s.get("l1.access.nondet");
+    const double miss = s.get("l1.miss.det") + s.get("l1.miss.nondet");
+    summary.l1MissRatio = access ? miss / access : 0.0;
+    summary.cycles = s.get("cycles");
+    summary.sharedBlockRatio = s.ratio("blocks.shared", "blocks.count");
+    summary.avgCtasPerSharedBlock =
+        s.ratio("blocks.shared_cta_sum", "blocks.shared");
+    return summary;
+}
+
+} // namespace
+
+int
+main()
+{
+    using gcl::sim::CtaSchedPolicy;
+
+    std::printf("2mm inter-CTA locality study\n\n");
+    const RunSummary rr = runWith(CtaSchedPolicy::RoundRobin);
+    const RunSummary cl = runWith(CtaSchedPolicy::Clustered);
+
+    std::printf("%-28s %14s %14s\n", "", "round-robin", "clustered");
+    std::printf("%-28s %13.1f%% %13.1f%%\n", "L1 miss ratio",
+                100.0 * rr.l1MissRatio, 100.0 * cl.l1MissRatio);
+    std::printf("%-28s %14.0f %14.0f\n", "total cycles", rr.cycles,
+                cl.cycles);
+    std::printf("%-28s %13.1f%% %13.1f%%\n", "blocks shared by >=2 CTAs",
+                100.0 * rr.sharedBlockRatio, 100.0 * cl.sharedBlockRatio);
+    std::printf("%-28s %14.1f %14.1f\n", "avg CTAs per shared block",
+                rr.avgCtasPerSharedBlock, cl.avgCtasPerSharedBlock);
+
+    std::printf("\nShared data is fetched by many CTAs (Fig 11), but with "
+                "private L1s the hit rate\nonly moves when neighboring "
+                "CTAs land on the same SM — the Section X.B argument.\n");
+    return 0;
+}

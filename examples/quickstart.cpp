@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Quickstart: the whole public API in one small program.
+ *
+ *   1. Build a kernel in the PTX-like IR with KernelBuilder.
+ *   2. Classify its global loads (the paper's Section V analysis).
+ *   3. Run it on the simulated GPU and read back results and stats.
+ *
+ * The kernel is a saxpy-style `y[i] = a*x[i] + y[i]` — fully deterministic
+ * addressing — plus a gather `z[i] = x[idx[i]]` whose address depends on a
+ * loaded index and is therefore non-deterministic.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/classifier.hh"
+#include "ptx/builder.hh"
+#include "sim/gpu.hh"
+
+using namespace gcl;
+using namespace gcl::ptx;
+using DT = DataType;
+
+namespace
+{
+
+Kernel
+buildSaxpyGatherKernel()
+{
+    // Params: x, y, z, idx, a (f32 bits), n.
+    KernelBuilder b("saxpy_gather", 6);
+
+    Reg tid = b.globalTidX();
+    Reg p_x = b.ldParam(0);
+    Reg p_y = b.ldParam(1);
+    Reg p_z = b.ldParam(2);
+    Reg p_idx = b.ldParam(3);
+    Reg a = b.ldParam(4);
+    Reg n = b.ldParam(5);
+
+    Label out = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, tid, n);
+    b.braIf(oob, out);
+
+    // Deterministic: addresses are linear in the thread id.
+    Reg x = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_x, tid, 4));
+    Reg y_addr = b.elemAddr(p_y, tid, 4);
+    Reg y = b.ld(MemSpace::Global, DT::F32, y_addr);
+    b.st(MemSpace::Global, DT::F32, y_addr, b.mad(DT::F32, a, x, y));
+
+    // Non-deterministic: the gather index itself comes from memory.
+    Reg idx = b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_idx, tid, 4));
+    Reg gathered =
+        b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_x, idx, 4));
+    b.st(MemSpace::Global, DT::F32, b.elemAddr(p_z, tid, 4), gathered);
+
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    const Kernel kernel = buildSaxpyGatherKernel();
+
+    std::printf("=== disassembly ===\n%s\n", kernel.disassemble().c_str());
+
+    // --- Static classification (Section V) ---
+    core::LoadClassifier classifier(kernel);
+    std::printf("=== load classification ===\n%s\n",
+                classifier.report().c_str());
+
+    // --- Simulate ---
+    constexpr uint32_t n = 4096;
+    const float a = 2.0f;
+
+    std::vector<float> x(n), y(n);
+    std::vector<uint32_t> idx(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        x[i] = static_cast<float>(i);
+        y[i] = 1.0f;
+        idx[i] = (i * 2654435761u) % n;   // scrambled gather pattern
+    }
+
+    sim::Gpu gpu;
+    const uint64_t d_x = gpu.deviceMalloc(n * 4);
+    const uint64_t d_y = gpu.deviceMalloc(n * 4);
+    const uint64_t d_z = gpu.deviceMalloc(n * 4);
+    const uint64_t d_idx = gpu.deviceMalloc(n * 4);
+    gpu.memcpyToDevice(d_x, x.data(), n * 4);
+    gpu.memcpyToDevice(d_y, y.data(), n * 4);
+    gpu.memcpyToDevice(d_idx, idx.data(), n * 4);
+
+    uint32_t a_bits;
+    static_assert(sizeof(a_bits) == sizeof(a));
+    std::memcpy(&a_bits, &a, sizeof(a));
+    gpu.launch(kernel, sim::Dim3{n / 256, 1, 1}, sim::Dim3{256, 1, 1},
+               {d_x, d_y, d_z, d_idx, a_bits, n});
+
+    std::vector<float> y_out(n), z_out(n);
+    gpu.memcpyToHost(y_out.data(), d_y, n * 4);
+    gpu.memcpyToHost(z_out.data(), d_z, n * 4);
+
+    bool ok = true;
+    for (uint32_t i = 0; i < n; ++i) {
+        ok = ok && y_out[i] == a * x[i] + 1.0f;
+        ok = ok && z_out[i] == x[idx[i]];
+    }
+    std::printf("=== results ===\nfunctional check: %s\n",
+                ok ? "PASS" : "FAIL");
+
+    // --- Per-class statistics ---
+    gpu.finalizeStats();
+    const auto &s = gpu.stats().set();
+    std::printf("cycles: %.0f\n", s.get("cycles"));
+    std::printf("deterministic loads:     %6.0f warps, %5.2f requests/warp"
+                "\n",
+                s.get("gload.warps.det"),
+                s.ratio("gload.reqs.det", "gload.warps.det"));
+    std::printf("non-deterministic loads: %6.0f warps, %5.2f requests/warp"
+                "\n",
+                s.get("gload.warps.nondet"),
+                s.ratio("gload.reqs.nondet", "gload.warps.nondet"));
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+#include "classifier.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gcl::core
+{
+
+std::string
+toString(LoadClass cls)
+{
+    return cls == LoadClass::Deterministic ? "deterministic"
+                                           : "non-deterministic";
+}
+
+LoadClassifier::LoadClassifier(const ptx::Kernel &kernel)
+    : kernel_(kernel)
+{
+    ptx::Cfg cfg(kernel);
+    dataflow::BackwardSlicer slicer(cfg);
+
+    for (size_t pc : kernel.globalLoadPcs()) {
+        LoadInfo info;
+        info.pc = pc;
+        info.slice = slicer.sliceAddress(pc);
+        info.cls = info.slice.dependsOnMemory()
+            ? LoadClass::NonDeterministic
+            : LoadClass::Deterministic;
+        indexOfPc_[pc] = loads_.size();
+        loads_.push_back(std::move(info));
+    }
+}
+
+LoadClass
+LoadClassifier::classOf(size_t pc) const
+{
+    auto it = indexOfPc_.find(pc);
+    gcl_assert(it != indexOfPc_.end(),
+               "pc ", pc, " is not a global load in kernel '",
+               kernel_.name(), "'");
+    return loads_[it->second].cls;
+}
+
+bool
+LoadClassifier::isNonDeterministic(size_t pc) const
+{
+    return classOf(pc) == LoadClass::NonDeterministic;
+}
+
+size_t
+LoadClassifier::numDeterministic() const
+{
+    size_t n = 0;
+    for (const auto &l : loads_)
+        if (l.cls == LoadClass::Deterministic)
+            ++n;
+    return n;
+}
+
+size_t
+LoadClassifier::numNonDeterministic() const
+{
+    return loads_.size() - numDeterministic();
+}
+
+std::string
+LoadClassifier::report() const
+{
+    std::ostringstream oss;
+    oss << "kernel '" << kernel_.name() << "': " << loads_.size()
+        << " global load(s), " << numDeterministic() << " deterministic, "
+        << numNonDeterministic() << " non-deterministic\n";
+    for (const auto &l : loads_) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%4zu", l.pc);
+        oss << "  pc " << buf << ": "
+            << (l.cls == LoadClass::Deterministic ? "D" : "N") << "  "
+            << kernel_.inst(l.pc).toString()
+            << "  <- " << l.slice.describe() << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace gcl::core

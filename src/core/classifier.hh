@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The paper's core contribution: deterministic / non-deterministic load
+ * classification (Section V).
+ *
+ * A global load is *deterministic* when its effective address derives only
+ * from parameterized data — kernel arguments read via ld.param, the CUDA
+ * built-ins (%tid, %ctaid, %ntid, %nctaid, ...), and literals — values that
+ * are fixed at kernel launch. It is *non-deterministic* when any prior
+ * data-space load (ld.global / ld.shared / ld.local / ld.const / ld.tex) or
+ * atomic feeds the address computation, i.e., the address depends on memory
+ * contents such as user input.
+ */
+
+#ifndef GCL_CORE_CLASSIFIER_HH
+#define GCL_CORE_CLASSIFIER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataflow/backward_slice.hh"
+#include "ptx/cfg.hh"
+#include "ptx/kernel.hh"
+
+namespace gcl::core
+{
+
+/** Classification outcome for a load instruction. */
+enum class LoadClass : uint8_t
+{
+    Deterministic,
+    NonDeterministic,
+};
+
+std::string toString(LoadClass cls);
+
+/** Per-load classification together with its slice provenance. */
+struct LoadInfo
+{
+    size_t pc;
+    LoadClass cls;
+    dataflow::SliceResult slice;
+};
+
+/**
+ * Classifies every global load of one kernel by backward dataflow analysis.
+ *
+ * Construction runs the full analysis (CFG build, reaching definitions,
+ * one backward slice per global load). Lookups afterwards are O(log n).
+ */
+class LoadClassifier
+{
+  public:
+    explicit LoadClassifier(const ptx::Kernel &kernel);
+
+    const ptx::Kernel &kernel() const { return kernel_; }
+
+    /** All global loads in program order with their classifications. */
+    const std::vector<LoadInfo> &globalLoads() const { return loads_; }
+
+    /**
+     * Class of the global load at @p pc; panics when @p pc is not a
+     * global load.
+     */
+    LoadClass classOf(size_t pc) const;
+
+    /** True when the global load at @p pc is non-deterministic. */
+    bool isNonDeterministic(size_t pc) const;
+
+    /** Number of static global loads per class. */
+    size_t numDeterministic() const;
+    size_t numNonDeterministic() const;
+
+    /** Multi-line report: one line per load with provenance. */
+    std::string report() const;
+
+  private:
+    const ptx::Kernel &kernel_;
+    std::vector<LoadInfo> loads_;
+    std::map<size_t, size_t> indexOfPc_;
+};
+
+} // namespace gcl::core
+
+#endif // GCL_CORE_CLASSIFIER_HH

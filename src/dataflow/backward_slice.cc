@@ -1,0 +1,118 @@
+#include "backward_slice.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gcl::dataflow
+{
+
+using ptx::Instruction;
+using ptx::Opcode;
+using ptx::Operand;
+
+std::string
+SliceResult::describe() const
+{
+    std::ostringstream oss;
+    bool first = true;
+    auto item = [&](bool flag, const char *name) {
+        if (!flag)
+            return;
+        if (!first)
+            oss << '+';
+        oss << name;
+        first = false;
+    };
+    item(sources.param, "param");
+    item(sources.specialReg, "sreg");
+    item(sources.immediate, "imm");
+    item(sources.dataLoad, "load");
+    item(sources.atomic, "atomic");
+    if (first)
+        oss << "none";
+    oss << " (" << slicePcs.size() << " defs in slice)";
+    return oss.str();
+}
+
+BackwardSlicer::BackwardSlicer(const ptx::Cfg &cfg)
+    : cfg_(cfg), reachingDefs_(cfg)
+{
+}
+
+SliceResult
+BackwardSlicer::sliceAddress(size_t pc) const
+{
+    const Instruction &i = cfg_.kernel().inst(pc);
+    gcl_assert(i.op == Opcode::Ld || i.op == Opcode::St ||
+               i.op == Opcode::Atom,
+               "sliceAddress requires a memory instruction, got ",
+               i.toString());
+
+    SliceResult result;
+    std::vector<bool> visited(cfg_.kernel().size(), false);
+    traceOperand(i.srcs[0], pc, result, visited);
+    return result;
+}
+
+SliceResult
+BackwardSlicer::sliceRegister(size_t pc, ptx::RegId reg) const
+{
+    SliceResult result;
+    std::vector<bool> visited(cfg_.kernel().size(), false);
+    traceOperand(Operand::makeReg(reg), pc, result, visited);
+    return result;
+}
+
+void
+BackwardSlicer::traceOperand(const Operand &op, size_t use_pc,
+                             SliceResult &result,
+                             std::vector<bool> &visited_defs) const
+{
+    switch (op.kind) {
+      case Operand::Kind::None:
+        return;
+      case Operand::Kind::Imm:
+        result.sources.immediate = true;
+        return;
+      case Operand::Kind::Special:
+        result.sources.specialReg = true;
+        return;
+      case Operand::Kind::Reg:
+        break;
+    }
+
+    // Walk every definition of the register that may reach this use.
+    for (size_t def_pc : reachingDefs_.defsReaching(use_pc, op.reg)) {
+        if (visited_defs[def_pc])
+            continue;
+        visited_defs[def_pc] = true;
+        result.slicePcs.push_back(def_pc);
+
+        const Instruction &def = cfg_.kernel().inst(def_pc);
+        switch (def.op) {
+          case Opcode::LdParam:
+            // Parameterized data: a terminal, deterministic source.
+            result.sources.param = true;
+            break;
+          case Opcode::Ld:
+            // A value produced by a data-space load taints the slice:
+            // the address depends on memory contents (Section V). The
+            // chain is not traced through the load's own address.
+            result.sources.dataLoad = true;
+            result.taintingPcs.push_back(def_pc);
+            break;
+          case Opcode::Atom:
+            result.sources.atomic = true;
+            result.taintingPcs.push_back(def_pc);
+            break;
+          default:
+            // Ordinary computation: recurse into all source operands.
+            for (const auto &src : def.srcs)
+                traceOperand(src, def_pc, result, visited_defs);
+            break;
+        }
+    }
+}
+
+} // namespace gcl::dataflow

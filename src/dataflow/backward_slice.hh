@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Backward use-def slicing of address computations.
+ *
+ * Given a memory instruction, the slicer walks the use-def chains of its
+ * address operand backwards (Section V of the paper) until every path ends
+ * in a terminal source: an ld.param, a special register, an immediate — or a
+ * data-space load/atomic, which taints the slice as load-dependent.
+ */
+
+#ifndef GCL_DATAFLOW_BACKWARD_SLICE_HH
+#define GCL_DATAFLOW_BACKWARD_SLICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reaching_defs.hh"
+
+namespace gcl::dataflow
+{
+
+/** Terminal sources a sliced value can originate from. */
+struct SliceSources
+{
+    bool param = false;        //!< an ld.param feeds the value
+    bool specialReg = false;   //!< %tid/%ctaid/%ntid/... feeds the value
+    bool immediate = false;    //!< a literal feeds the value
+    bool dataLoad = false;     //!< an ld.{global,shared,local,const,tex}
+    bool atomic = false;       //!< an atomic's old value feeds the value
+};
+
+/** Result of slicing one address operand. */
+struct SliceResult
+{
+    SliceSources sources;
+
+    /** Every definition pc visited while tracing the chain. */
+    std::vector<size_t> slicePcs;
+
+    /** The pcs of the data loads/atomics that taint the slice (if any). */
+    std::vector<size_t> taintingPcs;
+
+    /** True when any data load or atomic contributes to the address. */
+    bool
+    dependsOnMemory() const
+    {
+        return sources.dataLoad || sources.atomic;
+    }
+
+    /** Human-readable provenance summary. */
+    std::string describe() const;
+};
+
+/** Backward slicer bound to one kernel's CFG. */
+class BackwardSlicer
+{
+  public:
+    explicit BackwardSlicer(const ptx::Cfg &cfg);
+
+    /**
+     * Slice the address operand of the memory instruction at @p pc
+     * (a load, store or atomic).
+     */
+    SliceResult sliceAddress(size_t pc) const;
+
+    /** Slice an arbitrary source register used at @p pc. */
+    SliceResult sliceRegister(size_t pc, ptx::RegId reg) const;
+
+  private:
+    void traceOperand(const ptx::Operand &op, size_t use_pc,
+                      SliceResult &result,
+                      std::vector<bool> &visited_defs) const;
+
+    const ptx::Cfg &cfg_;
+    ReachingDefs reachingDefs_;
+};
+
+} // namespace gcl::dataflow
+
+#endif // GCL_DATAFLOW_BACKWARD_SLICE_HH

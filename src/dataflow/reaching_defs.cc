@@ -1,0 +1,149 @@
+#include "reaching_defs.hh"
+
+#include "util/logging.hh"
+
+namespace gcl::dataflow
+{
+
+using ptx::Instruction;
+using ptx::Kernel;
+
+ReachingDefs::BitSet
+ReachingDefs::makeEmpty() const
+{
+    return BitSet(words_, 0);
+}
+
+void
+ReachingDefs::setBit(BitSet &s, size_t i)
+{
+    s[i / 64] |= uint64_t{1} << (i % 64);
+}
+
+bool
+ReachingDefs::testBit(const BitSet &s, size_t i)
+{
+    return (s[i / 64] >> (i % 64)) & 1;
+}
+
+void
+ReachingDefs::orInto(BitSet &a, const BitSet &b)
+{
+    for (size_t w = 0; w < a.size(); ++w)
+        a[w] |= b[w];
+}
+
+void
+ReachingDefs::andNotInto(BitSet &a, const BitSet &b)
+{
+    for (size_t w = 0; w < a.size(); ++w)
+        a[w] &= ~b[w];
+}
+
+ReachingDefs::ReachingDefs(const ptx::Cfg &cfg)
+    : cfg_(cfg)
+{
+    const Kernel &k = cfg.kernel();
+    const auto &insts = k.insts();
+
+    // Enumerate definition sites.
+    defIdOfPc_.assign(insts.size(), -1);
+    for (size_t pc = 0; pc < insts.size(); ++pc) {
+        if (insts[pc].writesDst()) {
+            defIdOfPc_[pc] = static_cast<int>(defPcs_.size());
+            defPcs_.push_back(pc);
+        }
+    }
+
+    words_ = (defPcs_.size() + 63) / 64;
+    if (words_ == 0)
+        words_ = 1;
+
+    defsOfReg_.assign(k.numRegs(), makeEmpty());
+    for (size_t d = 0; d < defPcs_.size(); ++d)
+        setBit(defsOfReg_[insts[defPcs_[d]].dst], d);
+
+    // Per-block GEN/KILL.
+    const size_t nblocks = cfg.numBlocks();
+    std::vector<BitSet> gen(nblocks, makeEmpty());
+    std::vector<BitSet> kill(nblocks, makeEmpty());
+    for (size_t b = 0; b < nblocks; ++b) {
+        const auto &bb = cfg.block(b);
+        for (size_t pc = bb.first; pc <= bb.last; ++pc) {
+            const Instruction &i = insts[pc];
+            if (!i.writesDst())
+                continue;
+            const int d = defIdOfPc_[pc];
+            if (!i.guarded) {
+                // Unconditional definition: kills all other defs of dst.
+                orInto(kill[b], defsOfReg_[i.dst]);
+                andNotInto(gen[b], defsOfReg_[i.dst]);
+            }
+            setBit(gen[b], static_cast<size_t>(d));
+        }
+    }
+    // Remove gen'd defs from kill so OUT = gen | (IN & ~kill) is exact.
+    for (size_t b = 0; b < nblocks; ++b)
+        andNotInto(kill[b], gen[b]);
+
+    // Iterate to a fixpoint.
+    blockIn_.assign(nblocks, makeEmpty());
+    std::vector<BitSet> out(nblocks, makeEmpty());
+    for (size_t b = 0; b < nblocks; ++b) {
+        out[b] = blockIn_[b];
+        orInto(out[b], gen[b]);
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = 0; b < nblocks; ++b) {
+            BitSet in = makeEmpty();
+            for (int p : cfg.block(b).preds)
+                orInto(in, out[static_cast<size_t>(p)]);
+            if (in != blockIn_[b]) {
+                blockIn_[b] = in;
+                changed = true;
+            }
+            BitSet o = in;
+            andNotInto(o, kill[b]);
+            orInto(o, gen[b]);
+            if (o != out[b]) {
+                out[b] = std::move(o);
+                changed = true;
+            }
+        }
+    }
+}
+
+void
+ReachingDefs::transfer(size_t pc, BitSet &live) const
+{
+    const Instruction &i = cfg_.kernel().inst(pc);
+    if (!i.writesDst())
+        return;
+    if (!i.guarded)
+        andNotInto(live, defsOfReg_[i.dst]);
+    setBit(live, static_cast<size_t>(defIdOfPc_[pc]));
+}
+
+std::vector<size_t>
+ReachingDefs::defsReaching(size_t pc, ptx::RegId reg) const
+{
+    gcl_assert(reg < defsOfReg_.size(), "register out of range");
+
+    const int b = cfg_.blockOf(pc);
+    BitSet live = blockIn_[static_cast<size_t>(b)];
+    const auto &bb = cfg_.block(static_cast<size_t>(b));
+    for (size_t p = bb.first; p < pc; ++p)
+        transfer(p, live);
+
+    std::vector<size_t> result;
+    const BitSet &defs = defsOfReg_[reg];
+    for (size_t d = 0; d < defPcs_.size(); ++d)
+        if (testBit(defs, d) && testBit(live, d))
+            result.push_back(defPcs_[d]);
+    return result;
+}
+
+} // namespace gcl::dataflow

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reaching-definitions analysis over a kernel CFG.
+ *
+ * This is the textbook bitvector dataflow problem (Aho et al., cited by the
+ * paper as the basis of its backward analysis): a definition d of register r
+ * reaches a program point p when there is a path from d to p along which r
+ * is not unconditionally redefined. Predicated definitions generate but do
+ * not kill, which keeps the analysis a sound may-analysis.
+ */
+
+#ifndef GCL_DATAFLOW_REACHING_DEFS_HH
+#define GCL_DATAFLOW_REACHING_DEFS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ptx/cfg.hh"
+
+namespace gcl::dataflow
+{
+
+/** Reaching definitions for every (instruction, source register) pair. */
+class ReachingDefs
+{
+  public:
+    explicit ReachingDefs(const ptx::Cfg &cfg);
+
+    /**
+     * All definition sites (pcs) of @p reg that may reach the use of
+     * @p reg at instruction @p pc.
+     */
+    std::vector<size_t> defsReaching(size_t pc, ptx::RegId reg) const;
+
+    /** Total number of definition sites in the kernel. */
+    size_t numDefs() const { return defPcs_.size(); }
+
+  private:
+    using BitSet = std::vector<uint64_t>;
+
+    BitSet makeEmpty() const;
+    static void setBit(BitSet &s, size_t i);
+    static bool testBit(const BitSet &s, size_t i);
+    static void orInto(BitSet &a, const BitSet &b);
+    static void andNotInto(BitSet &a, const BitSet &b);
+
+    /** Apply the transfer function of instruction @p pc to @p live. */
+    void transfer(size_t pc, BitSet &live) const;
+
+    const ptx::Cfg &cfg_;
+    size_t words_ = 0;
+
+    std::vector<size_t> defPcs_;            //!< def index -> pc
+    std::vector<int> defIdOfPc_;            //!< pc -> def index (-1: none)
+    std::vector<BitSet> defsOfReg_;         //!< reg -> set of its def ids
+    std::vector<BitSet> blockIn_;           //!< block id -> IN set
+};
+
+} // namespace gcl::dataflow
+
+#endif // GCL_DATAFLOW_REACHING_DEFS_HH

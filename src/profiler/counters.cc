@@ -1,0 +1,55 @@
+#include "counters.hh"
+
+#include <sstream>
+
+namespace gcl::profiler
+{
+
+Counters
+Counters::fromStats(const StatsSet &stats, unsigned num_partitions)
+{
+    Counters c;
+    c.gldRequest = stats.get("gload.warps.det") +
+                   stats.get("gload.warps.nondet");
+    c.sharedLoad = stats.get("sload.warps");
+
+    const double access = stats.get("l1.access.det") +
+                          stats.get("l1.access.nondet");
+    const double miss = stats.get("l1.miss.det") +
+                        stats.get("l1.miss.nondet");
+    c.l1GlobalLoadHit = access - miss;
+    c.l1GlobalLoadMiss = miss;
+
+    c.l2ReadQueries.resize(num_partitions, 0.0);
+    c.l2ReadHits.resize(num_partitions, 0.0);
+    for (unsigned p = 0; p < num_partitions; ++p) {
+        c.l2ReadQueries[p] = stats.get("l2.queries.p" + std::to_string(p));
+        c.l2ReadHits[p] = stats.get("l2.hits.p" + std::to_string(p));
+    }
+    return c;
+}
+
+std::string
+Counters::report() const
+{
+    std::ostringstream oss;
+    auto line = [&oss](const std::string &name, double v) {
+        oss << "  " << name;
+        for (size_t pad = name.size(); pad < 34; ++pad)
+            oss << ' ';
+        oss << static_cast<unsigned long long>(v) << '\n';
+    };
+    line("gld_request", gldRequest);
+    line("shared_load", sharedLoad);
+    line("l1_global_load_hit", l1GlobalLoadHit);
+    line("l1_global_load_miss", l1GlobalLoadMiss);
+    for (size_t p = 0; p < l2ReadQueries.size(); ++p)
+        line("l2_subp" + std::to_string(p) + "_read_sector_queries",
+             l2ReadQueries[p]);
+    for (size_t p = 0; p < l2ReadHits.size(); ++p)
+        line("l2_subp" + std::to_string(p) + "_read_hit_sectors",
+             l2ReadHits[p]);
+    return oss.str();
+}
+
+} // namespace gcl::profiler

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CUDA-Profiler-equivalent counter surface (Table III of the paper).
+ *
+ * The paper collects these counters on a real Tesla M2050 with the CUDA
+ * Profiler; here they are derived from the simulator's instrumentation, as
+ * described per counter below.
+ */
+
+#ifndef GCL_PROFILER_COUNTERS_HH
+#define GCL_PROFILER_COUNTERS_HH
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace gcl::profiler
+{
+
+/** The Table III counter set for one application run. */
+struct Counters
+{
+    /** Executed global-load warp instructions (gld_request). */
+    double gldRequest = 0;
+
+    /** Executed shared-load warp instructions (shared_load). */
+    double sharedLoad = 0;
+
+    /** Global-load hits in L1 (l1_global_load_hit). */
+    double l1GlobalLoadHit = 0;
+
+    /** Global-load misses in L1 (l1_global_load_miss). */
+    double l1GlobalLoadMiss = 0;
+
+    /**
+     * Read queries / hits from L1 per L2 slice
+     * (l2_subp<i>_read_sector_queries / .._read_hit_sectors). The paper's
+     * GPU exposes two slices; our device has one slice per partition.
+     */
+    std::vector<double> l2ReadQueries;
+    std::vector<double> l2ReadHits;
+
+    /** Derive the counters from a finished run's stats. */
+    static Counters fromStats(const StatsSet &stats, unsigned num_partitions);
+
+    /** Multi-line "profiler output" rendering. */
+    std::string report() const;
+};
+
+} // namespace gcl::profiler
+
+#endif // GCL_PROFILER_COUNTERS_HH

@@ -1,0 +1,428 @@
+#include "builder.hh"
+
+#include <cstring>
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+#include "verifier.hh"
+
+namespace gcl::ptx
+{
+
+Src
+immF32(float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return Src(Operand::makeImm(bits));
+}
+
+Src
+immF64(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return Src(Operand::makeImm(bits));
+}
+
+KernelBuilder::KernelBuilder(std::string name, uint16_t num_params,
+                             uint32_t shared_mem_bytes)
+    : name_(std::move(name)), numParams_(num_params),
+      sharedMemBytes_(shared_mem_bytes)
+{
+}
+
+Reg
+KernelBuilder::reg()
+{
+    gcl_assert(nextReg_ < kNoReg - 1, "register space exhausted");
+    return Reg{nextReg_++};
+}
+
+Reg
+KernelBuilder::emit(Instruction inst)
+{
+    gcl_assert(!built_, "builder already finalized");
+    // Bind any labels waiting for the next instruction.
+    for (int label : pendingLabels_)
+        labelPcs_[label] = static_cast<int>(insts_.size());
+    pendingLabels_.clear();
+    insts_.push_back(inst);
+    return Reg{inst.dst};
+}
+
+Reg
+KernelBuilder::ldParam(uint16_t index)
+{
+    gcl_assert(index < numParams_, "param index ", index, " out of range");
+    Instruction i;
+    i.op = Opcode::LdParam;
+    i.type = DataType::U64;
+    i.space = MemSpace::Param;
+    i.dst = reg().id;
+    i.paramIndex = index;
+    i.accessSize = 8;
+    return emit(i);
+}
+
+Reg
+KernelBuilder::ld(MemSpace space, DataType type, Src addr, int64_t offset,
+                  unsigned size)
+{
+    Instruction i;
+    i.op = Opcode::Ld;
+    i.type = type;
+    i.space = space;
+    i.dst = reg().id;
+    i.srcs[0] = addr.op;
+    i.memOffset = offset;
+    i.accessSize = static_cast<uint8_t>(size ? size : typeSize(type));
+    return emit(i);
+}
+
+void
+KernelBuilder::st(MemSpace space, DataType type, Src addr, Src value,
+                  int64_t offset, unsigned size)
+{
+    Instruction i;
+    i.op = Opcode::St;
+    i.type = type;
+    i.space = space;
+    i.srcs[0] = addr.op;
+    i.srcs[1] = value.op;
+    i.memOffset = offset;
+    i.accessSize = static_cast<uint8_t>(size ? size : typeSize(type));
+    emit(i);
+}
+
+Reg
+KernelBuilder::atom(AtomOp aop, DataType type, Src addr, Src value,
+                    int64_t offset)
+{
+    gcl_assert(aop != AtomOp::Cas, "use atomCas for compare-and-swap");
+    Instruction i;
+    i.op = Opcode::Atom;
+    i.atomOp = aop;
+    i.type = type;
+    i.space = MemSpace::Global;
+    i.dst = reg().id;
+    i.srcs[0] = addr.op;
+    i.srcs[1] = value.op;
+    i.memOffset = offset;
+    i.accessSize = static_cast<uint8_t>(typeSize(type));
+    return emit(i);
+}
+
+Reg
+KernelBuilder::atomCas(DataType type, Src addr, Src compare, Src swap,
+                       int64_t offset)
+{
+    Instruction i;
+    i.op = Opcode::Atom;
+    i.atomOp = AtomOp::Cas;
+    i.type = type;
+    i.space = MemSpace::Global;
+    i.dst = reg().id;
+    i.srcs[0] = addr.op;
+    i.srcs[1] = compare.op;
+    i.srcs[2] = swap.op;
+    i.memOffset = offset;
+    i.accessSize = static_cast<uint8_t>(typeSize(type));
+    return emit(i);
+}
+
+namespace
+{
+
+Instruction
+makeAlu(Opcode op, DataType type, RegId dst, Src a)
+{
+    Instruction i;
+    i.op = op;
+    i.type = type;
+    i.dst = dst;
+    i.srcs[0] = a.op;
+    return i;
+}
+
+Instruction
+makeAlu(Opcode op, DataType type, RegId dst, Src a, Src b)
+{
+    Instruction i = makeAlu(op, type, dst, a);
+    i.srcs[1] = b.op;
+    return i;
+}
+
+Instruction
+makeAlu(Opcode op, DataType type, RegId dst, Src a, Src b, Src c)
+{
+    Instruction i = makeAlu(op, type, dst, a, b);
+    i.srcs[2] = c.op;
+    return i;
+}
+
+} // namespace
+
+Reg
+KernelBuilder::mov(DataType type, Src a)
+{
+    return emit(makeAlu(Opcode::Mov, type, reg().id, a));
+}
+
+void
+KernelBuilder::assign(DataType type, Reg dst, Src a)
+{
+    gcl_assert(dst.valid(), "assign to an invalid register");
+    emit(makeAlu(Opcode::Mov, type, dst.id, a));
+}
+
+Reg
+KernelBuilder::add(DataType type, Src a, Src b)
+{
+    return emit(makeAlu(Opcode::Add, type, reg().id, a, b));
+}
+
+Reg
+KernelBuilder::sub(DataType type, Src a, Src b)
+{
+    return emit(makeAlu(Opcode::Sub, type, reg().id, a, b));
+}
+
+Reg
+KernelBuilder::mul(DataType type, Src a, Src b)
+{
+    return emit(makeAlu(Opcode::Mul, type, reg().id, a, b));
+}
+
+Reg
+KernelBuilder::mulHi(DataType type, Src a, Src b)
+{
+    return emit(makeAlu(Opcode::MulHi, type, reg().id, a, b));
+}
+
+Reg
+KernelBuilder::mad(DataType type, Src a, Src b, Src c)
+{
+    return emit(makeAlu(Opcode::Mad, type, reg().id, a, b, c));
+}
+
+Reg
+KernelBuilder::div(DataType type, Src a, Src b)
+{
+    return emit(makeAlu(Opcode::Div, type, reg().id, a, b));
+}
+
+Reg
+KernelBuilder::rem(DataType type, Src a, Src b)
+{
+    return emit(makeAlu(Opcode::Rem, type, reg().id, a, b));
+}
+
+Reg
+KernelBuilder::min_(DataType type, Src a, Src b)
+{
+    return emit(makeAlu(Opcode::Min, type, reg().id, a, b));
+}
+
+Reg
+KernelBuilder::max_(DataType type, Src a, Src b)
+{
+    return emit(makeAlu(Opcode::Max, type, reg().id, a, b));
+}
+
+Reg
+KernelBuilder::abs_(DataType type, Src a)
+{
+    return emit(makeAlu(Opcode::Abs, type, reg().id, a));
+}
+
+Reg
+KernelBuilder::neg(DataType type, Src a)
+{
+    return emit(makeAlu(Opcode::Neg, type, reg().id, a));
+}
+
+Reg
+KernelBuilder::and_(DataType type, Src a, Src b)
+{
+    return emit(makeAlu(Opcode::And, type, reg().id, a, b));
+}
+
+Reg
+KernelBuilder::or_(DataType type, Src a, Src b)
+{
+    return emit(makeAlu(Opcode::Or, type, reg().id, a, b));
+}
+
+Reg
+KernelBuilder::xor_(DataType type, Src a, Src b)
+{
+    return emit(makeAlu(Opcode::Xor, type, reg().id, a, b));
+}
+
+Reg
+KernelBuilder::not_(DataType type, Src a)
+{
+    return emit(makeAlu(Opcode::Not, type, reg().id, a));
+}
+
+Reg
+KernelBuilder::shl(DataType type, Src a, Src b)
+{
+    return emit(makeAlu(Opcode::Shl, type, reg().id, a, b));
+}
+
+Reg
+KernelBuilder::shr(DataType type, Src a, Src b)
+{
+    return emit(makeAlu(Opcode::Shr, type, reg().id, a, b));
+}
+
+Reg
+KernelBuilder::setp(CmpOp cmp, DataType type, Src a, Src b)
+{
+    Instruction i = makeAlu(Opcode::Setp, type, reg().id, a, b);
+    i.cmp = cmp;
+    return emit(i);
+}
+
+Reg
+KernelBuilder::selp(DataType type, Src if_true, Src if_false, Reg pred)
+{
+    return emit(makeAlu(Opcode::Selp, type, reg().id, if_true, if_false,
+                        Src(pred)));
+}
+
+Reg
+KernelBuilder::cvt(DataType to, DataType from, Src a)
+{
+    Instruction i = makeAlu(Opcode::Cvt, to, reg().id, a);
+    i.cvtFrom = from;
+    return emit(i);
+}
+
+Reg
+KernelBuilder::sfu(Opcode op, DataType type, Src a)
+{
+    Instruction i = makeAlu(op, type, reg().id, a);
+    gcl_assert(i.isSfu(), "opcode ", toString(op), " is not an SFU op");
+    return emit(i);
+}
+
+Label
+KernelBuilder::newLabel()
+{
+    labelPcs_.push_back(-1);
+    return Label{static_cast<int>(labelPcs_.size()) - 1};
+}
+
+void
+KernelBuilder::place(Label label)
+{
+    gcl_assert(label.index >= 0 &&
+               label.index < static_cast<int>(labelPcs_.size()),
+               "invalid label");
+    gcl_assert(labelPcs_[label.index] == -1, "label placed twice");
+    pendingLabels_.push_back(label.index);
+}
+
+void
+KernelBuilder::bra(Label label)
+{
+    Instruction i;
+    i.op = Opcode::Bra;
+    // Encode the label index; resolved to a pc in build().
+    i.branchTarget = label.index;
+    emit(i);
+}
+
+void
+KernelBuilder::braIf(Reg pred, Label label)
+{
+    Instruction i;
+    i.op = Opcode::Bra;
+    i.branchTarget = label.index;
+    i.guarded = true;
+    i.predReg = pred.id;
+    i.predNeg = false;
+    emit(i);
+}
+
+void
+KernelBuilder::braIfNot(Reg pred, Label label)
+{
+    Instruction i;
+    i.op = Opcode::Bra;
+    i.branchTarget = label.index;
+    i.guarded = true;
+    i.predReg = pred.id;
+    i.predNeg = true;
+    emit(i);
+}
+
+void
+KernelBuilder::bar()
+{
+    Instruction i;
+    i.op = Opcode::Bar;
+    emit(i);
+}
+
+void
+KernelBuilder::exit()
+{
+    Instruction i;
+    i.op = Opcode::Exit;
+    emit(i);
+}
+
+Reg
+KernelBuilder::globalTidX()
+{
+    // mad.u32 %tid_global, %ctaid.x, %ntid.x, %tid.x
+    return mad(DataType::U32, Src(SpecialReg::CtaIdX),
+               Src(SpecialReg::NTidX), Src(SpecialReg::TidX));
+}
+
+Reg
+KernelBuilder::elemAddr(Src base, Src index, unsigned elem_size)
+{
+    gcl_assert(isPowerOf2(elem_size), "element size must be a power of two");
+    Reg wide = cvt(DataType::U64, DataType::U32, index);
+    Reg scaled = elem_size == 1
+        ? wide
+        : shl(DataType::U64, wide, static_cast<int>(floorLog2(elem_size)));
+    return add(DataType::U64, base, scaled);
+}
+
+Kernel
+KernelBuilder::build()
+{
+    gcl_assert(!built_, "builder already finalized");
+
+    // A label may be bound to the end of the body; make sure there is an
+    // instruction there by closing with exit (also the common case when the
+    // author simply never wrote one).
+    if (!pendingLabels_.empty() || insts_.empty() || !insts_.back().isExit())
+        exit();
+
+    // Resolve label indices into instruction PCs.
+    for (auto &inst : insts_) {
+        if (!inst.isBranch())
+            continue;
+        const int label = inst.branchTarget;
+        gcl_assert(label >= 0 && label < static_cast<int>(labelPcs_.size()),
+                   "branch to invalid label in kernel '", name_, "'");
+        gcl_assert(labelPcs_[label] >= 0,
+                   "branch to unplaced label in kernel '", name_, "'");
+        inst.branchTarget = labelPcs_[label];
+    }
+
+    built_ = true;
+    Kernel kernel(name_, std::move(insts_), nextReg_, numParams_,
+                  sharedMemBytes_);
+    verify(kernel);
+    return kernel;
+}
+
+} // namespace gcl::ptx

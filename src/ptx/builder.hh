@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Fluent builder for kernels in the PTX-like IR.
+ *
+ * Workloads construct kernels through this class the way nvcc would lower
+ * CUDA: special registers for the built-ins, ld.param for kernel arguments,
+ * explicit address arithmetic, and labels/branches for control flow. The
+ * builder assigns virtual registers, resolves labels at build() time and
+ * runs the verifier.
+ */
+
+#ifndef GCL_PTX_BUILDER_HH
+#define GCL_PTX_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel.hh"
+
+namespace gcl::ptx
+{
+
+/** Strongly-typed wrapper for a virtual register produced by the builder. */
+struct Reg
+{
+    RegId id = kNoReg;
+    bool valid() const { return id != kNoReg; }
+};
+
+/** Label handle; create with newLabel(), bind with place(). */
+struct Label
+{
+    int index = -1;
+};
+
+/**
+ * Source-operand adapter: accepts a Reg, an integer immediate or a special
+ * register wherever an instruction input is expected.
+ */
+struct Src
+{
+    Operand op;
+
+    Src(Reg r) : op(Operand::makeReg(r.id)) {}
+    Src(int v) : op(Operand::makeImm(static_cast<uint64_t>(static_cast<int64_t>(v)))) {}
+    Src(unsigned v) : op(Operand::makeImm(v)) {}
+    Src(long v) : op(Operand::makeImm(static_cast<uint64_t>(v))) {}
+    Src(long long v) : op(Operand::makeImm(static_cast<uint64_t>(v))) {}
+    Src(unsigned long v) : op(Operand::makeImm(v)) {}
+    Src(unsigned long long v) : op(Operand::makeImm(v)) {}
+    Src(SpecialReg s) : op(Operand::makeSpecial(s)) {}
+    explicit Src(Operand o) : op(o) {}
+};
+
+/** Immediate carrying f32 bits. */
+Src immF32(float v);
+/** Immediate carrying f64 bits. */
+Src immF64(double v);
+
+/** Builder for one kernel. See the workloads directory for usage examples. */
+class KernelBuilder
+{
+  public:
+    KernelBuilder(std::string name, uint16_t num_params,
+                  uint32_t shared_mem_bytes = 0);
+
+    /** Allocate a fresh virtual register. */
+    Reg reg();
+
+    // ------------------------------------------------------------------
+    // Memory operations
+    // ------------------------------------------------------------------
+
+    /** ld.param: read 64-bit kernel argument @p index. */
+    Reg ldParam(uint16_t index);
+
+    /**
+     * Load @p size bytes (default: typeSize(type)) from @p space at
+     * address @p addr + @p offset; the value is zero-extended into dst.
+     */
+    Reg ld(MemSpace space, DataType type, Src addr, int64_t offset = 0,
+           unsigned size = 0);
+
+    /** Store @p value (low @p size bytes) to @p space. */
+    void st(MemSpace space, DataType type, Src addr, Src value,
+            int64_t offset = 0, unsigned size = 0);
+
+    /** Global-memory atomic; returns the old value. */
+    Reg atom(AtomOp aop, DataType type, Src addr, Src value,
+             int64_t offset = 0);
+
+    /** Global-memory compare-and-swap; returns the old value. */
+    Reg atomCas(DataType type, Src addr, Src compare, Src swap,
+                int64_t offset = 0);
+
+    // ------------------------------------------------------------------
+    // Arithmetic / logic (SP pipeline)
+    // ------------------------------------------------------------------
+
+    Reg mov(DataType type, Src a);
+
+    /**
+     * mov into an existing register. This is how loop induction variables
+     * and accumulators are updated: every other helper allocates a fresh
+     * destination.
+     */
+    void assign(DataType type, Reg dst, Src a);
+
+    Reg add(DataType type, Src a, Src b);
+    Reg sub(DataType type, Src a, Src b);
+    Reg mul(DataType type, Src a, Src b);
+    Reg mulHi(DataType type, Src a, Src b);
+    Reg mad(DataType type, Src a, Src b, Src c);
+    Reg div(DataType type, Src a, Src b);
+    Reg rem(DataType type, Src a, Src b);
+    Reg min_(DataType type, Src a, Src b);
+    Reg max_(DataType type, Src a, Src b);
+    Reg abs_(DataType type, Src a);
+    Reg neg(DataType type, Src a);
+    Reg and_(DataType type, Src a, Src b);
+    Reg or_(DataType type, Src a, Src b);
+    Reg xor_(DataType type, Src a, Src b);
+    Reg not_(DataType type, Src a);
+    Reg shl(DataType type, Src a, Src b);
+    Reg shr(DataType type, Src a, Src b);
+    Reg setp(CmpOp cmp, DataType type, Src a, Src b);
+    Reg selp(DataType type, Src if_true, Src if_false, Reg pred);
+    Reg cvt(DataType to, DataType from, Src a);
+
+    // ------------------------------------------------------------------
+    // Transcendentals (SFU pipeline)
+    // ------------------------------------------------------------------
+
+    Reg sfu(Opcode op, DataType type, Src a);
+
+    // ------------------------------------------------------------------
+    // Control flow
+    // ------------------------------------------------------------------
+
+    Label newLabel();
+    /** Bind @p label to the next emitted instruction. */
+    void place(Label label);
+    void bra(Label label);
+    void braIf(Reg pred, Label label);
+    void braIfNot(Reg pred, Label label);
+    void bar();
+    void exit();
+
+    // ------------------------------------------------------------------
+    // Compound helpers matching common CUDA lowering patterns
+    // ------------------------------------------------------------------
+
+    /** blockIdx.x * blockDim.x + threadIdx.x, as u32. */
+    Reg globalTidX();
+
+    /**
+     * base + index * elem_size as a 64-bit address. @p index is a u32
+     * value; @p elem_size must be a power of two.
+     */
+    Reg elemAddr(Src base, Src index, unsigned elem_size);
+
+    /** Current size in instructions (the next emitted instruction's PC). */
+    size_t pc() const { return insts_.size(); }
+
+    /**
+     * Finalize: appends a trailing exit when missing, resolves labels,
+     * verifies the kernel, and returns it.
+     */
+    Kernel build();
+
+  private:
+    Reg emit(Instruction inst);
+
+    std::string name_;
+    uint16_t numParams_;
+    uint32_t sharedMemBytes_;
+    uint16_t nextReg_ = 0;
+    std::vector<Instruction> insts_;
+    std::vector<int> labelPcs_;       //!< label index -> pc (-1: unplaced)
+    std::vector<int> pendingLabels_;  //!< labels awaiting the next inst
+    bool built_ = false;
+};
+
+} // namespace gcl::ptx
+
+#endif // GCL_PTX_BUILDER_HH

@@ -1,0 +1,250 @@
+#include "cfg.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace gcl::ptx
+{
+
+namespace
+{
+
+/** Fixed-width bitset helpers over vector<uint64_t>. */
+constexpr size_t kWordBits = 64;
+
+size_t
+wordsFor(size_t bits)
+{
+    return (bits + kWordBits - 1) / kWordBits;
+}
+
+bool
+testBit(const std::vector<uint64_t> &v, size_t i)
+{
+    return (v[i / kWordBits] >> (i % kWordBits)) & 1;
+}
+
+void
+setBit(std::vector<uint64_t> &v, size_t i)
+{
+    v[i / kWordBits] |= uint64_t{1} << (i % kWordBits);
+}
+
+/** a &= b; returns true when a changed. */
+bool
+intersectInto(std::vector<uint64_t> &a, const std::vector<uint64_t> &b)
+{
+    bool changed = false;
+    for (size_t w = 0; w < a.size(); ++w) {
+        const uint64_t nv = a[w] & b[w];
+        if (nv != a[w]) {
+            a[w] = nv;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+size_t
+popcount(const std::vector<uint64_t> &v)
+{
+    size_t n = 0;
+    for (uint64_t w : v)
+        n += static_cast<size_t>(std::popcount(w));
+    return n;
+}
+
+} // namespace
+
+Cfg::Cfg(const Kernel &kernel)
+    : kernel_(kernel)
+{
+    buildBlocks();
+    buildEdges();
+    computeReachable();
+    computePostDominators();
+}
+
+void
+Cfg::buildBlocks()
+{
+    const auto &insts = kernel_.insts();
+    const size_t n = insts.size();
+
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    for (size_t pc = 0; pc < n; ++pc) {
+        const Instruction &i = insts[pc];
+        if (i.isBranch()) {
+            leader[static_cast<size_t>(i.branchTarget)] = true;
+            if (pc + 1 < n)
+                leader[pc + 1] = true;
+        } else if (i.isExit()) {
+            if (pc + 1 < n)
+                leader[pc + 1] = true;
+        }
+    }
+
+    blockOf_.assign(n, -1);
+    for (size_t pc = 0; pc < n; ++pc) {
+        if (leader[pc]) {
+            BasicBlock bb;
+            bb.first = pc;
+            bb.last = pc;
+            blocks_.push_back(bb);
+        }
+        gcl_assert(!blocks_.empty(), "pc 0 must be a leader");
+        blocks_.back().last = pc;
+        blockOf_[pc] = static_cast<int>(blocks_.size()) - 1;
+    }
+}
+
+void
+Cfg::buildEdges()
+{
+    const auto &insts = kernel_.insts();
+    for (size_t id = 0; id < blocks_.size(); ++id) {
+        BasicBlock &bb = blocks_[id];
+        const Instruction &term = insts[bb.last];
+
+        auto add_succ = [&](int succ) {
+            if (std::find(bb.succs.begin(), bb.succs.end(), succ) ==
+                bb.succs.end())
+                bb.succs.push_back(succ);
+        };
+
+        if (term.isExit()) {
+            add_succ(exitId());
+        } else if (term.isBranch()) {
+            add_succ(blockOf_[static_cast<size_t>(term.branchTarget)]);
+            if (term.guarded) {
+                // Conditional: fall-through is also possible.
+                if (bb.last + 1 < insts.size())
+                    add_succ(blockOf_[bb.last + 1]);
+                else
+                    add_succ(exitId());
+            }
+        } else {
+            if (bb.last + 1 < insts.size())
+                add_succ(blockOf_[bb.last + 1]);
+            else
+                add_succ(exitId());
+        }
+    }
+
+    for (size_t id = 0; id < blocks_.size(); ++id)
+        for (int succ : blocks_[id].succs)
+            if (succ != exitId())
+                blocks_[static_cast<size_t>(succ)]
+                    .preds.push_back(static_cast<int>(id));
+}
+
+void
+Cfg::computeReachable()
+{
+    reachable_.assign(blocks_.size(), false);
+    std::deque<int> work{0};
+    reachable_[0] = true;
+    while (!work.empty()) {
+        const int id = work.front();
+        work.pop_front();
+        for (int succ : blocks_[static_cast<size_t>(id)].succs) {
+            if (succ == exitId() || reachable_[static_cast<size_t>(succ)])
+                continue;
+            reachable_[static_cast<size_t>(succ)] = true;
+            work.push_back(succ);
+        }
+    }
+}
+
+void
+Cfg::computePostDominators()
+{
+    // Iterative set-intersection dataflow on the reverse CFG. Universe is
+    // blocks plus the virtual exit. CFGs here are tiny (tens of blocks),
+    // so bitset intersection to a fixpoint is plenty fast.
+    const size_t universe = blocks_.size() + 1;
+    const size_t words = wordsFor(universe);
+    const size_t exit_bit = blocks_.size();
+
+    std::vector<uint64_t> full(words, 0);
+    for (size_t i = 0; i < universe; ++i)
+        setBit(full, i);
+
+    pdomSets_.assign(blocks_.size(), full);
+    std::vector<uint64_t> exit_set(words, 0);
+    setBit(exit_set, exit_bit);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Reverse program order converges quickly for postdominators.
+        for (size_t id = blocks_.size(); id-- > 0;) {
+            if (!reachable_[id])
+                continue;
+            std::vector<uint64_t> meet = full;
+            for (int succ : blocks_[id].succs) {
+                const auto &succ_set =
+                    succ == exitId() ? exit_set
+                                     : pdomSets_[static_cast<size_t>(succ)];
+                intersectInto(meet, succ_set);
+            }
+            setBit(meet, id);
+            if (meet != pdomSets_[id]) {
+                pdomSets_[id] = std::move(meet);
+                changed = true;
+            }
+        }
+    }
+
+    // The strict postdominators of a block form a chain ordered by set
+    // inclusion; the immediate (closest) one is postdominated by all the
+    // others, i.e.\ it is the candidate with the LARGEST postdominator set.
+    ipdom_.assign(blocks_.size(), exitId());
+    for (size_t id = 0; id < blocks_.size(); ++id) {
+        if (!reachable_[id])
+            continue;
+        int best = exitId();
+        size_t best_size = 0;
+        for (size_t cand = 0; cand < blocks_.size(); ++cand) {
+            if (cand == id || !testBit(pdomSets_[id], cand))
+                continue;
+            const size_t sz = popcount(pdomSets_[cand]);
+            if (sz > best_size) {
+                best_size = sz;
+                best = static_cast<int>(cand);
+            }
+        }
+        ipdom_[id] = best;
+    }
+}
+
+bool
+Cfg::postDominates(int a, int b) const
+{
+    if (a == exitId())
+        return true;
+    if (b == exitId())
+        return false;
+    if (!reachable_[static_cast<size_t>(b)])
+        return false;
+    return testBit(pdomSets_[static_cast<size_t>(b)],
+                   static_cast<size_t>(a));
+}
+
+size_t
+Cfg::reconvergencePc(size_t branch_pc) const
+{
+    gcl_assert(kernel_.inst(branch_pc).isBranch(),
+               "reconvergencePc queried for a non-branch");
+    const int bb = blockOf_[branch_pc];
+    const int target = ipdom_[static_cast<size_t>(bb)];
+    if (target == exitId())
+        return kernel_.size();
+    return blocks_[static_cast<size_t>(target)].first;
+}
+
+} // namespace gcl::ptx

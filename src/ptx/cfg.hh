@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Control-flow graph and postdominator analysis over a kernel.
+ *
+ * Two clients: the SIMT stack uses immediate postdominators as branch
+ * reconvergence points (the standard IPDOM scheme GPGPU-Sim implements), and
+ * the dataflow layer (reaching definitions, backward slicing) walks the
+ * block structure.
+ */
+
+#ifndef GCL_PTX_CFG_HH
+#define GCL_PTX_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel.hh"
+
+namespace gcl::ptx
+{
+
+/** A maximal straight-line instruction range [first, last]. */
+struct BasicBlock
+{
+    size_t first;                 //!< pc of the first instruction
+    size_t last;                  //!< pc of the last instruction (inclusive)
+    std::vector<int> succs;       //!< successor block ids (may be exit id)
+    std::vector<int> preds;       //!< predecessor block ids
+};
+
+/** CFG with a virtual exit node and postdominator information. */
+class Cfg
+{
+  public:
+    explicit Cfg(const Kernel &kernel);
+
+    const Kernel &kernel() const { return kernel_; }
+
+    size_t numBlocks() const { return blocks_.size(); }
+    const BasicBlock &block(size_t id) const { return blocks_[id]; }
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Block containing instruction @p pc. */
+    int blockOf(size_t pc) const { return blockOf_[pc]; }
+
+    /** Id of the virtual exit node (== numBlocks()). */
+    int exitId() const { return static_cast<int>(blocks_.size()); }
+
+    /** True if the block is reachable from the entry. */
+    bool reachable(size_t id) const { return reachable_[id]; }
+
+    /**
+     * Immediate postdominator of block @p id; exitId() when the closest
+     * postdominator is the virtual exit.
+     */
+    int ipdom(size_t id) const { return ipdom_[id]; }
+
+    /** True iff block @p a postdominates block @p b. */
+    bool postDominates(int a, int b) const;
+
+    /**
+     * Reconvergence pc for the (conditional) branch at @p branch_pc: the
+     * first instruction of the branch block's immediate postdominator, or
+     * kernel().size() when control reconverges only at kernel exit.
+     */
+    size_t reconvergencePc(size_t branch_pc) const;
+
+  private:
+    void buildBlocks();
+    void buildEdges();
+    void computeReachable();
+    void computePostDominators();
+
+    const Kernel &kernel_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<int> blockOf_;
+    std::vector<bool> reachable_;
+    std::vector<int> ipdom_;
+    /** pdomSets_[b] = set of blocks (plus exit) postdominating b, as bits. */
+    std::vector<std::vector<uint64_t>> pdomSets_;
+};
+
+} // namespace gcl::ptx
+
+#endif // GCL_PTX_CFG_HH

@@ -1,0 +1,115 @@
+#include "instruction.hh"
+
+#include <sstream>
+
+namespace gcl::ptx
+{
+
+namespace
+{
+
+std::string
+operandToString(const Operand &o)
+{
+    std::ostringstream oss;
+    switch (o.kind) {
+      case Operand::Kind::None:
+        oss << "<none>";
+        break;
+      case Operand::Kind::Reg:
+        oss << "%r" << o.reg;
+        break;
+      case Operand::Kind::Imm:
+        oss << static_cast<int64_t>(o.imm);
+        break;
+      case Operand::Kind::Special:
+        oss << toString(o.sreg);
+        break;
+    }
+    return oss.str();
+}
+
+} // namespace
+
+unsigned
+Instruction::numSrcs() const
+{
+    unsigned n = 0;
+    for (const auto &s : srcs)
+        if (!s.isNone())
+            ++n;
+    return n;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream oss;
+    if (guarded)
+        oss << '@' << (predNeg ? "!" : "") << "%r" << predReg << ' ';
+
+    switch (op) {
+      case Opcode::LdParam:
+        oss << "ld.param.u64 %r" << dst << ", [param+" << paramIndex << ']';
+        return oss.str();
+      case Opcode::Ld:
+        oss << "ld." << ptx::toString(space) << ".b" << accessSize * 8
+            << " %r" << dst << ", [" << operandToString(srcs[0]);
+        if (memOffset)
+            oss << (memOffset > 0 ? "+" : "") << memOffset;
+        oss << ']';
+        return oss.str();
+      case Opcode::St:
+        oss << "st." << ptx::toString(space) << ".b" << accessSize * 8
+            << " [" << operandToString(srcs[0]);
+        if (memOffset)
+            oss << (memOffset > 0 ? "+" : "") << memOffset;
+        oss << "], " << operandToString(srcs[1]);
+        return oss.str();
+      case Opcode::Atom:
+        oss << "atom.global." << ptx::toString(atomOp) << '.'
+            << ptx::toString(type) << " %r" << dst << ", ["
+            << operandToString(srcs[0]);
+        if (memOffset)
+            oss << (memOffset > 0 ? "+" : "") << memOffset;
+        oss << "], " << operandToString(srcs[1]);
+        if (atomOp == AtomOp::Cas)
+            oss << ", " << operandToString(srcs[2]);
+        return oss.str();
+      case Opcode::Setp:
+        oss << "setp." << ptx::toString(cmp) << '.' << ptx::toString(type)
+            << " %r" << dst << ", " << operandToString(srcs[0]) << ", "
+            << operandToString(srcs[1]);
+        return oss.str();
+      case Opcode::Cvt:
+        oss << "cvt." << ptx::toString(type) << '.'
+            << ptx::toString(cvtFrom) << " %r" << dst << ", "
+            << operandToString(srcs[0]);
+        return oss.str();
+      case Opcode::Bra:
+        oss << "bra " << branchTarget;
+        return oss.str();
+      case Opcode::Bar:
+        oss << "bar.sync 0";
+        return oss.str();
+      case Opcode::Exit:
+        oss << "exit";
+        return oss.str();
+      case Opcode::Nop:
+        oss << "nop";
+        return oss.str();
+      default:
+        break;
+    }
+
+    // Generic ALU/SFU format: op.type dst, srcs...
+    oss << ptx::toString(op) << '.' << ptx::toString(type) << " %r" << dst;
+    for (const auto &s : srcs) {
+        if (s.isNone())
+            break;
+        oss << ", " << operandToString(s);
+    }
+    return oss.str();
+}
+
+} // namespace gcl::ptx

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Instruction and operand representation of the PTX-like IR.
+ */
+
+#ifndef GCL_PTX_INSTRUCTION_HH
+#define GCL_PTX_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "types.hh"
+
+namespace gcl::ptx
+{
+
+/** A source operand: a virtual register, an immediate or a special reg. */
+struct Operand
+{
+    enum class Kind : uint8_t { None, Reg, Imm, Special };
+
+    Kind kind = Kind::None;
+    RegId reg = kNoReg;
+    uint64_t imm = 0;           //!< raw bits (float imms carry bit patterns)
+    SpecialReg sreg = SpecialReg::TidX;
+
+    static Operand none() { return {}; }
+
+    static Operand
+    makeReg(RegId r)
+    {
+        Operand o;
+        o.kind = Kind::Reg;
+        o.reg = r;
+        return o;
+    }
+
+    static Operand
+    makeImm(uint64_t bits)
+    {
+        Operand o;
+        o.kind = Kind::Imm;
+        o.imm = bits;
+        return o;
+    }
+
+    static Operand
+    makeSpecial(SpecialReg s)
+    {
+        Operand o;
+        o.kind = Kind::Special;
+        o.sreg = s;
+        return o;
+    }
+
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isSpecial() const { return kind == Kind::Special; }
+    bool isNone() const { return kind == Kind::None; }
+};
+
+/**
+ * One IR instruction.
+ *
+ * Memory operations address memory as srcs[0] + memOffset. Stores carry the
+ * value in srcs[1]; atomics carry their operand in srcs[1] (and the CAS swap
+ * value in srcs[2]) and write the old memory value to dst.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    DataType type = DataType::U32;   //!< operation type
+    DataType cvtFrom = DataType::U32; //!< source type, Cvt only
+
+    RegId dst = kNoReg;
+    std::array<Operand, 3> srcs = {Operand::none(), Operand::none(),
+                                   Operand::none()};
+
+    /** Optional guard predicate: execute iff pred(reg) xor predNeg. */
+    bool guarded = false;
+    RegId predReg = kNoReg;
+    bool predNeg = false;
+
+    /** Memory fields. */
+    MemSpace space = MemSpace::Global;
+    uint8_t accessSize = 4;          //!< bytes per thread: 1, 2, 4 or 8
+    int64_t memOffset = 0;
+    uint16_t paramIndex = 0;         //!< LdParam only
+    AtomOp atomOp = AtomOp::Add;
+
+    /** Control-flow fields. */
+    int branchTarget = -1;           //!< instruction index, Bra only
+    CmpOp cmp = CmpOp::Eq;           //!< Setp only
+
+    bool isLoad() const { return op == Opcode::Ld || op == Opcode::LdParam; }
+    bool isStore() const { return op == Opcode::St; }
+    bool isAtomic() const { return op == Opcode::Atom; }
+
+    /** Any operation handled by the LD/ST unit. */
+    bool
+    isMemory() const
+    {
+        return isLoad() || isStore() || isAtomic() || op == Opcode::Bar;
+    }
+
+    /** Loads from a data space, i.e.\ any ld other than ld.param. */
+    bool
+    isDataLoad() const
+    {
+        return op == Opcode::Ld;
+    }
+
+    bool isGlobalLoad() const { return op == Opcode::Ld && space == MemSpace::Global; }
+    bool isSharedLoad() const { return op == Opcode::Ld && space == MemSpace::Shared; }
+
+    /** Operations executed by the SFU pipeline. */
+    bool
+    isSfu() const
+    {
+        switch (op) {
+          case Opcode::Rcp:
+          case Opcode::Sqrt:
+          case Opcode::Rsqrt:
+          case Opcode::Sin:
+          case Opcode::Cos:
+          case Opcode::Ex2:
+          case Opcode::Lg2:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    bool isBranch() const { return op == Opcode::Bra; }
+    bool isExit() const { return op == Opcode::Exit; }
+    bool isBarrier() const { return op == Opcode::Bar; }
+
+    /** True when the instruction may write dst. */
+    bool
+    writesDst() const
+    {
+        return dst != kNoReg;
+    }
+
+    /** Number of meaningful source operands. */
+    unsigned numSrcs() const;
+
+    /** PTX-flavored disassembly, e.g.\ "ld.global.u32 %r5, [%r4+8]". */
+    std::string toString() const;
+};
+
+} // namespace gcl::ptx
+
+#endif // GCL_PTX_INSTRUCTION_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Kernel container: an instruction list plus launch-relevant metadata.
+ */
+
+#ifndef GCL_PTX_KERNEL_HH
+#define GCL_PTX_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "instruction.hh"
+
+namespace gcl::ptx
+{
+
+/**
+ * A device kernel in the PTX-like IR.
+ *
+ * Instruction indices double as program counters: the simulator's PC for a
+ * warp is an index into insts(). Branch targets are instruction indices.
+ */
+class Kernel
+{
+  public:
+    Kernel(std::string name, std::vector<Instruction> insts,
+           uint16_t num_regs, uint16_t num_params,
+           uint32_t shared_mem_bytes);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Instruction> &insts() const { return insts_; }
+    const Instruction &inst(size_t pc) const { return insts_[pc]; }
+    size_t size() const { return insts_.size(); }
+
+    uint16_t numRegs() const { return numRegs_; }
+    uint16_t numParams() const { return numParams_; }
+    uint32_t sharedMemBytes() const { return sharedMemBytes_; }
+
+    /** PCs of all global loads, in program order. */
+    std::vector<size_t> globalLoadPcs() const;
+
+    /** Full disassembly listing with PC prefixes. */
+    std::string disassemble() const;
+
+  private:
+    std::string name_;
+    std::vector<Instruction> insts_;
+    uint16_t numRegs_;
+    uint16_t numParams_;
+    uint32_t sharedMemBytes_;
+};
+
+} // namespace gcl::ptx
+
+#endif // GCL_PTX_KERNEL_HH

@@ -1,0 +1,130 @@
+#include "types.hh"
+
+namespace gcl::ptx
+{
+
+std::string
+toString(DataType type)
+{
+    switch (type) {
+      case DataType::U32: return "u32";
+      case DataType::S32: return "s32";
+      case DataType::U64: return "u64";
+      case DataType::S64: return "s64";
+      case DataType::F32: return "f32";
+      case DataType::F64: return "f64";
+      case DataType::Pred: return "pred";
+    }
+    return "?";
+}
+
+std::string
+toString(MemSpace space)
+{
+    switch (space) {
+      case MemSpace::Global: return "global";
+      case MemSpace::Shared: return "shared";
+      case MemSpace::Local: return "local";
+      case MemSpace::Const: return "const";
+      case MemSpace::Param: return "param";
+      case MemSpace::Tex: return "tex";
+    }
+    return "?";
+}
+
+std::string
+toString(SpecialReg sreg)
+{
+    switch (sreg) {
+      case SpecialReg::TidX: return "%tid.x";
+      case SpecialReg::TidY: return "%tid.y";
+      case SpecialReg::TidZ: return "%tid.z";
+      case SpecialReg::NTidX: return "%ntid.x";
+      case SpecialReg::NTidY: return "%ntid.y";
+      case SpecialReg::NTidZ: return "%ntid.z";
+      case SpecialReg::CtaIdX: return "%ctaid.x";
+      case SpecialReg::CtaIdY: return "%ctaid.y";
+      case SpecialReg::CtaIdZ: return "%ctaid.z";
+      case SpecialReg::NCtaIdX: return "%nctaid.x";
+      case SpecialReg::NCtaIdY: return "%nctaid.y";
+      case SpecialReg::NCtaIdZ: return "%nctaid.z";
+      case SpecialReg::LaneId: return "%laneid";
+      case SpecialReg::WarpId: return "%warpid";
+    }
+    return "%?";
+}
+
+std::string
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::LdParam: return "ld.param";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Atom: return "atom";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::MulHi: return "mul.hi";
+      case Opcode::Mad: return "mad";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::Min: return "min";
+      case Opcode::Max: return "max";
+      case Opcode::Abs: return "abs";
+      case Opcode::Neg: return "neg";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Not: return "not";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Setp: return "setp";
+      case Opcode::Selp: return "selp";
+      case Opcode::Cvt: return "cvt";
+      case Opcode::Rcp: return "rcp";
+      case Opcode::Sqrt: return "sqrt";
+      case Opcode::Rsqrt: return "rsqrt";
+      case Opcode::Sin: return "sin";
+      case Opcode::Cos: return "cos";
+      case Opcode::Ex2: return "ex2";
+      case Opcode::Lg2: return "lg2";
+      case Opcode::Bra: return "bra";
+      case Opcode::Bar: return "bar.sync";
+      case Opcode::Exit: return "exit";
+      case Opcode::Nop: return "nop";
+    }
+    return "?";
+}
+
+std::string
+toString(CmpOp cmp)
+{
+    switch (cmp) {
+      case CmpOp::Eq: return "eq";
+      case CmpOp::Ne: return "ne";
+      case CmpOp::Lt: return "lt";
+      case CmpOp::Le: return "le";
+      case CmpOp::Gt: return "gt";
+      case CmpOp::Ge: return "ge";
+    }
+    return "?";
+}
+
+std::string
+toString(AtomOp op)
+{
+    switch (op) {
+      case AtomOp::Add: return "add";
+      case AtomOp::Min: return "min";
+      case AtomOp::Max: return "max";
+      case AtomOp::Exch: return "exch";
+      case AtomOp::Cas: return "cas";
+      case AtomOp::And: return "and";
+      case AtomOp::Or: return "or";
+    }
+    return "?";
+}
+
+} // namespace gcl::ptx

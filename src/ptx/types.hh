@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Enumerations shared by the PTX-like IR.
+ *
+ * The IR deliberately keeps only the features the paper's analysis depends
+ * on: memory-space-tagged loads (ld.param vs ld.global vs ld.shared ...),
+ * special registers holding the CUDA built-ins (%tid, %ctaid, ...),
+ * predication, branches and barriers. See DESIGN.md §"Substitutions".
+ */
+
+#ifndef GCL_PTX_TYPES_HH
+#define GCL_PTX_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gcl::ptx
+{
+
+/** Virtual register index inside a kernel. */
+using RegId = uint16_t;
+
+/** Sentinel for "no register". */
+constexpr RegId kNoReg = 0xffff;
+
+/** Operation/value type of an instruction. Registers hold 64 raw bits. */
+enum class DataType : uint8_t
+{
+    U32,
+    S32,
+    U64,
+    S64,
+    F32,
+    F64,
+    Pred,
+};
+
+/** Memory space of a load/store, mirroring the PTX state spaces. */
+enum class MemSpace : uint8_t
+{
+    Global,
+    Shared,
+    Local,
+    Const,
+    Param,
+    Tex,
+};
+
+/** CUDA built-in values exposed as read-only special registers. */
+enum class SpecialReg : uint8_t
+{
+    TidX,
+    TidY,
+    TidZ,
+    NTidX,
+    NTidY,
+    NTidZ,
+    CtaIdX,
+    CtaIdY,
+    CtaIdZ,
+    NCtaIdX,
+    NCtaIdY,
+    NCtaIdZ,
+    LaneId,
+    WarpId,
+};
+
+/** Instruction opcodes. Grouped by the SM function unit that executes them. */
+enum class Opcode : uint8_t
+{
+    // Memory operations (LD/ST unit).
+    LdParam,
+    Ld,       //!< load from srcs[0]+offset in 'space'
+    St,       //!< store srcs[1] to srcs[0]+offset in 'space'
+    Atom,     //!< atomic read-modify-write on global memory
+
+    // Simple arithmetic / logic (SP unit).
+    Mov,
+    Add,
+    Sub,
+    Mul,
+    MulHi,
+    Mad,      //!< dst = srcs[0]*srcs[1] + srcs[2]
+    Div,
+    Rem,
+    Min,
+    Max,
+    Abs,
+    Neg,
+    And,
+    Or,
+    Xor,
+    Not,
+    Shl,
+    Shr,
+    Setp,     //!< predicate dst = cmp(srcs[0], srcs[1])
+    Selp,     //!< dst = pred ? srcs[0] : srcs[1] (pred in srcs[2])
+    Cvt,      //!< convert srcs[0] from 'cvtFrom' type into 'type'
+
+    // Transcendental ops (SFU unit).
+    Rcp,
+    Sqrt,
+    Rsqrt,
+    Sin,
+    Cos,
+    Ex2,
+    Lg2,
+
+    // Control flow.
+    Bra,      //!< unconditional unless guarded by a predicate
+    Bar,      //!< CTA-wide barrier (bar.sync 0)
+    Exit,
+    Nop,
+};
+
+/** Comparison operator for Setp. */
+enum class CmpOp : uint8_t
+{
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+};
+
+/** Atomic read-modify-write operator. */
+enum class AtomOp : uint8_t
+{
+    Add,
+    Min,
+    Max,
+    Exch,
+    Cas,      //!< compare srcs[1], swap in srcs[2]
+    And,
+    Or,
+};
+
+/** Byte width of a value of @p type when stored to memory. */
+constexpr unsigned
+typeSize(DataType type)
+{
+    switch (type) {
+      case DataType::U32:
+      case DataType::S32:
+      case DataType::F32:
+        return 4;
+      case DataType::U64:
+      case DataType::S64:
+      case DataType::F64:
+        return 8;
+      case DataType::Pred:
+        return 1;
+    }
+    return 4;
+}
+
+/** True for floating-point operation types. */
+constexpr bool
+isFloat(DataType type)
+{
+    return type == DataType::F32 || type == DataType::F64;
+}
+
+/** True for signed integer operation types. */
+constexpr bool
+isSigned(DataType type)
+{
+    return type == DataType::S32 || type == DataType::S64;
+}
+
+std::string toString(DataType type);
+std::string toString(MemSpace space);
+std::string toString(SpecialReg sreg);
+std::string toString(Opcode op);
+std::string toString(CmpOp cmp);
+std::string toString(AtomOp op);
+
+} // namespace gcl::ptx
+
+#endif // GCL_PTX_TYPES_HH

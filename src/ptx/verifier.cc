@@ -1,0 +1,94 @@
+#include "verifier.hh"
+
+#include <sstream>
+
+#include "kernel.hh"
+#include "util/logging.hh"
+
+namespace gcl::ptx
+{
+
+namespace
+{
+
+void
+checkOperand(const Operand &o, const Kernel &k, size_t pc,
+             std::vector<std::string> &out)
+{
+    if (o.isReg() && o.reg >= k.numRegs()) {
+        std::ostringstream oss;
+        oss << "pc " << pc << ": register %r" << o.reg << " out of range";
+        out.push_back(oss.str());
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+check(const Kernel &k)
+{
+    std::vector<std::string> out;
+    const auto &insts = k.insts();
+
+    for (size_t pc = 0; pc < insts.size(); ++pc) {
+        const Instruction &i = insts[pc];
+        std::ostringstream at;
+        at << "pc " << pc << " (" << i.toString() << "): ";
+
+        if (i.writesDst() && i.dst >= k.numRegs())
+            out.push_back(at.str() + "destination register out of range");
+        for (const auto &s : i.srcs)
+            checkOperand(s, k, pc, out);
+
+        if (i.guarded && i.predReg >= k.numRegs())
+            out.push_back(at.str() + "guard predicate out of range");
+
+        if (i.isBranch()) {
+            if (i.branchTarget < 0 ||
+                i.branchTarget >= static_cast<int>(insts.size()))
+                out.push_back(at.str() + "branch target out of range");
+        }
+
+        if (i.op == Opcode::LdParam && i.paramIndex >= k.numParams())
+            out.push_back(at.str() + "param index out of range");
+
+        if (i.op == Opcode::Ld && !i.srcs[0].isReg() && !i.srcs[0].isImm())
+            out.push_back(at.str() + "load address must be a reg or imm");
+
+        if (i.op == Opcode::St && i.srcs[1].isNone())
+            out.push_back(at.str() + "store has no value operand");
+
+        if ((i.op == Opcode::Ld || i.op == Opcode::St ||
+             i.op == Opcode::Atom) &&
+            i.accessSize != 1 && i.accessSize != 2 && i.accessSize != 4 &&
+            i.accessSize != 8)
+            out.push_back(at.str() + "unsupported access size");
+
+        if (i.op == Opcode::Ld && i.space == MemSpace::Param)
+            out.push_back(at.str() + "use LdParam for the param space");
+    }
+
+    // Every path that falls off the end must hit an exit: the final
+    // instruction has to be exit or an unconditional branch.
+    if (!insts.empty()) {
+        const Instruction &last = insts.back();
+        const bool terminates =
+            last.isExit() || (last.isBranch() && !last.guarded);
+        if (!terminates)
+            out.push_back("kernel does not end in exit or an unconditional "
+                          "branch");
+    }
+
+    return out;
+}
+
+void
+verify(const Kernel &k)
+{
+    const auto problems = check(k);
+    if (!problems.empty())
+        gcl_panic("kernel '", k.name(), "' failed verification: ",
+                  problems.front(), " (", problems.size(), " problem(s))");
+}
+
+} // namespace gcl::ptx

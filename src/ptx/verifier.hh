@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Static well-formedness checks for kernels.
+ */
+
+#ifndef GCL_PTX_VERIFIER_HH
+#define GCL_PTX_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+namespace gcl::ptx
+{
+
+class Kernel;
+
+/**
+ * Collect well-formedness violations for @p kernel.
+ *
+ * Checked properties: register indices in range, branch targets in range,
+ * memory operand shapes, guard predicates present, kernel termination
+ * (every fall-through path ends in exit), and param indices in range.
+ *
+ * @return human-readable messages; empty when the kernel is well formed.
+ */
+std::vector<std::string> check(const Kernel &kernel);
+
+/** Like check(), but panics with the first violation. */
+void verify(const Kernel &kernel);
+
+} // namespace gcl::ptx
+
+#endif // GCL_PTX_VERIFIER_HH

@@ -1,0 +1,223 @@
+#include "cache.hh"
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace gcl::sim
+{
+
+std::string
+toString(AccessOutcome outcome)
+{
+    switch (outcome) {
+      case AccessOutcome::Hit: return "hit";
+      case AccessOutcome::HitReserved: return "hit_reserved";
+      case AccessOutcome::Miss: return "miss";
+      case AccessOutcome::FailTag: return "fail_tag";
+      case AccessOutcome::FailMshr: return "fail_mshr";
+      case AccessOutcome::FailIcnt: return "fail_icnt";
+    }
+    return "?";
+}
+
+bool
+Mshr::hasEntry(uint64_t line_addr) const
+{
+    return entries_.count(line_addr) > 0;
+}
+
+bool
+Mshr::canMerge(uint64_t line_addr) const
+{
+    auto it = entries_.find(line_addr);
+    return it != entries_.end() && it->second.size() < maxMerge_;
+}
+
+void
+Mshr::allocate(uint64_t line_addr, MemRequestPtr req)
+{
+    gcl_assert(!full(), "MSHR allocate when full");
+    gcl_assert(!hasEntry(line_addr), "MSHR double allocate");
+    entries_[line_addr].push_back(std::move(req));
+}
+
+void
+Mshr::merge(uint64_t line_addr, MemRequestPtr req)
+{
+    auto it = entries_.find(line_addr);
+    gcl_assert(it != entries_.end(), "MSHR merge without an entry");
+    gcl_assert(it->second.size() < maxMerge_, "MSHR merge list overflow");
+    it->second.push_back(std::move(req));
+}
+
+std::vector<MemRequestPtr>
+Mshr::release(uint64_t line_addr)
+{
+    auto it = entries_.find(line_addr);
+    gcl_assert(it != entries_.end(), "MSHR release without an entry");
+    std::vector<MemRequestPtr> waiting = std::move(it->second);
+    entries_.erase(it);
+    return waiting;
+}
+
+Cache::Cache(std::string name, const CacheConfig &config)
+    : name_(std::move(name)), config_(config),
+      mshr_(config.mshrEntries, config.mshrMaxMerge)
+{
+    gcl_assert(isPowerOf2(config_.lineBytes), "line size must be 2^k");
+    gcl_assert(config_.numSets() > 0 && isPowerOf2(config_.numSets()),
+               "cache geometry must give a power-of-two set count");
+    lines_.assign(static_cast<size_t>(config_.numSets()) * config_.assoc,
+                  Line{});
+}
+
+size_t
+Cache::setIndex(uint64_t line_addr) const
+{
+    return (line_addr / config_.lineBytes) & (config_.numSets() - 1);
+}
+
+uint64_t
+Cache::tagOf(uint64_t line_addr) const
+{
+    return line_addr / config_.lineBytes / config_.numSets();
+}
+
+AccessOutcome
+Cache::access(const MemRequestPtr &req, bool can_inject)
+{
+    const uint64_t line_addr = req->lineAddr;
+    const size_t set = setIndex(line_addr);
+    const uint64_t tag = tagOf(line_addr);
+    Line *set_base = &lines_[set * config_.assoc];
+
+    // Probe.
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        Line &line = set_base[way];
+        if (line.tag != tag || !(line.valid || line.reserved))
+            continue;
+        if (line.valid) {
+            line.lru = ++lruClock_;
+            return AccessOutcome::Hit;
+        }
+        // Reserved: the line's fill is in flight.
+        if (!mshr_.canMerge(line_addr))
+            return AccessOutcome::FailMshr;
+        mshr_.merge(line_addr, req);
+        return AccessOutcome::HitReserved;
+    }
+
+    // Miss path: need an evictable way, an MSHR entry, and downstream
+    // buffer space — in that order, matching the paper's taxonomy.
+    int victim = -1;
+    uint64_t victim_lru = ~uint64_t{0};
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        Line &line = set_base[way];
+        if (line.reserved)
+            continue;
+        if (!line.valid) {
+            victim = static_cast<int>(way);
+            break;
+        }
+        if (line.lru < victim_lru) {
+            victim_lru = line.lru;
+            victim = static_cast<int>(way);
+        }
+    }
+    if (victim < 0)
+        return AccessOutcome::FailTag;
+    if (mshr_.full())
+        return AccessOutcome::FailMshr;
+    if (!can_inject)
+        return AccessOutcome::FailIcnt;
+
+    Line &line = set_base[victim];
+    line.tag = tag;
+    line.valid = false;
+    line.reserved = true;
+    line.lru = ++lruClock_;
+    mshr_.allocate(line_addr, req);
+    return AccessOutcome::Miss;
+}
+
+std::vector<MemRequestPtr>
+Cache::fill(uint64_t line_addr)
+{
+    const size_t set = setIndex(line_addr);
+    const uint64_t tag = tagOf(line_addr);
+    Line *set_base = &lines_[set * config_.assoc];
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        Line &line = set_base[way];
+        if (line.tag == tag && line.reserved) {
+            line.reserved = false;
+            line.valid = true;
+            line.lru = ++lruClock_;
+            return mshr_.release(line_addr);
+        }
+    }
+    gcl_panic(name_, ": fill for a line that is not reserved: ", line_addr);
+}
+
+bool
+Cache::writeProbe(uint64_t line_addr)
+{
+    const size_t set = setIndex(line_addr);
+    const uint64_t tag = tagOf(line_addr);
+    Line *set_base = &lines_[set * config_.assoc];
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        Line &line = set_base[way];
+        if (line.tag == tag && line.valid) {
+            line.lru = ++lruClock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::installValid(uint64_t line_addr)
+{
+    const size_t set = setIndex(line_addr);
+    const uint64_t tag = tagOf(line_addr);
+    Line *set_base = &lines_[set * config_.assoc];
+
+    int victim = -1;
+    uint64_t victim_lru = ~uint64_t{0};
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        Line &line = set_base[way];
+        if (line.tag == tag && (line.valid || line.reserved))
+            return;  // already present (or in flight)
+        if (line.reserved)
+            continue;
+        if (!line.valid) {
+            victim = static_cast<int>(way);
+            break;
+        }
+        if (line.lru < victim_lru) {
+            victim_lru = line.lru;
+            victim = static_cast<int>(way);
+        }
+    }
+    if (victim < 0)
+        return;  // every way pinned by in-flight fills; skip the install
+
+    Line &line = set_base[victim];
+    line.tag = tag;
+    line.valid = true;
+    line.reserved = false;
+    line.lru = ++lruClock_;
+}
+
+bool
+Cache::isHit(uint64_t line_addr) const
+{
+    const size_t set = setIndex(line_addr);
+    const uint64_t tag = tagOf(line_addr);
+    const Line *set_base = &lines_[set * config_.assoc];
+    for (unsigned way = 0; way < config_.assoc; ++way)
+        if (set_base[way].tag == tag && set_base[way].valid)
+            return true;
+    return false;
+}
+
+} // namespace gcl::sim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Set-associative cache model with reserved-line semantics, MSHRs and the
+ * reservation-failure taxonomy of GPGPU-Sim (Section VI of the paper).
+ *
+ * The cache stores tags only; data lives in the functional GlobalMemory.
+ * An access has one of six outcomes:
+ *
+ *   Hit          line valid                     -> data after hit latency
+ *   HitReserved  line in flight, merged in MSHR -> data when the fill lands
+ *   Miss         line reserved + MSHR allocated -> caller sends downstream
+ *   FailTag      no way can be evicted (all reserved)
+ *   FailMshr     MSHR entries exhausted, or the merge list is full
+ *   FailIcnt     downstream injection buffer full (decided by the caller
+ *                via the can_inject argument)
+ *
+ * A failed access is retried by the LD/ST unit on a later cycle, burning
+ * the cycle — exactly the mechanism behind Fig 3 and the reservation-stall
+ * components of Figs 5 and 7.
+ */
+
+#ifndef GCL_SIM_CACHE_HH
+#define GCL_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "config.hh"
+#include "mem_request.hh"
+
+namespace gcl::sim
+{
+
+/** Outcome of one cache access attempt. */
+enum class AccessOutcome : uint8_t
+{
+    Hit,
+    HitReserved,
+    Miss,
+    FailTag,
+    FailMshr,
+    FailIcnt,
+};
+
+std::string toString(AccessOutcome outcome);
+
+/** Miss status holding registers: one entry per in-flight line. */
+class Mshr
+{
+  public:
+    Mshr(unsigned num_entries, unsigned max_merge)
+        : numEntries_(num_entries), maxMerge_(max_merge)
+    {}
+
+    bool full() const { return entries_.size() >= numEntries_; }
+    bool hasEntry(uint64_t line_addr) const;
+    bool canMerge(uint64_t line_addr) const;
+    size_t size() const { return entries_.size(); }
+
+    /** Create the entry for a primary miss. */
+    void allocate(uint64_t line_addr, MemRequestPtr req);
+
+    /** Attach a secondary miss to an existing entry. */
+    void merge(uint64_t line_addr, MemRequestPtr req);
+
+    /** Remove the entry on fill and hand back all waiting requests. */
+    std::vector<MemRequestPtr> release(uint64_t line_addr);
+
+  private:
+    unsigned numEntries_;
+    unsigned maxMerge_;
+    std::unordered_map<uint64_t, std::vector<MemRequestPtr>> entries_;
+};
+
+/** Tag array + MSHR bundle used for both L1D and the L2 partitions. */
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheConfig &config);
+
+    /**
+     * Attempt a read access for @p req (line address inside).
+     *
+     * On Miss the line is reserved and an MSHR entry allocated; the caller
+     * must forward the request downstream (it checked @p can_inject).
+     * On HitReserved the request is merged and completes at fill time.
+     */
+    AccessOutcome access(const MemRequestPtr &req, bool can_inject);
+
+    /**
+     * A fill for @p line_addr arrived: validate the line and return every
+     * request waiting on it (primary first).
+     */
+    std::vector<MemRequestPtr> fill(uint64_t line_addr);
+
+    /** True when the line is present and valid (test/bench introspection). */
+    bool isHit(uint64_t line_addr) const;
+
+    /**
+     * Write path (L2 slices only): probe for @p line_addr and touch it on
+     * a valid hit.
+     * @retval true the write is absorbed by the cache
+     */
+    bool writeProbe(uint64_t line_addr);
+
+    /**
+     * Write-allocate without a fetch: install @p line_addr as valid so
+     * subsequent writes to the line absorb (timing model only — data lives
+     * in the functional memory). No-op when every way is reserved or the
+     * line already exists.
+     */
+    void installValid(uint64_t line_addr);
+
+    const std::string &name() const { return name_; }
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool reserved = false;
+        uint64_t lru = 0;
+    };
+
+    size_t setIndex(uint64_t line_addr) const;
+    uint64_t tagOf(uint64_t line_addr) const;
+
+    std::string name_;
+    CacheConfig config_;
+    std::vector<Line> lines_;   //!< sets x assoc, row-major
+    uint64_t lruClock_ = 0;
+    Mshr mshr_;
+};
+
+} // namespace gcl::sim
+
+#endif // GCL_SIM_CACHE_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Memory-access coalescer.
+ *
+ * Sits in front of the L1 cache (Section VI): the active lanes' byte
+ * addresses are folded into the minimal set of 128-byte line-sized
+ * transactions. A fully coalesced warp load touches 1 line; a pathological
+ * non-deterministic load touches up to 32.
+ */
+
+#ifndef GCL_SIM_COALESCER_HH
+#define GCL_SIM_COALESCER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gcl::sim
+{
+
+/**
+ * Coalesce per-lane accesses into line addresses.
+ *
+ * @param addrs (lane, byte address) pairs of the participating lanes
+ * @param access_size bytes accessed per lane
+ * @param line_bytes cache line size (power of two)
+ * @return distinct line-aligned addresses in first-touch order
+ */
+std::vector<uint64_t>
+coalesce(const std::vector<std::pair<unsigned, uint64_t>> &addrs,
+         unsigned access_size, unsigned line_bytes);
+
+} // namespace gcl::sim
+
+#endif // GCL_SIM_COALESCER_HH

@@ -1,0 +1,96 @@
+#include "config.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace gcl::sim
+{
+
+unsigned
+GpuConfig::ctasPerSm(unsigned threads_per_cta,
+                     uint32_t shared_bytes_per_cta) const
+{
+    gcl_assert(threads_per_cta > 0 && threads_per_cta <= maxThreadsPerSm,
+               "CTA size ", threads_per_cta, " unsupported");
+    unsigned limit = std::min(maxCtasPerSm,
+                              maxThreadsPerSm / threads_per_cta);
+    if (shared_bytes_per_cta > 0) {
+        gcl_assert(shared_bytes_per_cta <= sharedMemPerSm,
+                   "CTA shared memory exceeds the SM's capacity");
+        limit = std::min(limit, sharedMemPerSm / shared_bytes_per_cta);
+    }
+    return std::max(1u, limit);
+}
+
+std::string
+GpuConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << "Core       " << numSms << " SMs, " << warpSize
+        << " SIMT width, " << maxThreadsPerSm << " threads/SM, "
+        << maxCtasPerSm << " CTAs/SM, " << numSchedulers
+        << " schedulers ("
+        << (warpSched == WarpSchedPolicy::LooseRoundRobin ? "LRR" : "GTO")
+        << ")\n";
+    oss << "SharedMem  " << sharedMemPerSm / 1024 << "KB/SM, latency "
+        << sharedMemLatency << "\n";
+    oss << "L1D cache  " << l1.sizeBytes / 1024 << "KB, " << l1.lineBytes
+        << "B line, " << l1.assoc << "-way, " << l1.mshrEntries
+        << " MSHR entries, hit latency " << l1HitLatency << "\n";
+    oss << "L2D cache  unified "
+        << numPartitions * l2.sizeBytes / 1024 << "KB in " << numPartitions
+        << " partitions, " << l2.lineBytes << "B line, " << l2.assoc
+        << "-way, " << l2.mshrEntries << " MSHR entries/partition\n";
+    oss << "ROP        latency " << ropLatency << "\n";
+    oss << "Icnt       latency " << icntLatency << ", inject queue "
+        << icntInjectQueueDepth << ", response queue "
+        << icntRespQueueDepth << ", partition credit "
+        << partQueueDepth << "\n";
+    oss << "DRAM       latency " << dramLatency << ", burst "
+        << dramBurstCycles << " cycles, queue " << dramQueueDepth << "\n";
+    oss << "CTA sched  "
+        << (ctaSched == CtaSchedPolicy::RoundRobin ? "round-robin"
+                                                   : "clustered")
+        << (ctaSched == CtaSchedPolicy::Clustered
+                ? " (batch " + std::to_string(ctaClusterSize) + ")"
+                : std::string())
+        << "\n";
+    if (smsPerL2Cluster)
+        oss << "Semi-L2    " << smsPerL2Cluster << " SMs per L2 cluster\n";
+    if (nondetSplitRequests)
+        oss << "WarpSplit  " << nondetSplitRequests
+            << " requests per non-deterministic sub-warp\n";
+    return oss.str();
+}
+
+uint64_t
+GpuConfig::fingerprint() const
+{
+    // FNV-1a over the numeric fields; any change invalidates cached runs.
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    mix(numSms); mix(warpSize); mix(maxThreadsPerSm); mix(maxCtasPerSm);
+    mix(sharedMemPerSm); mix(numSchedulers);
+    mix(static_cast<uint64_t>(warpSched));
+    mix(spLatency); mix(sfuLatency); mix(sfuInitiationInterval);
+    mix(sharedMemLatency); mix(l1HitLatency); mix(ldstQueueDepth);
+    mix(l1.sizeBytes); mix(l1.lineBytes); mix(l1.assoc);
+    mix(l1.mshrEntries); mix(l1.mshrMaxMerge);
+    mix(numPartitions);
+    mix(l2.sizeBytes); mix(l2.lineBytes); mix(l2.assoc);
+    mix(l2.mshrEntries); mix(l2.mshrMaxMerge);
+    mix(ropLatency); mix(icntLatency); mix(icntInjectQueueDepth);
+    mix(icntRespQueueDepth); mix(partQueueDepth);
+    mix(dramLatency); mix(dramBurstCycles); mix(dramQueueDepth);
+    mix(static_cast<uint64_t>(ctaSched)); mix(ctaClusterSize);
+    mix(smsPerL2Cluster); mix(nondetSplitRequests);
+    return h;
+}
+
+} // namespace gcl::sim

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Simulator configuration, defaulted to the paper's Table II (GPGPU-Sim
+ * v3.2.2, NVIDIA Tesla C2050-class device).
+ *
+ * The config also carries the knobs for the Section X ablations: CTA
+ * scheduling policy (X.B), semi-global L2 clustering (X.C) and
+ * non-deterministic warp splitting (X.A).
+ */
+
+#ifndef GCL_SIM_CONFIG_HH
+#define GCL_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gcl::sim
+{
+
+/** Cycle count type for the single simulated clock domain. */
+using Cycle = uint64_t;
+
+/** Parameters of one cache level. */
+struct CacheConfig
+{
+    uint32_t sizeBytes;
+    uint32_t lineBytes = 128;
+    uint32_t assoc;
+    uint32_t mshrEntries;
+    uint32_t mshrMaxMerge = 8;   //!< max requests merged into one entry
+
+    uint32_t numSets() const { return sizeBytes / (lineBytes * assoc); }
+};
+
+/** CTA-to-SM assignment policy (Section X.B). */
+enum class CtaSchedPolicy : uint8_t
+{
+    RoundRobin,   //!< baseline: CTA i goes to the next SM with a free slot
+    Clustered,    //!< neighboring CTAs are packed onto the same SM
+};
+
+/** Warp selection policy inside a scheduler. */
+enum class WarpSchedPolicy : uint8_t
+{
+    LooseRoundRobin,
+    GreedyThenOldest,
+};
+
+/** Full device configuration. */
+struct GpuConfig
+{
+    // --- Core organization (Table II) ---
+    unsigned numSms = 15;
+    unsigned warpSize = 32;
+    unsigned maxThreadsPerSm = 1536;
+    unsigned maxCtasPerSm = 8;
+    uint32_t sharedMemPerSm = 48 * 1024;
+    unsigned numSchedulers = 2;
+    WarpSchedPolicy warpSched = WarpSchedPolicy::LooseRoundRobin;
+
+    // --- Execution latencies ---
+    unsigned spLatency = 6;
+    unsigned sfuLatency = 16;
+    unsigned sfuInitiationInterval = 4;
+    unsigned sharedMemLatency = 24;
+    unsigned l1HitLatency = 18;
+    unsigned ldstQueueDepth = 8;  //!< warp memory ops queued per SM
+
+    // --- L1 data cache (per SM; Table II: 16KB, 128B line, 4-way, 64 MSHR)
+    CacheConfig l1 = {16 * 1024, 128, 4, 64, 8};
+
+    // --- Memory partitions: unified L2 of 768KB over 6 partitions ---
+    unsigned numPartitions = 6;
+    CacheConfig l2 = {128 * 1024, 128, 8, 32, 8};
+    unsigned ropLatency = 120;    //!< raster-op/L2 pipeline latency (Table II)
+
+    // --- Interconnect ---
+    unsigned icntLatency = 8;         //!< one-way flit latency
+    unsigned icntInjectQueueDepth = 8; //!< per-SM request injection buffer
+    unsigned icntRespQueueDepth = 8;   //!< per-partition response buffer
+    /**
+     * Credit limit on each partition's input path (in-flight flits plus
+     * the ROP backlog). Finite buffers here are what propagate memory-side
+     * congestion back to the L1 as "reservation fail by interconnection".
+     */
+    unsigned partQueueDepth = 16;
+
+    // --- DRAM (GDDR5-like, Table II: latency 100) ---
+    unsigned dramLatency = 100;
+    unsigned dramBurstCycles = 4;     //!< channel occupancy per 128B burst
+    unsigned dramQueueDepth = 16;
+
+    // --- Section X ablation knobs ---
+    CtaSchedPolicy ctaSched = CtaSchedPolicy::RoundRobin;
+    unsigned ctaClusterSize = 2;     //!< CTAs per SM batch in Clustered mode
+    /**
+     * Semi-global L2 (X.C): SMs are grouped into clusters of this many SMs
+     * and each cluster only uses its own slice of the L2 partitions.
+     * 0 disables clustering (baseline: all SMs share all partitions).
+     */
+    unsigned smsPerL2Cluster = 0;
+    /**
+     * Warp splitting for non-deterministic loads (X.A): when non-zero, a
+     * non-deterministic load issues at most this many memory requests per
+     * sub-warp, and sub-warps of different warps interleave in the LD/ST
+     * queue instead of monopolizing it.
+     */
+    unsigned nondetSplitRequests = 0;
+
+    // --- Run control ---
+    Cycle maxCycles = 200'000'000;   //!< hard safety stop per launch
+
+    /** Max concurrent CTAs on one SM for a CTA of the given footprint. */
+    unsigned ctasPerSm(unsigned threads_per_cta,
+                       uint32_t shared_bytes_per_cta) const;
+
+    /**
+     * Analytic unloaded round-trip latency of an L1 miss that hits in the
+     * L2: the two interconnect traversals plus the ROP/L2 pipeline. The
+     * L1 tag lookup itself is same-cycle in this model (the hit latency
+     * only applies to data returned from the L1).
+     */
+    unsigned
+    unloadedL2Latency() const
+    {
+        return 2 * icntLatency + ropLatency;
+    }
+
+    /** Analytic unloaded round-trip latency of an L1 miss going to DRAM. */
+    unsigned
+    unloadedDramLatency() const
+    {
+        return unloadedL2Latency() + dramLatency;
+    }
+
+    /** Multi-line human-readable dump (the Table II view). */
+    std::string describe() const;
+
+    /** Stable hash over every field; keys the benchmark run cache. */
+    uint64_t fingerprint() const;
+};
+
+} // namespace gcl::sim
+
+#endif // GCL_SIM_CONFIG_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fixed-latency in-flight queue used by the interconnect model.
+ */
+
+#ifndef GCL_SIM_DELAY_QUEUE_HH
+#define GCL_SIM_DELAY_QUEUE_HH
+
+#include <deque>
+
+#include "config.hh"
+
+namespace gcl::sim
+{
+
+/** FIFO whose elements only become visible @p latency cycles after push. */
+template <typename T>
+class DelayQueue
+{
+  public:
+    void
+    push(T item, Cycle ready_at)
+    {
+        entries_.push_back({std::move(item), ready_at});
+    }
+
+    /** True when the head element is ready at @p now. */
+    bool
+    headReady(Cycle now) const
+    {
+        return !entries_.empty() && entries_.front().readyAt <= now;
+    }
+
+    /** Read the head element without removing it. */
+    const T &
+    peek() const
+    {
+        return entries_.front().item;
+    }
+
+    /** Pop the head; only call when headReady(). */
+    T
+    pop()
+    {
+        T item = std::move(entries_.front().item);
+        entries_.pop_front();
+        return item;
+    }
+
+    bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        T item;
+        Cycle readyAt;
+    };
+
+    std::deque<Entry> entries_;
+};
+
+} // namespace gcl::sim
+
+#endif // GCL_SIM_DELAY_QUEUE_HH

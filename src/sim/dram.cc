@@ -1,0 +1,37 @@
+#include "dram.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gcl::sim
+{
+
+void
+DramChannel::push(const MemRequestPtr &req, Cycle now)
+{
+    gcl_assert(canAccept(), "DRAM push into a full queue");
+    // FCFS: the burst occupies the channel serially; data returns a fixed
+    // access latency after its burst starts.
+    const Cycle start = std::max(channelFreeAt_, now);
+    channelFreeAt_ = start + config_.dramBurstCycles;
+    queue_.push_back({req, start + config_.dramLatency});
+}
+
+bool
+DramChannel::headReady(Cycle now) const
+{
+    return !queue_.empty() && queue_.front().readyAt <= now;
+}
+
+MemRequestPtr
+DramChannel::pop()
+{
+    gcl_assert(!queue_.empty(), "DRAM pop from an empty queue");
+    MemRequestPtr req = std::move(queue_.front().req);
+    queue_.pop_front();
+    ++serviced_;
+    return req;
+}
+
+} // namespace gcl::sim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Single-channel GDDR5-like DRAM model: FCFS service with a fixed access
+ * latency and a per-burst channel occupancy, behind a bounded queue.
+ *
+ * The bounded queue gives backpressure into the L2 (modeling DRAM-side
+ * congestion), and the serial burst occupancy makes heavily-loaded channels
+ * slower — the source of the "imbalanced service time in memory partitions"
+ * the paper reports in Figs 5 and 7.
+ */
+
+#ifndef GCL_SIM_DRAM_HH
+#define GCL_SIM_DRAM_HH
+
+#include <deque>
+
+#include "config.hh"
+#include "mem_request.hh"
+
+namespace gcl::sim
+{
+
+/** One DRAM channel attached to one memory partition. */
+class DramChannel
+{
+  public:
+    DramChannel(const GpuConfig &config) : config_(config) {}
+
+    /** True when the request queue has room. */
+    bool canAccept() const { return queue_.size() < config_.dramQueueDepth; }
+
+    /** Enqueue a request; its ready time is computed FCFS at push. */
+    void push(const MemRequestPtr &req, Cycle now);
+
+    /** True when the head request's data is ready. */
+    bool headReady(Cycle now) const;
+
+    /** Pop the head request; only call when headReady(). */
+    MemRequestPtr pop();
+
+    bool empty() const { return queue_.empty(); }
+    size_t size() const { return queue_.size(); }
+
+    /** Total requests serviced (bandwidth accounting). */
+    uint64_t serviced() const { return serviced_; }
+
+  private:
+    struct Entry
+    {
+        MemRequestPtr req;
+        Cycle readyAt;
+    };
+
+    const GpuConfig &config_;
+    std::deque<Entry> queue_;
+    Cycle channelFreeAt_ = 0;
+    uint64_t serviced_ = 0;
+};
+
+} // namespace gcl::sim
+
+#endif // GCL_SIM_DRAM_HH

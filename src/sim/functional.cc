@@ -1,0 +1,560 @@
+#include "functional.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace gcl::sim
+{
+
+using ptx::CmpOp;
+using ptx::DataType;
+using ptx::Instruction;
+using ptx::MemSpace;
+using ptx::Opcode;
+using ptx::Operand;
+using ptx::SpecialReg;
+
+namespace
+{
+
+float
+bitsToF32(uint64_t bits)
+{
+    float f;
+    const uint32_t b32 = static_cast<uint32_t>(bits);
+    std::memcpy(&f, &b32, sizeof(f));
+    return f;
+}
+
+uint64_t
+f32ToBits(float f)
+{
+    uint32_t b32;
+    std::memcpy(&b32, &f, sizeof(b32));
+    return b32;
+}
+
+double
+bitsToF64(uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+uint64_t
+f64ToBits(double d)
+{
+    uint64_t b;
+    std::memcpy(&b, &d, sizeof(b));
+    return b;
+}
+
+/** Sign-extend the low 32 bits. */
+uint64_t
+sext32(uint64_t v)
+{
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int32_t>(v)));
+}
+
+uint64_t
+zext32(uint64_t v)
+{
+    return v & 0xffffffffull;
+}
+
+} // namespace
+
+uint64_t
+WarpExecutor::specialValue(const LaunchContext &launch, const CtaContext &cta,
+                           const WarpContext &warp, unsigned lane,
+                           SpecialReg sreg) const
+{
+    // Decompose the lane's linear in-CTA thread id into tid.{x,y,z}.
+    const uint32_t linear = warp.threadBase + lane;
+    const Dim3 &cdim = launch.cta;
+    switch (sreg) {
+      case SpecialReg::TidX: return linear % cdim.x;
+      case SpecialReg::TidY: return (linear / cdim.x) % cdim.y;
+      case SpecialReg::TidZ: return linear / (cdim.x * cdim.y);
+      case SpecialReg::NTidX: return cdim.x;
+      case SpecialReg::NTidY: return cdim.y;
+      case SpecialReg::NTidZ: return cdim.z;
+      case SpecialReg::CtaIdX: return cta.ctaX;
+      case SpecialReg::CtaIdY: return cta.ctaY;
+      case SpecialReg::CtaIdZ: return cta.ctaZ;
+      case SpecialReg::NCtaIdX: return launch.grid.x;
+      case SpecialReg::NCtaIdY: return launch.grid.y;
+      case SpecialReg::NCtaIdZ: return launch.grid.z;
+      case SpecialReg::LaneId: return lane;
+      case SpecialReg::WarpId: return warp.warpInCta;
+    }
+    return 0;
+}
+
+uint64_t
+WarpExecutor::operandValue(const LaunchContext &launch, const CtaContext &cta,
+                           const WarpContext &warp, unsigned lane,
+                           const Operand &op) const
+{
+    switch (op.kind) {
+      case Operand::Kind::Reg:
+        return warp.reg(op.reg, lane, warpSize_);
+      case Operand::Kind::Imm:
+        return op.imm;
+      case Operand::Kind::Special:
+        return specialValue(launch, cta, warp, lane, op.sreg);
+      case Operand::Kind::None:
+        return 0;
+    }
+    return 0;
+}
+
+LaneMask
+WarpExecutor::guardMask(const Instruction &inst, const WarpContext &warp,
+                        LaneMask active) const
+{
+    if (!inst.guarded)
+        return active;
+    LaneMask out = 0;
+    for (unsigned lane = 0; lane < warpSize_; ++lane) {
+        if (!((active >> lane) & 1))
+            continue;
+        const bool p = warp.reg(inst.predReg, lane, warpSize_) != 0;
+        if (p != inst.predNeg)
+            out |= LaneMask{1} << lane;
+    }
+    return out;
+}
+
+bool
+WarpExecutor::compare(CmpOp cmp, DataType type, uint64_t a, uint64_t b)
+{
+    auto apply = [&cmp](auto x, auto y) {
+        switch (cmp) {
+          case CmpOp::Eq: return x == y;
+          case CmpOp::Ne: return x != y;
+          case CmpOp::Lt: return x < y;
+          case CmpOp::Le: return x <= y;
+          case CmpOp::Gt: return x > y;
+          case CmpOp::Ge: return x >= y;
+        }
+        return false;
+    };
+
+    switch (type) {
+      case DataType::U32:
+      case DataType::Pred:
+        return apply(static_cast<uint32_t>(a), static_cast<uint32_t>(b));
+      case DataType::S32:
+        return apply(static_cast<int32_t>(a), static_cast<int32_t>(b));
+      case DataType::U64:
+        return apply(a, b);
+      case DataType::S64:
+        return apply(static_cast<int64_t>(a), static_cast<int64_t>(b));
+      case DataType::F32:
+        return apply(bitsToF32(a), bitsToF32(b));
+      case DataType::F64:
+        return apply(bitsToF64(a), bitsToF64(b));
+    }
+    return false;
+}
+
+uint64_t
+WarpExecutor::convert(DataType to, DataType from, uint64_t bits)
+{
+    // Normalize the source into a signed/unsigned/double value first.
+    double fval = 0.0;
+    int64_t sval = 0;
+    uint64_t uval = 0;
+    bool is_float = false;
+    switch (from) {
+      case DataType::U32:
+      case DataType::Pred:
+        uval = zext32(bits);
+        sval = static_cast<int64_t>(uval);
+        break;
+      case DataType::S32:
+        sval = static_cast<int32_t>(bits);
+        uval = static_cast<uint64_t>(sval);
+        break;
+      case DataType::U64:
+        uval = bits;
+        sval = static_cast<int64_t>(bits);
+        break;
+      case DataType::S64:
+        sval = static_cast<int64_t>(bits);
+        uval = bits;
+        break;
+      case DataType::F32:
+        fval = bitsToF32(bits);
+        is_float = true;
+        break;
+      case DataType::F64:
+        fval = bitsToF64(bits);
+        is_float = true;
+        break;
+    }
+    if (!is_float)
+        fval = ptx::isSigned(from) ? static_cast<double>(sval)
+                                   : static_cast<double>(uval);
+
+    switch (to) {
+      case DataType::U32:
+      case DataType::Pred:
+        return is_float ? zext32(static_cast<uint64_t>(
+                              static_cast<int64_t>(fval)))
+                        : zext32(uval);
+      case DataType::S32:
+        return is_float ? sext32(static_cast<uint64_t>(
+                              static_cast<int64_t>(fval)))
+                        : sext32(static_cast<uint64_t>(sval));
+      case DataType::U64:
+        return is_float ? static_cast<uint64_t>(static_cast<int64_t>(fval))
+                        : uval;
+      case DataType::S64:
+        return is_float ? static_cast<uint64_t>(static_cast<int64_t>(fval))
+                        : static_cast<uint64_t>(sval);
+      case DataType::F32:
+        return f32ToBits(static_cast<float>(fval));
+      case DataType::F64:
+        return f64ToBits(fval);
+    }
+    return 0;
+}
+
+uint64_t
+WarpExecutor::aluCompute(const Instruction &inst, uint64_t a, uint64_t b,
+                         uint64_t c)
+{
+    const DataType t = inst.type;
+
+    // Floating-point path.
+    if (ptx::isFloat(t)) {
+        const bool f32 = t == DataType::F32;
+        const double x = f32 ? bitsToF32(a) : bitsToF64(a);
+        const double y = f32 ? bitsToF32(b) : bitsToF64(b);
+        const double z = f32 ? bitsToF32(c) : bitsToF64(c);
+        double r = 0.0;
+        switch (inst.op) {
+          case Opcode::Mov: r = x; break;
+          case Opcode::Add: r = x + y; break;
+          case Opcode::Sub: r = x - y; break;
+          case Opcode::Mul: r = x * y; break;
+          case Opcode::Mad: r = x * y + z; break;
+          case Opcode::Div: r = x / y; break;
+          case Opcode::Min: r = std::fmin(x, y); break;
+          case Opcode::Max: r = std::fmax(x, y); break;
+          case Opcode::Abs: r = std::fabs(x); break;
+          case Opcode::Neg: r = -x; break;
+          case Opcode::Rcp: r = 1.0 / x; break;
+          case Opcode::Sqrt: r = std::sqrt(x); break;
+          case Opcode::Rsqrt: r = 1.0 / std::sqrt(x); break;
+          case Opcode::Sin: r = std::sin(x); break;
+          case Opcode::Cos: r = std::cos(x); break;
+          case Opcode::Ex2: r = std::exp2(x); break;
+          case Opcode::Lg2: r = std::log2(x); break;
+          default:
+            gcl_panic("op ", ptx::toString(inst.op),
+                      " unsupported for float types");
+        }
+        return f32 ? f32ToBits(static_cast<float>(r)) : f64ToBits(r);
+    }
+
+    // Integer path. Compute in 64 bits, then narrow per the type.
+    const bool is32 = (t == DataType::U32 || t == DataType::S32 ||
+                       t == DataType::Pred);
+    const bool sgn = ptx::isSigned(t);
+    const int64_t sa = is32 ? static_cast<int32_t>(a)
+                            : static_cast<int64_t>(a);
+    const int64_t sb = is32 ? static_cast<int32_t>(b)
+                            : static_cast<int64_t>(b);
+    const uint64_t ua = is32 ? zext32(a) : a;
+    const uint64_t ub = is32 ? zext32(b) : b;
+    const uint64_t uc = is32 ? zext32(c) : c;
+
+    uint64_t r = 0;
+    switch (inst.op) {
+      case Opcode::Mov: r = ua; break;
+      case Opcode::Add: r = ua + ub; break;
+      case Opcode::Sub: r = ua - ub; break;
+      case Opcode::Mul: r = ua * ub; break;
+      case Opcode::Mad: r = ua * ub + uc; break;
+      case Opcode::MulHi:
+        if (is32) {
+            r = sgn ? static_cast<uint64_t>((sa * sb) >> 32)
+                    : ((ua * ub) >> 32);
+        } else {
+            const auto wide = sgn
+                ? static_cast<unsigned __int128>(
+                      static_cast<__int128>(sa) * sb)
+                : static_cast<unsigned __int128>(ua) * ub;
+            r = static_cast<uint64_t>(wide >> 64);
+        }
+        break;
+      case Opcode::Div:
+        if (sgn)
+            r = sb == 0 ? 0 : static_cast<uint64_t>(sa / sb);
+        else
+            r = ub == 0 ? 0 : ua / ub;
+        break;
+      case Opcode::Rem:
+        if (sgn)
+            r = sb == 0 ? 0 : static_cast<uint64_t>(sa % sb);
+        else
+            r = ub == 0 ? 0 : ua % ub;
+        break;
+      case Opcode::Min:
+        r = sgn ? static_cast<uint64_t>(std::min(sa, sb))
+                : std::min(ua, ub);
+        break;
+      case Opcode::Max:
+        r = sgn ? static_cast<uint64_t>(std::max(sa, sb))
+                : std::max(ua, ub);
+        break;
+      case Opcode::Abs:
+        r = sgn ? static_cast<uint64_t>(sa < 0 ? -sa : sa) : ua;
+        break;
+      case Opcode::Neg: r = static_cast<uint64_t>(-sa); break;
+      case Opcode::And: r = ua & ub; break;
+      case Opcode::Or: r = ua | ub; break;
+      case Opcode::Xor: r = ua ^ ub; break;
+      case Opcode::Not: r = ~ua; break;
+      case Opcode::Shl: r = ua << (ub & (is32 ? 31 : 63)); break;
+      case Opcode::Shr:
+        if (sgn)
+            r = static_cast<uint64_t>(sa >> (ub & (is32 ? 31 : 63)));
+        else
+            r = ua >> (ub & (is32 ? 31 : 63));
+        break;
+      default:
+        gcl_panic("op ", ptx::toString(inst.op),
+                  " unsupported for integer types");
+    }
+
+    if (is32)
+        r = sgn ? sext32(r) : zext32(r);
+    return r;
+}
+
+uint64_t
+WarpExecutor::atomicApply(ptx::AtomOp op, DataType type, uint64_t old_v,
+                          uint64_t a, uint64_t b)
+{
+    const bool is32 = typeSize(type) == 4;
+    switch (op) {
+      case ptx::AtomOp::Add: {
+        const uint64_t r = old_v + a;
+        return is32 ? zext32(r) : r;
+      }
+      case ptx::AtomOp::Min:
+        if (ptx::isSigned(type)) {
+            const int64_t o = is32 ? static_cast<int32_t>(old_v)
+                                   : static_cast<int64_t>(old_v);
+            const int64_t x = is32 ? static_cast<int32_t>(a)
+                                   : static_cast<int64_t>(a);
+            return static_cast<uint64_t>(std::min(o, x)) &
+                   (is32 ? 0xffffffffull : ~0ull);
+        }
+        return std::min(is32 ? zext32(old_v) : old_v,
+                        is32 ? zext32(a) : a);
+      case ptx::AtomOp::Max:
+        if (ptx::isSigned(type)) {
+            const int64_t o = is32 ? static_cast<int32_t>(old_v)
+                                   : static_cast<int64_t>(old_v);
+            const int64_t x = is32 ? static_cast<int32_t>(a)
+                                   : static_cast<int64_t>(a);
+            return static_cast<uint64_t>(std::max(o, x)) &
+                   (is32 ? 0xffffffffull : ~0ull);
+        }
+        return std::max(is32 ? zext32(old_v) : old_v,
+                        is32 ? zext32(a) : a);
+      case ptx::AtomOp::Exch:
+        return a;
+      case ptx::AtomOp::Cas:
+        return old_v == a ? b : old_v;
+      case ptx::AtomOp::And:
+        return old_v & a;
+      case ptx::AtomOp::Or:
+        return old_v | a;
+    }
+    return old_v;
+}
+
+StepInfo
+WarpExecutor::step(const LaunchContext &launch, CtaContext &cta,
+                   WarpContext &warp, size_t pc, LaneMask active)
+{
+    const Instruction &inst = launch.kernel->inst(pc);
+    StepInfo info;
+    const LaneMask exec = guardMask(inst, warp, active);
+
+    auto for_each_lane = [&](auto &&fn) {
+        for (unsigned lane = 0; lane < warpSize_; ++lane)
+            if ((exec >> lane) & 1)
+                fn(lane);
+    };
+
+    switch (inst.op) {
+      case Opcode::Nop:
+        info.kind = StepInfo::Kind::Alu;
+        return info;
+
+      case Opcode::Bar:
+        info.kind = StepInfo::Kind::Barrier;
+        return info;
+
+      case Opcode::Exit:
+        info.kind = StepInfo::Kind::Exit;
+        return info;
+
+      case Opcode::Bra:
+        info.kind = StepInfo::Kind::Branch;
+        info.takenMask = exec;
+        info.targetPc = static_cast<size_t>(inst.branchTarget);
+        return info;
+
+      case Opcode::LdParam:
+        info.kind = StepInfo::Kind::Memory;
+        info.space = MemSpace::Param;
+        info.isLoad = true;
+        info.accessSize = 8;
+        for_each_lane([&](unsigned lane) {
+            gcl_assert(inst.paramIndex < launch.params.size(),
+                       "param index out of range at runtime");
+            warp.reg(inst.dst, lane, warpSize_) =
+                launch.params[inst.paramIndex];
+        });
+        return info;
+
+      case Opcode::Ld: {
+        info.kind = StepInfo::Kind::Memory;
+        info.space = inst.space;
+        info.isLoad = true;
+        info.accessSize = inst.accessSize;
+        for_each_lane([&](unsigned lane) {
+            const uint64_t base =
+                operandValue(launch, cta, warp, lane, inst.srcs[0]);
+            const uint64_t addr =
+                base + static_cast<uint64_t>(inst.memOffset);
+            info.addrs.emplace_back(lane, addr);
+            uint64_t value = 0;
+            if (inst.space == MemSpace::Shared) {
+                gcl_assert(cta.shared, "shared load without shared memory");
+                value = cta.shared->read(addr, inst.accessSize);
+            } else {
+                // Global, local, const and tex all live in the flat
+                // device address space functionally.
+                value = gmem_.read(addr, inst.accessSize);
+            }
+            warp.reg(inst.dst, lane, warpSize_) = value;
+        });
+        return info;
+      }
+
+      case Opcode::St: {
+        info.kind = StepInfo::Kind::Memory;
+        info.space = inst.space;
+        info.isStore = true;
+        info.accessSize = inst.accessSize;
+        for_each_lane([&](unsigned lane) {
+            const uint64_t base =
+                operandValue(launch, cta, warp, lane, inst.srcs[0]);
+            const uint64_t addr =
+                base + static_cast<uint64_t>(inst.memOffset);
+            const uint64_t value =
+                operandValue(launch, cta, warp, lane, inst.srcs[1]);
+            info.addrs.emplace_back(lane, addr);
+            if (inst.space == MemSpace::Shared) {
+                gcl_assert(cta.shared, "shared store without shared memory");
+                cta.shared->write(addr, value, inst.accessSize);
+            } else {
+                gmem_.write(addr, value, inst.accessSize);
+            }
+        });
+        return info;
+      }
+
+      case Opcode::Atom: {
+        info.kind = StepInfo::Kind::Memory;
+        info.space = MemSpace::Global;
+        info.isAtomic = true;
+        info.accessSize = inst.accessSize;
+        // Lanes apply in lane order, which serializes intra-warp conflicts
+        // deterministically.
+        for_each_lane([&](unsigned lane) {
+            const uint64_t base =
+                operandValue(launch, cta, warp, lane, inst.srcs[0]);
+            const uint64_t addr =
+                base + static_cast<uint64_t>(inst.memOffset);
+            const uint64_t a =
+                operandValue(launch, cta, warp, lane, inst.srcs[1]);
+            const uint64_t b =
+                operandValue(launch, cta, warp, lane, inst.srcs[2]);
+            info.addrs.emplace_back(lane, addr);
+            const uint64_t old_v = gmem_.read(addr, inst.accessSize);
+            gmem_.write(addr, atomicApply(inst.atomOp, inst.type, old_v,
+                                          a, b),
+                        inst.accessSize);
+            warp.reg(inst.dst, lane, warpSize_) = old_v;
+        });
+        return info;
+      }
+
+      case Opcode::Setp:
+        info.kind = StepInfo::Kind::Alu;
+        for_each_lane([&](unsigned lane) {
+            const uint64_t a =
+                operandValue(launch, cta, warp, lane, inst.srcs[0]);
+            const uint64_t b =
+                operandValue(launch, cta, warp, lane, inst.srcs[1]);
+            warp.reg(inst.dst, lane, warpSize_) =
+                compare(inst.cmp, inst.type, a, b) ? 1 : 0;
+        });
+        return info;
+
+      case Opcode::Selp:
+        info.kind = StepInfo::Kind::Alu;
+        for_each_lane([&](unsigned lane) {
+            const uint64_t a =
+                operandValue(launch, cta, warp, lane, inst.srcs[0]);
+            const uint64_t b =
+                operandValue(launch, cta, warp, lane, inst.srcs[1]);
+            const uint64_t p =
+                operandValue(launch, cta, warp, lane, inst.srcs[2]);
+            warp.reg(inst.dst, lane, warpSize_) = p ? a : b;
+        });
+        return info;
+
+      case Opcode::Cvt:
+        info.kind = StepInfo::Kind::Alu;
+        for_each_lane([&](unsigned lane) {
+            const uint64_t a =
+                operandValue(launch, cta, warp, lane, inst.srcs[0]);
+            warp.reg(inst.dst, lane, warpSize_) =
+                convert(inst.type, inst.cvtFrom, a);
+        });
+        return info;
+
+      default: {
+        // Generic ALU / SFU arithmetic.
+        info.kind = inst.isSfu() ? StepInfo::Kind::Sfu : StepInfo::Kind::Alu;
+        for_each_lane([&](unsigned lane) {
+            const uint64_t a =
+                operandValue(launch, cta, warp, lane, inst.srcs[0]);
+            const uint64_t b =
+                operandValue(launch, cta, warp, lane, inst.srcs[1]);
+            const uint64_t c =
+                operandValue(launch, cta, warp, lane, inst.srcs[2]);
+            warp.reg(inst.dst, lane, warpSize_) = aluCompute(inst, a, b, c);
+        });
+        return info;
+      }
+    }
+}
+
+} // namespace gcl::sim

@@ -1,0 +1,200 @@
+#include "gpu.hh"
+
+#include "core/classifier.hh"
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace gcl::sim
+{
+
+Gpu::Gpu(GpuConfig config)
+    : config_(config), stats_(config_), icnt_(config_)
+{
+    sms_.reserve(config_.numSms);
+    for (unsigned s = 0; s < config_.numSms; ++s) {
+        sms_.push_back(std::make_unique<Sm>(static_cast<int>(s), config_,
+                                            gmem_, stats_));
+        sms_.back()->partitionMap = &Gpu::mapPartition;
+    }
+    partitions_.reserve(config_.numPartitions);
+    for (unsigned p = 0; p < config_.numPartitions; ++p)
+        partitions_.push_back(std::make_unique<MemPartition>(
+            static_cast<int>(p), config_, stats_));
+}
+
+uint64_t
+Gpu::deviceMalloc(size_t bytes)
+{
+    return gmem_.allocate(bytes);
+}
+
+void
+Gpu::memcpyToDevice(uint64_t dst, const void *src, size_t bytes)
+{
+    gmem_.writeBlock(dst, src, bytes);
+}
+
+void
+Gpu::memcpyToHost(void *dst, uint64_t src, size_t bytes)
+{
+    gmem_.readBlock(src, dst, bytes);
+}
+
+int
+Gpu::mapPartition(uint64_t line_addr, int sm_id, const GpuConfig &config)
+{
+    const uint64_t line = line_addr / config.l1.lineBytes;
+
+    if (config.smsPerL2Cluster == 0) {
+        // Baseline: all SMs stripe over all partitions.
+        return static_cast<int>(line % config.numPartitions);
+    }
+
+    // Semi-global L2 (Section X.C): each cluster of SMs owns a contiguous
+    // slice of the partitions.
+    const unsigned num_clusters =
+        divCeil(config.numSms, config.smsPerL2Cluster);
+    unsigned parts_per_cluster =
+        std::max(1u, config.numPartitions / num_clusters);
+    const unsigned cluster =
+        static_cast<unsigned>(sm_id) / config.smsPerL2Cluster;
+    const unsigned base =
+        (cluster * parts_per_cluster) % config.numPartitions;
+    return static_cast<int>((base + line % parts_per_cluster) %
+                            config.numPartitions);
+}
+
+void
+Gpu::dispatchCtas(DispatchState &dispatch)
+{
+    const LaunchContext &launch = *dispatch.launch;
+
+    auto place = [&](unsigned sm, uint64_t linear) {
+        const uint32_t cx = static_cast<uint32_t>(linear % launch.grid.x);
+        const uint32_t cy =
+            static_cast<uint32_t>((linear / launch.grid.x) % launch.grid.y);
+        const uint32_t cz =
+            static_cast<uint32_t>(linear / (uint64_t{launch.grid.x} *
+                                            launch.grid.y));
+        sms_[sm]->launchCta(static_cast<uint32_t>(linear), cx, cy, cz);
+    };
+
+    if (config_.ctaSched == CtaSchedPolicy::Clustered) {
+        // Neighboring CTAs are packed onto the same SM in batches. The
+        // assignment is strict (head-of-line): the designated SM must have
+        // room before the next CTA can be placed.
+        while (dispatch.next < dispatch.total) {
+            const unsigned sm = static_cast<unsigned>(
+                (dispatch.next / config_.ctaClusterSize) % config_.numSms);
+            if (!sms_[sm]->canTakeCta())
+                break;
+            place(sm, dispatch.next);
+            ++dispatch.next;
+        }
+        return;
+    }
+
+    // Baseline round-robin: each new CTA goes to the next SM with a free
+    // slot (Section X.B describes this as today's hardware policy).
+    while (dispatch.next < dispatch.total) {
+        bool placed = false;
+        for (unsigned i = 0; i < config_.numSms; ++i) {
+            const unsigned sm = (dispatch.rrSm + i) % config_.numSms;
+            if (sms_[sm]->canTakeCta()) {
+                place(sm, dispatch.next);
+                ++dispatch.next;
+                dispatch.rrSm = (sm + 1) % config_.numSms;
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            break;
+    }
+}
+
+bool
+Gpu::allIdle() const
+{
+    for (const auto &sm : sms_)
+        if (sm->busy())
+            return false;
+    if (!icnt_.idle())
+        return false;
+    for (const auto &part : partitions_)
+        if (!part->idle())
+            return false;
+    return true;
+}
+
+void
+Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
+            std::vector<uint64_t> params)
+{
+    gcl_assert(cta.count() > 0 && grid.count() > 0, "empty launch");
+    gcl_assert(cta.count() <= config_.maxThreadsPerSm,
+               "CTA larger than an SM's thread capacity");
+    gcl_assert(params.size() >= kernel.numParams(),
+               "launch of '", kernel.name(), "' with ", params.size(),
+               " params; kernel declares ", kernel.numParams());
+
+    LaunchContext launch;
+    launch.kernel = &kernel;
+    launch.cfg = std::make_unique<ptx::Cfg>(kernel);
+    launch.grid = grid;
+    launch.cta = cta;
+    launch.params = std::move(params);
+
+    // Section V: classify every global load once, statically.
+    core::LoadClassifier classifier(kernel);
+    launch.nonDetPc.assign(kernel.size(), false);
+    for (const auto &info : classifier.globalLoads())
+        launch.nonDetPc[info.pc] =
+            info.cls == core::LoadClass::NonDeterministic;
+
+    for (auto &sm : sms_)
+        sm->startLaunch(launch);
+
+    DispatchState dispatch;
+    dispatch.total = grid.count();
+    dispatch.launch = &launch;
+
+    stats_.set().inc("launches");
+    stats_.set().inc("ctas_launched", static_cast<double>(grid.count()));
+    stats_.set().set("threads_per_cta", static_cast<double>(cta.count()));
+
+    // Cycle 0 is reserved as the "unset timestamp" sentinel; the clock is
+    // global and monotonic across launches.
+    const Cycle start = clock_ + 1;
+    Cycle now = start;
+    for (;; ++now) {
+        gcl_assert(now - start < config_.maxCycles,
+                   "launch of '", kernel.name(),
+                   "' exceeded maxCycles; likely a deadlock");
+
+        dispatchCtas(dispatch);
+        for (auto &sm : sms_) {
+            // Idle SMs still tick the Fig 4 denominator but skip the
+            // pipeline walk.
+            if (sm->busy())
+                sm->cycle(now, icnt_);
+            else
+                ++stats_.hot.smCycles;
+        }
+        icnt_.cycle(now);
+        for (auto &part : partitions_)
+            part->cycle(now, icnt_);
+        for (auto &sm : sms_)
+            while (icnt_.hasResponse(sm->id(), now))
+                sm->receiveResponse(icnt_.popResponse(sm->id(), now), now);
+
+        if (dispatch.next == dispatch.total && allIdle())
+            break;
+    }
+
+    clock_ = now;
+    lastLaunchCycles_ = now - start + 1;
+    stats_.set().inc("cycles", static_cast<double>(lastLaunchCycles_));
+}
+
+} // namespace gcl::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The whole device: SMs, interconnect, memory partitions, the CTA
+ * dispatcher, and the host-facing API (malloc / memcpy / launch), mirroring
+ * the CUDA runtime surface the paper's benchmarks use.
+ */
+
+#ifndef GCL_SIM_GPU_HH
+#define GCL_SIM_GPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "config.hh"
+#include "interconnect.hh"
+#include "mem_partition.hh"
+#include "memory.hh"
+#include "sm.hh"
+#include "stats.hh"
+#include "warp.hh"
+
+namespace gcl::sim
+{
+
+/** A simulated GPU device. */
+class Gpu
+{
+  public:
+    explicit Gpu(GpuConfig config = GpuConfig{});
+
+    // ---- Host API ----
+
+    /** Allocate device memory; returns the device address. */
+    uint64_t deviceMalloc(size_t bytes);
+
+    /** Host -> device copy. */
+    void memcpyToDevice(uint64_t dst, const void *src, size_t bytes);
+
+    /** Device -> host copy. */
+    void memcpyToHost(void *dst, uint64_t src, size_t bytes);
+
+    /**
+     * Launch a kernel and simulate it to completion.
+     *
+     * Classification of the kernel's global loads (the paper's Section V
+     * analysis) runs automatically and attributes every dynamic event to
+     * its static class.
+     */
+    void launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
+                std::vector<uint64_t> params);
+
+    // ---- Introspection ----
+
+    const GpuConfig &config() const { return config_; }
+    GlobalMemory &memory() { return gmem_; }
+    SimStats &stats() { return stats_; }
+
+    /** Cycles consumed by the most recent launch. */
+    Cycle lastLaunchCycles() const { return lastLaunchCycles_; }
+
+    /** Fold locality maps into the stats set; call once, after all launches. */
+    void finalizeStats() { stats_.finalize(); }
+
+    /** Default line-address to memory-partition mapping. */
+    static int mapPartition(uint64_t line_addr, int sm_id,
+                            const GpuConfig &config);
+
+  private:
+    struct DispatchState
+    {
+        uint64_t next = 0;     //!< next linear CTA id to place
+        uint64_t total = 0;
+        unsigned rrSm = 0;
+        const LaunchContext *launch = nullptr;
+    };
+
+    void dispatchCtas(DispatchState &dispatch);
+    bool allIdle() const;
+
+    GpuConfig config_;
+    GlobalMemory gmem_;
+    SimStats stats_;
+    Interconnect icnt_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    std::vector<std::unique_ptr<MemPartition>> partitions_;
+    /**
+     * Global monotonic cycle counter across launches. Timing state with
+     * absolute stamps (e.g.\ the DRAM channels' busy-until marks) persists
+     * between launches, so the clock must never run backwards.
+     */
+    Cycle clock_ = 0;
+    Cycle lastLaunchCycles_ = 0;
+};
+
+} // namespace gcl::sim
+
+#endif // GCL_SIM_GPU_HH

@@ -1,0 +1,143 @@
+#include "interconnect.hh"
+
+#include "util/logging.hh"
+
+namespace gcl::sim
+{
+
+Interconnect::Interconnect(const GpuConfig &config)
+    : config_(config),
+      injectQ_(config.numSms),
+      toPart_(config.numPartitions),
+      respQ_(config.numPartitions),
+      toSm_(config.numSms)
+{
+}
+
+bool
+Interconnect::canInject(int sm) const
+{
+    return injectQ_[static_cast<size_t>(sm)].size() <
+           config_.icntInjectQueueDepth;
+}
+
+void
+Interconnect::inject(const MemRequestPtr &req, Cycle now)
+{
+    gcl_assert(canInject(req->smId), "inject into a full queue");
+    req->tInjected = now;
+    injectQ_[static_cast<size_t>(req->smId)].push_back(req);
+}
+
+bool
+Interconnect::hasRequest(int part, Cycle now) const
+{
+    return toPart_[static_cast<size_t>(part)].headReady(now);
+}
+
+MemRequestPtr
+Interconnect::popRequest(int part, Cycle now)
+{
+    gcl_assert(hasRequest(part, now), "popRequest with none ready");
+    return toPart_[static_cast<size_t>(part)].pop();
+}
+
+bool
+Interconnect::canRespond(int part) const
+{
+    return respQ_[static_cast<size_t>(part)].size() <
+           config_.icntRespQueueDepth;
+}
+
+void
+Interconnect::respond(const MemRequestPtr &req, Cycle now)
+{
+    gcl_assert(canRespond(req->partition), "respond into a full queue");
+    req->tRespDepart = now;
+    respQ_[static_cast<size_t>(req->partition)].push_back(req);
+}
+
+bool
+Interconnect::hasResponse(int sm, Cycle now) const
+{
+    return toSm_[static_cast<size_t>(sm)].headReady(now);
+}
+
+MemRequestPtr
+Interconnect::popResponse(int sm, Cycle now)
+{
+    gcl_assert(hasResponse(sm, now), "popResponse with none ready");
+    return toSm_[static_cast<size_t>(sm)].pop();
+}
+
+void
+Interconnect::cycle(Cycle now)
+{
+    // Request side: every partition accepts at most one flit, every SM
+    // transmits at most one flit, round-robin over SMs for fairness.
+    const unsigned num_sms = config_.numSms;
+    const unsigned num_parts = config_.numPartitions;
+
+    std::vector<bool> sm_used(num_sms, false);
+    std::vector<bool> part_used(num_parts, false);
+    for (unsigned i = 0; i < num_sms; ++i) {
+        const unsigned sm = (reqRrSm_ + i) % num_sms;
+        auto &q = injectQ_[sm];
+        if (q.empty() || sm_used[sm])
+            continue;
+        const int part = q.front()->partition;
+        if (part_used[static_cast<size_t>(part)])
+            continue;
+        // Finite partition input buffers: without a credit the flit stays
+        // in the SM's injection queue, which eventually surfaces at the L1
+        // as a reservation fail by interconnection (Section VI).
+        if (toPart_[static_cast<size_t>(part)].size() >=
+            config_.partQueueDepth)
+            continue;
+        part_used[static_cast<size_t>(part)] = true;
+        sm_used[sm] = true;
+        toPart_[static_cast<size_t>(part)].push(q.front(),
+                                                now + config_.icntLatency);
+        q.pop_front();
+    }
+    reqRrSm_ = (reqRrSm_ + 1) % num_sms;
+
+    // Response side, symmetric, round-robin over partitions.
+    std::vector<bool> part_tx(num_parts, false);
+    std::vector<bool> sm_rx(num_sms, false);
+    for (unsigned i = 0; i < num_parts; ++i) {
+        const unsigned part = (respRrPart_ + i) % num_parts;
+        auto &q = respQ_[part];
+        if (q.empty() || part_tx[part])
+            continue;
+        const int sm = q.front()->smId;
+        if (sm_rx[static_cast<size_t>(sm)])
+            continue;
+        sm_rx[static_cast<size_t>(sm)] = true;
+        part_tx[part] = true;
+        toSm_[static_cast<size_t>(sm)].push(q.front(),
+                                            now + config_.icntLatency);
+        q.pop_front();
+    }
+    respRrPart_ = (respRrPart_ + 1) % num_parts;
+}
+
+bool
+Interconnect::idle() const
+{
+    for (const auto &q : injectQ_)
+        if (!q.empty())
+            return false;
+    for (const auto &q : toPart_)
+        if (!q.empty())
+            return false;
+    for (const auto &q : respQ_)
+        if (!q.empty())
+            return false;
+    for (const auto &q : toSm_)
+        if (!q.empty())
+            return false;
+    return true;
+}
+
+} // namespace gcl::sim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SM <-> memory-partition crossbar with finite injection buffers.
+ *
+ * Request side: each SM owns a bounded injection queue; a full queue is the
+ * L1's "reservation fail by interconnection" (Section VI). Each cycle every
+ * partition accepts at most one request and every SM transmits at most one
+ * flit; transfers take icntLatency cycles. The response side is symmetric
+ * with per-partition bounded response queues.
+ */
+
+#ifndef GCL_SIM_INTERCONNECT_HH
+#define GCL_SIM_INTERCONNECT_HH
+
+#include <deque>
+#include <vector>
+
+#include "config.hh"
+#include "delay_queue.hh"
+#include "mem_request.hh"
+
+namespace gcl::sim
+{
+
+/** Crossbar interconnect between numSms SMs and numPartitions partitions. */
+class Interconnect
+{
+  public:
+    Interconnect(const GpuConfig &config);
+
+    // ---- Request path (SM side) ----
+
+    /** True when SM @p sm has room to inject one more request. */
+    bool canInject(int sm) const;
+
+    /** Queue @p req for transport; stamps tInjected. */
+    void inject(const MemRequestPtr &req, Cycle now);
+
+    // ---- Request path (partition side) ----
+
+    /** True when a request has arrived for partition @p part. */
+    bool hasRequest(int part, Cycle now) const;
+
+    /** Pop the next arrived request for partition @p part. */
+    MemRequestPtr popRequest(int part, Cycle now);
+
+    // ---- Response path (partition side) ----
+
+    /** True when partition @p part has room to queue one more response. */
+    bool canRespond(int part) const;
+
+    /** Queue @p req's response for transport; stamps tRespDepart. */
+    void respond(const MemRequestPtr &req, Cycle now);
+
+    // ---- Response path (SM side) ----
+
+    bool hasResponse(int sm, Cycle now) const;
+    MemRequestPtr popResponse(int sm, Cycle now);
+
+    /** Advance arbitration: move flits across the crossbar. */
+    void cycle(Cycle now);
+
+    /** All queues drained (used by the GPU's termination check). */
+    bool idle() const;
+
+  private:
+    const GpuConfig &config_;
+
+    std::vector<std::deque<MemRequestPtr>> injectQ_;   //!< per SM
+    std::vector<DelayQueue<MemRequestPtr>> toPart_;    //!< per partition
+    std::vector<std::deque<MemRequestPtr>> respQ_;     //!< per partition
+    std::vector<DelayQueue<MemRequestPtr>> toSm_;      //!< per SM
+
+    unsigned reqRrSm_ = 0;     //!< round-robin pointer, request side
+    unsigned respRrPart_ = 0;  //!< round-robin pointer, response side
+};
+
+} // namespace gcl::sim
+
+#endif // GCL_SIM_INTERCONNECT_HH

@@ -1,0 +1,126 @@
+#include "mem_partition.hh"
+
+#include "util/logging.hh"
+
+namespace gcl::sim
+{
+
+MemPartition::MemPartition(int id, const GpuConfig &config, SimStats &stats)
+    : id_(id), config_(config), stats_(stats),
+      l2_("l2p" + std::to_string(id), config.l2),
+      dram_(config)
+{
+}
+
+bool
+MemPartition::serviceHead(Cycle now)
+{
+    const MemRequestPtr &req = ropQ_.peek();
+
+    if (req->isWrite) {
+        // Writes that hit in the L2 are absorbed (a write-back cache would
+        // coalesce them); a write miss installs the line (write-allocate
+        // without a fetch) and forwards one burst to DRAM. No response is
+        // generated either way.
+        if (l2_.writeProbe(req->lineAddr)) {
+            stats_.set().inc("l2.write_absorbed");
+            ropQ_.pop();
+            return true;
+        }
+        if (!dram_.canAccept())
+            return false;
+        l2_.installValid(req->lineAddr);
+        dram_.push(req, now);
+        ropQ_.pop();
+        return true;
+    }
+
+    if (req->isAtomic) {
+        // Atomics are executed at the partition's ROP units; they bypass
+        // the L2 tags and respond after the (already paid) ROP latency.
+        req->tArriveL2 = now;
+        req->tL2Done = now;
+        req->level = ServiceLevel::L2;
+        ++stats_.hot.l2Atomics;
+        respPending_.push_back(req);
+        ropQ_.pop();
+        return true;
+    }
+
+    // Read access to the L2 slice.
+    const AccessOutcome outcome = l2_.access(req, dram_.canAccept());
+    switch (outcome) {
+      case AccessOutcome::Hit:
+        req->tArriveL2 = now;
+        req->tL2Done = now;
+        req->level = ServiceLevel::L2;
+        stats_.l2Access(id_, req->nonDet, false);
+        respPending_.push_back(req);
+        ropQ_.pop();
+        return true;
+      case AccessOutcome::HitReserved:
+        req->tArriveL2 = now;
+        req->level = ServiceLevel::Dram;
+        stats_.l2Access(id_, req->nonDet, true);
+        ropQ_.pop();
+        return true;
+      case AccessOutcome::Miss:
+        req->tArriveL2 = now;
+        req->level = ServiceLevel::Dram;
+        stats_.l2Access(id_, req->nonDet, true);
+        dram_.push(req, now);
+        ropQ_.pop();
+        return true;
+      case AccessOutcome::FailTag:
+      case AccessOutcome::FailMshr:
+      case AccessOutcome::FailIcnt:
+        return false;
+    }
+    return false;
+}
+
+void
+MemPartition::cycle(Cycle now, Interconnect &icnt)
+{
+    // 1. Accept at most one arrival from the interconnect into the ROP
+    //    pipeline. The occupancy bound allows the pipeline to stay fully
+    //    streamed (ropLatency requests in flight) plus a small mature
+    //    backlog; beyond that the partition stops draining the
+    //    interconnect, whose finite buffers push the congestion back to
+    //    the L1s as reservation fails.
+    if (ropQ_.size() < config_.ropLatency + config_.partQueueDepth &&
+        icnt.hasRequest(id_, now))
+        ropQ_.push(icnt.popRequest(id_, now), now + config_.ropLatency);
+
+    // 2. Service the ROP head. On a resource stall the request stays at
+    //    the head and the cycle is wasted (Fig 5's "wasted cycles in L2
+    //    and DRAMs").
+    if (ropQ_.headReady(now) && !serviceHead(now))
+        stats_.partitionStall();
+
+    // 3. Drain DRAM returns: fills release merged readers.
+    while (dram_.headReady(now)) {
+        MemRequestPtr req = dram_.pop();
+        if (req->isWrite)
+            continue;
+        for (auto &waiting : l2_.fill(req->lineAddr)) {
+            waiting->tL2Done = now;
+            waiting->level = ServiceLevel::Dram;
+            respPending_.push_back(std::move(waiting));
+        }
+    }
+
+    // 4. Inject at most one response per cycle into the response network.
+    if (!respPending_.empty() && icnt.canRespond(id_)) {
+        icnt.respond(respPending_.front(), now);
+        respPending_.pop_front();
+    }
+}
+
+bool
+MemPartition::idle() const
+{
+    return ropQ_.empty() && dram_.empty() && respPending_.empty();
+}
+
+} // namespace gcl::sim

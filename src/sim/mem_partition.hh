@@ -1,0 +1,58 @@
+/**
+ * @file
+ * One memory partition: the ROP pipeline in front of an L2 slice, the L2
+ * tag/MSHR array, and the partition's DRAM channel (Section III).
+ *
+ * Requests arriving from the interconnect pay the ROP latency (Table II:
+ * 120 cycles), then access the L2 slice once per cycle. Misses go to the
+ * partition's DRAM channel; fills release the merged requests, which are
+ * then injected into the response network.
+ */
+
+#ifndef GCL_SIM_MEM_PARTITION_HH
+#define GCL_SIM_MEM_PARTITION_HH
+
+#include <deque>
+
+#include "cache.hh"
+#include "config.hh"
+#include "delay_queue.hh"
+#include "dram.hh"
+#include "interconnect.hh"
+#include "stats.hh"
+
+namespace gcl::sim
+{
+
+/** L2 slice + DRAM channel. */
+class MemPartition
+{
+  public:
+    MemPartition(int id, const GpuConfig &config, SimStats &stats);
+
+    /** Advance one cycle: accept, service, fill, respond. */
+    void cycle(Cycle now, Interconnect &icnt);
+
+    /** No request anywhere inside the partition. */
+    bool idle() const;
+
+    const Cache &l2() const { return l2_; }
+    const DramChannel &dram() const { return dram_; }
+
+  private:
+    /** Try to service the head of the ROP queue; false on a stall. */
+    bool serviceHead(Cycle now);
+
+    int id_;
+    const GpuConfig &config_;
+    SimStats &stats_;
+
+    DelayQueue<MemRequestPtr> ropQ_;
+    Cache l2_;
+    DramChannel dram_;
+    std::deque<MemRequestPtr> respPending_;
+};
+
+} // namespace gcl::sim
+
+#endif // GCL_SIM_MEM_PARTITION_HH

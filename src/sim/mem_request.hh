@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The two units of work in the memory system:
+ *
+ *  - MemRequest: one coalesced cache-line-sized access flowing through
+ *    L1 -> interconnect -> L2 partition -> DRAM and back. Requests carry
+ *    full timestamp provenance so the paper's turnaround-time
+ *    decompositions (Figs 5-7) fall out of bookkeeping, not sampling.
+ *
+ *  - WarpMemOp: one warp-level memory instruction, owning the requests the
+ *    coalescer produced for it.
+ */
+
+#ifndef GCL_SIM_MEM_REQUEST_HH
+#define GCL_SIM_MEM_REQUEST_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "config.hh"
+#include "ptx/types.hh"
+
+namespace gcl::sim
+{
+
+struct WarpMemOp;
+
+/** Deepest memory level that serviced a request. */
+enum class ServiceLevel : uint8_t
+{
+    L1 = 0,
+    L2 = 1,
+    Dram = 2,
+};
+
+/** One coalesced, line-aligned memory access. */
+struct MemRequest
+{
+    uint64_t lineAddr = 0;        //!< line-aligned byte address
+    bool isWrite = false;
+    bool isAtomic = false;
+
+    int smId = -1;
+    int partition = -1;           //!< filled in by the address decoder
+
+    /** Stat attribution. */
+    bool isGlobalLoad = false;
+    bool nonDet = false;
+
+    /** Back-reference to the owning warp op (null for stores). */
+    WarpMemOp *op = nullptr;
+
+    ServiceLevel level = ServiceLevel::L1;
+
+    // ---- Timestamp provenance ----
+    Cycle tAccepted = 0;      //!< accepted by L1 (hit, merge or miss-sent)
+    Cycle tInjected = 0;      //!< entered the SM's icnt injection queue
+    Cycle tArriveL2 = 0;      //!< popped by the L2 partition
+    Cycle tL2Done = 0;        //!< data ready at the partition
+    Cycle tRespDepart = 0;    //!< response left the partition's queue
+    Cycle tComplete = 0;      //!< data back at the SM / writeback ready
+};
+
+using MemRequestPtr = std::shared_ptr<MemRequest>;
+
+/** One warp-level memory instruction in flight. */
+struct WarpMemOp
+{
+    int smId = -1;
+    int warpSlot = -1;
+    size_t pc = 0;
+    ptx::RegId dst = ptx::kNoReg;
+
+    bool isLoad = false;
+    bool isStore = false;
+    bool isAtomic = false;
+    bool isShared = false;        //!< shared-memory access
+    bool isGlobalLoad = false;
+    bool nonDet = false;          //!< class of the load at this pc
+    unsigned activeThreads = 0;
+
+    /** Coalesced requests; issued to L1 in order, one per cycle. */
+    std::vector<MemRequestPtr> requests;
+    size_t nextToIssue = 0;
+    unsigned outstanding = 0;     //!< read requests whose data is pending
+    unsigned burstCount = 0;      //!< requests issued since the last rotate
+                                  //!< (warp-splitting ablation, Section X.A)
+
+    // ---- Timestamp provenance (Figs 5-7) ----
+    Cycle tIssue = 0;             //!< entered the LD/ST first stage
+    Cycle tFirstAccept = 0;
+    Cycle tLastAccept = 0;
+    Cycle tFirstData = 0;
+    Cycle tDone = 0;
+
+    /** Deepest level any of its requests reached. */
+    ServiceLevel deepest = ServiceLevel::L1;
+
+    bool allIssued() const { return nextToIssue >= requests.size(); }
+
+    bool
+    complete() const
+    {
+        return allIssued() && outstanding == 0;
+    }
+};
+
+using WarpMemOpPtr = std::shared_ptr<WarpMemOp>;
+
+} // namespace gcl::sim
+
+#endif // GCL_SIM_MEM_REQUEST_HH

@@ -1,0 +1,117 @@
+#include "memory.hh"
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace gcl::sim
+{
+
+uint8_t *
+GlobalMemory::pageFor(uint64_t addr)
+{
+    auto &page = pages_[addr >> kPageBits];
+    if (!page) {
+        page = std::make_unique<uint8_t[]>(kPageSize);
+        std::memset(page.get(), 0, kPageSize);
+    }
+    return page.get();
+}
+
+const uint8_t *
+GlobalMemory::pageForRead(uint64_t addr) const
+{
+    auto it = pages_.find(addr >> kPageBits);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+uint64_t
+GlobalMemory::read(uint64_t addr, unsigned size) const
+{
+    gcl_assert(size == 1 || size == 2 || size == 4 || size == 8,
+               "bad access size ", size);
+    // Accesses from the IR are naturally aligned, so they never straddle a
+    // page; readBlock handles arbitrary spans.
+    gcl_assert((addr & (size - 1)) == 0, "misaligned read of ", size,
+               " bytes at ", addr);
+    const uint8_t *page = pageForRead(addr);
+    if (!page)
+        return 0;  // untouched memory reads as zero
+    uint64_t value = 0;
+    std::memcpy(&value, page + (addr & (kPageSize - 1)), size);
+    return value;
+}
+
+void
+GlobalMemory::write(uint64_t addr, uint64_t value, unsigned size)
+{
+    gcl_assert(size == 1 || size == 2 || size == 4 || size == 8,
+               "bad access size ", size);
+    gcl_assert((addr & (size - 1)) == 0, "misaligned write of ", size,
+               " bytes at ", addr);
+    uint8_t *page = pageFor(addr);
+    std::memcpy(page + (addr & (kPageSize - 1)), &value, size);
+}
+
+void
+GlobalMemory::readBlock(uint64_t addr, void *dst, size_t size) const
+{
+    auto *out = static_cast<uint8_t *>(dst);
+    while (size > 0) {
+        const uint64_t in_page = kPageSize - (addr & (kPageSize - 1));
+        const size_t chunk = std::min<size_t>(size, in_page);
+        const uint8_t *page = pageForRead(addr);
+        if (page)
+            std::memcpy(out, page + (addr & (kPageSize - 1)), chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        size -= chunk;
+    }
+}
+
+void
+GlobalMemory::writeBlock(uint64_t addr, const void *src, size_t size)
+{
+    const auto *in = static_cast<const uint8_t *>(src);
+    while (size > 0) {
+        const uint64_t in_page = kPageSize - (addr & (kPageSize - 1));
+        const size_t chunk = std::min<size_t>(size, in_page);
+        uint8_t *page = pageFor(addr);
+        std::memcpy(page + (addr & (kPageSize - 1)), in, chunk);
+        addr += chunk;
+        in += chunk;
+        size -= chunk;
+    }
+}
+
+uint64_t
+GlobalMemory::allocate(size_t size)
+{
+    gcl_assert(size > 0, "zero-sized device allocation");
+    const uint64_t addr = allocTop_;
+    allocTop_ = roundUp(allocTop_ + size, 256);
+    return addr;
+}
+
+uint64_t
+SharedMemory::read(uint64_t addr, unsigned size) const
+{
+    gcl_assert(addr + size <= data_.size(),
+               "shared-memory read out of bounds: ", addr, "+", size,
+               " > ", data_.size());
+    uint64_t value = 0;
+    std::memcpy(&value, data_.data() + addr, size);
+    return value;
+}
+
+void
+SharedMemory::write(uint64_t addr, uint64_t value, unsigned size)
+{
+    gcl_assert(addr + size <= data_.size(),
+               "shared-memory write out of bounds: ", addr, "+", size,
+               " > ", data_.size());
+    std::memcpy(data_.data() + addr, &value, size);
+}
+
+} // namespace gcl::sim

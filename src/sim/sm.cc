@@ -1,0 +1,601 @@
+#include "sm.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "coalescer.hh"
+#include "util/logging.hh"
+
+namespace gcl::sim
+{
+
+using ptx::Instruction;
+using ptx::MemSpace;
+using ptx::Opcode;
+
+Sm::Sm(int id, const GpuConfig &config, GlobalMemory &gmem, SimStats &stats)
+    : id_(id), config_(config), stats_(stats),
+      executor_(gmem, config.warpSize),
+      l1_("l1s" + std::to_string(id), config.l1)
+{
+}
+
+void
+Sm::startLaunch(const LaunchContext &launch)
+{
+    gcl_assert(residentCtas_ == 0 && !busy(),
+               "startLaunch on a busy SM");
+    launch_ = &launch;
+    kernelId_ = stats_.kernelId(launch.kernel->name());
+    warpsPerCta_ = launch.warpsPerCta(config_.warpSize);
+
+    const unsigned max_warps = config_.maxThreadsPerSm / config_.warpSize;
+    const unsigned by_warps = max_warps / warpsPerCta_;
+    maxResidentCtas_ = std::min(
+        config_.ctasPerSm(static_cast<unsigned>(launch.cta.count()),
+                          launch.kernel->sharedMemBytes()),
+        std::max(1u, by_warps));
+
+    ctas_.clear();
+    ctas_.resize(maxResidentCtas_);
+    warps_.clear();
+    warps_.resize(static_cast<size_t>(maxResidentCtas_) * warpsPerCta_);
+    warpAge_.assign(warps_.size(), 0);
+    rrNext_.assign(config_.numSchedulers, 0);
+    lastIssued_ = -1;
+    spStageFreeAt_ = 0;
+    sfuStageFreeAt_ = 0;
+}
+
+bool
+Sm::canTakeCta() const
+{
+    return launch_ && residentCtas_ < maxResidentCtas_;
+}
+
+void
+Sm::launchCta(uint32_t linear_id, uint32_t cx, uint32_t cy, uint32_t cz)
+{
+    gcl_assert(canTakeCta(), "launchCta without capacity");
+
+    int slot = -1;
+    for (size_t c = 0; c < ctas_.size(); ++c) {
+        if (!ctas_[c].active) {
+            slot = static_cast<int>(c);
+            break;
+        }
+    }
+    gcl_assert(slot >= 0, "no free CTA slot");
+    issueDirty_ = true;
+
+    CtaContext &cta = ctas_[static_cast<size_t>(slot)];
+    cta.active = true;
+    cta.ctaX = cx;
+    cta.ctaY = cy;
+    cta.ctaZ = cz;
+    cta.linearId = linear_id;
+    cta.numWarps = warpsPerCta_;
+    cta.warpsDone = 0;
+    cta.warpsAtBarrier = 0;
+    if (launch_->kernel->sharedMemBytes() > 0)
+        cta.shared =
+            std::make_unique<SharedMemory>(launch_->kernel->sharedMemBytes());
+    else
+        cta.shared.reset();
+
+    const auto cta_threads = static_cast<uint32_t>(launch_->cta.count());
+    for (unsigned w = 0; w < warpsPerCta_; ++w) {
+        WarpContext &warp =
+            warps_[static_cast<size_t>(slot) * warpsPerCta_ + w];
+        warp.active = true;
+        warp.ctaSlot = slot;
+        warp.warpInCta = w;
+        warp.threadBase = w * config_.warpSize;
+        warp.atBarrier = false;
+        warp.inflightOps = 0;
+        warp.initRegs(launch_->kernel->numRegs(), config_.warpSize);
+
+        LaneMask mask = 0;
+        for (unsigned lane = 0; lane < config_.warpSize; ++lane)
+            if (warp.threadBase + lane < cta_threads)
+                mask |= LaneMask{1} << lane;
+        warp.stack.reset(mask, launch_->kernel->size());
+
+        warpAge_[static_cast<size_t>(slot) * warpsPerCta_ + w] =
+            ageCounter_++;
+    }
+    ++residentCtas_;
+}
+
+bool
+Sm::busy() const
+{
+    return residentCtas_ > 0 || !ldstQ_.empty() || !pendingOps_.empty() ||
+           !hitReturnQ_.empty() || !wbHeap_.empty();
+}
+
+// ---------------------------------------------------------------------
+// Issue stage
+// ---------------------------------------------------------------------
+
+bool
+Sm::warpReady(const WarpContext &warp, Cycle now) const
+{
+    if (!warp.active || warp.atBarrier || warp.stack.done())
+        return false;
+
+    const Instruction &inst = launch_->kernel->inst(warp.stack.pc());
+
+    // Exit retires the warp slot; it must drain in-flight writebacks first.
+    if (inst.isExit() && warp.inflightOps > 0)
+        return false;
+
+    // Scoreboard: no RAW or WAW on pending registers.
+    for (const auto &src : inst.srcs)
+        if (src.isReg() && warp.scoreboarded(src.reg))
+            return false;
+    if (inst.guarded && warp.scoreboarded(inst.predReg))
+        return false;
+    if (inst.writesDst() && warp.scoreboarded(inst.dst))
+        return false;
+
+    // Function unit availability.
+    if (inst.isBarrier() || inst.isExit())
+        return true;
+    if (inst.isMemory())
+        return ldstQ_.size() < config_.ldstQueueDepth;
+    if (inst.isSfu())
+        return now >= sfuStageFreeAt_;
+    return now >= spStageFreeAt_;
+}
+
+int
+Sm::pickWarp(unsigned scheduler, Cycle now)
+{
+    const unsigned nsched = config_.numSchedulers;
+    const unsigned total = static_cast<unsigned>(warps_.size());
+    // Slots handled by this scheduler: scheduler, scheduler+nsched, ...
+    const unsigned count = total > scheduler
+        ? (total - scheduler + nsched - 1) / nsched
+        : 0;
+    if (count == 0)
+        return -1;
+
+    if (config_.warpSched == WarpSchedPolicy::GreedyThenOldest) {
+        if (lastIssued_ >= 0 &&
+            static_cast<unsigned>(lastIssued_) % nsched == scheduler &&
+            warpReady(warps_[static_cast<size_t>(lastIssued_)], now))
+            return lastIssued_;
+        int best = -1;
+        uint64_t best_age = ~uint64_t{0};
+        for (unsigned s = scheduler; s < total; s += nsched) {
+            if (warpReady(warps_[s], now) && warpAge_[s] < best_age) {
+                best_age = warpAge_[s];
+                best = static_cast<int>(s);
+            }
+        }
+        return best;
+    }
+
+    // Loose round-robin.
+    unsigned &next = rrNext_[scheduler];
+    for (unsigned i = 0; i < count; ++i) {
+        const unsigned idx = (next + i) % count;
+        const unsigned s = scheduler + idx * nsched;
+        if (warpReady(warps_[s], now)) {
+            next = (idx + 1) % count;
+            return static_cast<int>(s);
+        }
+    }
+    return -1;
+}
+
+void
+Sm::warpExited(int slot)
+{
+    WarpContext &warp = warps_[static_cast<size_t>(slot)];
+    warp.active = false;
+    CtaContext &cta = ctas_[static_cast<size_t>(warp.ctaSlot)];
+    ++cta.warpsDone;
+
+    if (cta.warpsDone == cta.numWarps) {
+        cta.active = false;
+        cta.shared.reset();
+        gcl_assert(residentCtas_ > 0, "CTA bookkeeping underflow");
+        --residentCtas_;
+        return;
+    }
+
+    // The exit may have been the last warp a barrier was waiting for.
+    if (cta.warpsAtBarrier > 0 &&
+        cta.warpsAtBarrier == cta.numWarps - cta.warpsDone) {
+        for (unsigned w = 0; w < warpsPerCta_; ++w) {
+            WarpContext &other =
+                warps_[static_cast<size_t>(warp.ctaSlot) * warpsPerCta_ + w];
+            if (other.active)
+                other.atBarrier = false;
+        }
+        cta.warpsAtBarrier = 0;
+        issueDirty_ = true;
+    }
+}
+
+void
+Sm::issueWarp(int slot, Cycle now)
+{
+    WarpContext &warp = warps_[static_cast<size_t>(slot)];
+    CtaContext &cta = ctas_[static_cast<size_t>(warp.ctaSlot)];
+    const size_t pc = warp.stack.pc();
+    const Instruction &inst = launch_->kernel->inst(pc);
+    const LaneMask active = warp.stack.activeMask();
+
+    const StepInfo info = executor_.step(*launch_, cta, warp, pc, active);
+
+    ++stats_.hot.warpInsts;
+    stats_.hot.threadInsts += static_cast<uint64_t>(std::popcount(active));
+    lastIssued_ = slot;
+    warpAge_[static_cast<size_t>(slot)] = ageCounter_++;
+
+    switch (info.kind) {
+      case StepInfo::Kind::Alu:
+      case StepInfo::Kind::Nop:
+        spStageFreeAt_ = now + 1;
+        if (inst.writesDst()) {
+            warp.setScoreboard(inst.dst);
+            ++warp.inflightOps;
+            scheduleWriteback(now + config_.spLatency, slot, inst.dst);
+        }
+        warp.stack.advance();
+        break;
+
+      case StepInfo::Kind::Sfu:
+        sfuStageFreeAt_ = now + config_.sfuInitiationInterval;
+        if (inst.writesDst()) {
+            warp.setScoreboard(inst.dst);
+            ++warp.inflightOps;
+            scheduleWriteback(now + config_.sfuLatency, slot, inst.dst);
+        }
+        warp.stack.advance();
+        break;
+
+      case StepInfo::Kind::Branch:
+        spStageFreeAt_ = now + 1;
+        warp.stack.branch(info.takenMask, info.targetPc,
+                          launch_->cfg->reconvergencePc(pc));
+        if (warp.stack.done())
+            warpExited(slot);
+        break;
+
+      case StepInfo::Kind::Barrier: {
+        warp.stack.advance();
+        warp.atBarrier = true;
+        ++cta.warpsAtBarrier;
+        if (cta.warpsAtBarrier == cta.numWarps - cta.warpsDone) {
+            for (unsigned w = 0; w < warpsPerCta_; ++w) {
+                WarpContext &other =
+                    warps_[static_cast<size_t>(warp.ctaSlot) * warpsPerCta_ +
+                           w];
+                if (other.active)
+                    other.atBarrier = false;
+            }
+            cta.warpsAtBarrier = 0;
+            issueDirty_ = true;
+        }
+        break;
+      }
+
+      case StepInfo::Kind::Exit:
+        warp.stack.exitLanes(active);
+        if (warp.stack.done())
+            warpExited(slot);
+        break;
+
+      case StepInfo::Kind::Memory:
+        startMemOp(slot, pc, inst, info, now);
+        warp.stack.advance();
+        break;
+    }
+}
+
+void
+Sm::issueCycle(Cycle now)
+{
+    // Event-driven short-circuit: when the last scan found nothing
+    // issuable and no state that could wake a warp has changed since
+    // (writeback, barrier release, LD/ST drain, CTA arrival, or another
+    // issue), the scan would find nothing again.
+    if (!issueDirty_)
+        return;
+    bool issued = false;
+    for (unsigned sched = 0; sched < config_.numSchedulers; ++sched) {
+        const int slot = pickWarp(sched, now);
+        if (slot >= 0) {
+            issueWarp(slot, now);
+            issued = true;
+        }
+    }
+    issueDirty_ = issued;
+}
+
+// ---------------------------------------------------------------------
+// LD/ST unit
+// ---------------------------------------------------------------------
+
+void
+Sm::startMemOp(int slot, size_t pc, const Instruction &inst,
+               const StepInfo &info, Cycle now)
+{
+    WarpContext &warp = warps_[static_cast<size_t>(slot)];
+
+    auto op = std::make_shared<WarpMemOp>();
+    op->smId = id_;
+    op->warpSlot = slot;
+    op->pc = pc;
+    op->isLoad = info.isLoad;
+    op->isStore = info.isStore;
+    op->isAtomic = info.isAtomic;
+    op->activeThreads = static_cast<unsigned>(info.addrs.size());
+    op->tIssue = now;
+
+    const bool writes_reg = inst.writesDst() && (info.isLoad || info.isAtomic);
+
+    if (info.space == MemSpace::Shared || info.space == MemSpace::Param) {
+        // Shared memory and the constant/param bank: fixed-latency on-chip
+        // access, no cache traffic. Bank conflicts are not modeled.
+        op->isShared = true;
+        op->dst = writes_reg ? inst.dst : ptx::kNoReg;
+        if (info.space == MemSpace::Shared && info.isLoad)
+            ++stats_.hot.sloadWarps;
+        else if (info.space == MemSpace::Shared)
+            ++stats_.hot.sstoreWarps;
+    } else {
+        // Global-like spaces flow through coalescer + L1 + interconnect.
+        op->isGlobalLoad = info.isLoad && info.space == MemSpace::Global;
+        op->nonDet = op->isGlobalLoad && launch_->nonDetPc[pc];
+        op->dst = writes_reg ? inst.dst : ptx::kNoReg;
+
+        const auto lines =
+            coalesce(info.addrs, info.accessSize, config_.l1.lineBytes);
+        op->requests.reserve(lines.size());
+        for (uint64_t line : lines) {
+            auto req = std::make_shared<MemRequest>();
+            req->lineAddr = line;
+            req->isWrite = info.isStore;
+            req->isAtomic = info.isAtomic;
+            req->smId = id_;
+            req->isGlobalLoad = op->isGlobalLoad;
+            req->nonDet = op->nonDet;
+            req->op = (info.isLoad || info.isAtomic) ? op.get() : nullptr;
+            req->partition = partitionMap(line, id_, config_);
+            op->requests.push_back(std::move(req));
+        }
+        op->outstanding = (info.isLoad || info.isAtomic)
+            ? static_cast<unsigned>(op->requests.size())
+            : 0;
+
+        if (info.isStore)
+            ++stats_.hot.gstoreWarps;
+        if (info.isAtomic)
+            ++stats_.hot.atomWarps;
+    }
+
+    if (writes_reg) {
+        warp.setScoreboard(inst.dst);
+        ++warp.inflightOps;
+    }
+
+    // A fully predicated-off access produces no work at all.
+    if (!op->isShared && op->requests.empty()) {
+        if (writes_reg)
+            scheduleWriteback(now + 1, slot, inst.dst);
+        return;
+    }
+
+    ldstQ_.push_back(std::move(op));
+}
+
+void
+Sm::completeRequest(const MemRequestPtr &req, Cycle now)
+{
+    req->tComplete = now;
+    WarpMemOp *op = req->op;
+    if (!op)
+        return;  // store: nothing waits for it
+
+    gcl_assert(op->outstanding > 0, "request completion underflow");
+    --op->outstanding;
+    if (op->tFirstData == 0)
+        op->tFirstData = now;
+    if (static_cast<int>(req->level) > static_cast<int>(op->deepest))
+        op->deepest = req->level;
+
+    if (op->complete()) {
+        // Find the owning shared_ptr in pendingOps_.
+        for (size_t i = 0; i < pendingOps_.size(); ++i) {
+            if (pendingOps_[i].get() == op) {
+                WarpMemOpPtr owner = pendingOps_[i];
+                pendingOps_[i] = pendingOps_.back();
+                pendingOps_.pop_back();
+                finishMemOp(owner, now);
+                return;
+            }
+        }
+        gcl_panic("completed op not found in pendingOps");
+    }
+}
+
+void
+Sm::finishMemOp(const WarpMemOpPtr &op, Cycle now)
+{
+    op->tDone = now;
+    if (op->isGlobalLoad)
+        stats_.gloadDone(*op, kernelId_);
+    if (op->dst != ptx::kNoReg)
+        scheduleWriteback(now, op->warpSlot, op->dst);
+}
+
+void
+Sm::ldstCycle(Cycle now, Interconnect &icnt)
+{
+    // L1 hits coming back after the hit latency.
+    while (hitReturnQ_.headReady(now))
+        completeRequest(hitReturnQ_.pop(), now);
+
+    if (ldstQ_.empty())
+        return;
+    ++stats_.hot.busyLdst;
+
+    WarpMemOpPtr op = ldstQ_.front();
+
+    if (op->isShared) {
+        // On-chip scratchpad: one stage cycle, fixed latency.
+        op->tFirstAccept = op->tLastAccept = now;
+        ldstQ_.pop_front();
+        issueDirty_ = true;
+        if (op->dst != ptx::kNoReg)
+            scheduleWriteback(now + config_.sharedMemLatency, op->warpSlot,
+                              op->dst);
+        return;
+    }
+
+    // Issue the next coalesced request.
+    const MemRequestPtr &req = op->requests[op->nextToIssue];
+    bool accepted = false;
+
+    if (req->isWrite || req->isAtomic) {
+        // Write-through stores and atomics bypass the L1 tags; they only
+        // need interconnect injection space.
+        if (icnt.canInject(id_)) {
+            req->tAccepted = now;
+            icnt.inject(req, now);
+            stats_.l1AccessCycle(AccessOutcome::Miss);
+            accepted = true;
+        } else {
+            stats_.l1AccessCycle(AccessOutcome::FailIcnt);
+        }
+    } else {
+        const AccessOutcome outcome = l1_.access(req, icnt.canInject(id_));
+        stats_.l1AccessCycle(outcome);
+        switch (outcome) {
+          case AccessOutcome::Hit:
+            req->tAccepted = now;
+            req->level = ServiceLevel::L1;
+            hitReturnQ_.push(req, now + config_.l1HitLatency);
+            accepted = true;
+            break;
+          case AccessOutcome::HitReserved:
+            req->tAccepted = now;
+            accepted = true;
+            break;
+          case AccessOutcome::Miss:
+            req->tAccepted = now;
+            icnt.inject(req, now);
+            accepted = true;
+            break;
+          case AccessOutcome::FailTag:
+          case AccessOutcome::FailMshr:
+          case AccessOutcome::FailIcnt:
+            break;
+        }
+        if (accepted && req->isGlobalLoad) {
+            const WarpContext &warp =
+                warps_[static_cast<size_t>(op->warpSlot)];
+            const uint32_t cta =
+                ctas_[static_cast<size_t>(warp.ctaSlot)].linearId;
+            stats_.l1Access(req->nonDet, outcome != AccessOutcome::Hit,
+                            req->lineAddr, cta);
+        }
+    }
+
+    if (!accepted)
+        return;  // retry next cycle; the stage stays occupied
+
+    if (op->tFirstAccept == 0 && op->nextToIssue == 0)
+        op->tFirstAccept = now;
+    op->tLastAccept = now;
+    ++op->nextToIssue;
+    ++op->burstCount;
+
+    if (op->allIssued()) {
+        ldstQ_.pop_front();
+        issueDirty_ = true;
+        if (op->outstanding > 0)
+            pendingOps_.push_back(op);
+        else
+            finishMemOp(op, now);
+        return;
+    }
+
+    // Warp-splitting ablation (Section X.A): a non-deterministic load only
+    // issues a bounded burst before yielding the stage to the next op.
+    if (config_.nondetSplitRequests > 0 && op->nonDet &&
+        op->burstCount >= config_.nondetSplitRequests && ldstQ_.size() > 1) {
+        op->burstCount = 0;
+        ldstQ_.pop_front();
+        ldstQ_.push_back(op);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writeback
+// ---------------------------------------------------------------------
+
+void
+Sm::scheduleWriteback(Cycle when, int slot, ptx::RegId reg)
+{
+    wbHeap_.push({when, slot, reg});
+}
+
+void
+Sm::writebackCycle(Cycle now)
+{
+    while (!wbHeap_.empty() && wbHeap_.top().time <= now) {
+        const Writeback wb = wbHeap_.top();
+        wbHeap_.pop();
+        issueDirty_ = true;
+        WarpContext &warp = warps_[static_cast<size_t>(wb.slot)];
+        gcl_assert(warp.active, "writeback to a retired warp slot");
+        warp.clearScoreboard(wb.reg);
+        gcl_assert(warp.inflightOps > 0, "inflight op underflow");
+        --warp.inflightOps;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+void
+Sm::cycle(Cycle now, Interconnect &icnt)
+{
+    ++stats_.hot.smCycles;
+
+    writebackCycle(now);
+    issueCycle(now);
+    ldstCycle(now, icnt);
+
+    // First-pipeline-stage occupancy for Fig 4 (checked after issue so an
+    // instruction issued this cycle marks its unit busy this cycle).
+    if (now < spStageFreeAt_)
+        ++stats_.hot.busySp;
+    if (now < sfuStageFreeAt_)
+        ++stats_.hot.busySfu;
+}
+
+void
+Sm::receiveResponse(const MemRequestPtr &req, Cycle now)
+{
+    if (req->isAtomic) {
+        completeRequest(req, now);
+        return;
+    }
+    for (auto &merged : l1_.fill(req->lineAddr)) {
+        merged->level = req->level;
+        merged->tL2Done = merged->tL2Done ? merged->tL2Done : req->tL2Done;
+        merged->tArriveL2 =
+            merged->tArriveL2 ? merged->tArriveL2 : req->tArriveL2;
+        completeRequest(merged, now);
+    }
+}
+
+} // namespace gcl::sim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Streaming multiprocessor: warp schedulers, scoreboard, SP/SFU/LDST
+ * function units, the coalescer and the private L1 data cache.
+ *
+ * The per-cycle pipeline is (Section III):
+ *   1. writeback  — completed instructions release the scoreboard
+ *   2. issue      — each scheduler picks one ready warp; the instruction
+ *                   executes functionally at issue (DESIGN.md decision 1)
+ *   3. LD/ST      — the front warp memory op injects one coalesced request
+ *                   per cycle into the L1; reservation failures burn the
+ *                   cycle and retry (Fig 3)
+ *   4. unit accounting for Fig 4 (first-pipeline-stage occupancy)
+ */
+
+#ifndef GCL_SIM_SM_HH
+#define GCL_SIM_SM_HH
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "cache.hh"
+#include "config.hh"
+#include "delay_queue.hh"
+#include "functional.hh"
+#include "interconnect.hh"
+#include "mem_request.hh"
+#include "stats.hh"
+#include "warp.hh"
+
+namespace gcl::sim
+{
+
+/** Maps a line address to its memory partition (set up by the Gpu). */
+using PartitionMap = int (*)(uint64_t line_addr, int sm_id,
+                             const GpuConfig &config);
+
+/** One streaming multiprocessor. */
+class Sm
+{
+  public:
+    Sm(int id, const GpuConfig &config, GlobalMemory &gmem, SimStats &stats);
+
+    int id() const { return id_; }
+
+    /** Bind to a new kernel launch; all CTA slots must be free. */
+    void startLaunch(const LaunchContext &launch);
+
+    /** True when another CTA fits right now. */
+    bool canTakeCta() const;
+
+    /** Place the CTA with the given coordinates onto this SM. */
+    void launchCta(uint32_t linear_id, uint32_t cx, uint32_t cy, uint32_t cz);
+
+    /** Any resident CTA or in-flight work. */
+    bool busy() const;
+
+    /** Advance one cycle. */
+    void cycle(Cycle now, Interconnect &icnt);
+
+    /** A memory response arrived from the interconnect. */
+    void receiveResponse(const MemRequestPtr &req, Cycle now);
+
+    unsigned numResidentCtas() const { return residentCtas_; }
+
+    const Cache &l1() const { return l1_; }
+
+  private:
+    // --- Issue stage ---
+    void issueCycle(Cycle now);
+    bool warpReady(const WarpContext &warp, Cycle now) const;
+    int pickWarp(unsigned scheduler, Cycle now);
+    void issueWarp(int slot, Cycle now);
+
+    // --- LD/ST unit ---
+    void ldstCycle(Cycle now, Interconnect &icnt);
+    void startMemOp(int slot, size_t pc, const ptx::Instruction &inst,
+                    const StepInfo &info, Cycle now);
+    void completeRequest(const MemRequestPtr &req, Cycle now);
+    void finishMemOp(const WarpMemOpPtr &op, Cycle now);
+
+    // --- Writeback ---
+    void writebackCycle(Cycle now);
+    void scheduleWriteback(Cycle when, int slot, ptx::RegId reg);
+
+    // --- CTA / warp lifecycle ---
+    void warpExited(int slot);
+
+    int id_;
+    const GpuConfig &config_;
+    SimStats &stats_;
+    WarpExecutor executor_;
+    Cache l1_;
+
+    const LaunchContext *launch_ = nullptr;
+    uint32_t kernelId_ = 0;   //!< interned kernel name for stat attribution
+    unsigned warpsPerCta_ = 0;
+    unsigned maxResidentCtas_ = 0;
+    unsigned residentCtas_ = 0;
+
+    std::vector<CtaContext> ctas_;
+    std::vector<WarpContext> warps_;
+    std::vector<uint64_t> warpAge_;   //!< issue-order age for GTO
+    uint64_t ageCounter_ = 0;
+    std::vector<unsigned> rrNext_;    //!< per-scheduler LRR pointer
+    int lastIssued_ = -1;             //!< for GTO greediness
+    /**
+     * False when the last issue scan found nothing and no wake event
+     * (writeback, barrier release, LD/ST drain, CTA arrival, issue) has
+     * happened since — the scan can be skipped.
+     */
+    bool issueDirty_ = true;
+
+    /** Warp memory ops; front occupies the LD/ST first stage. */
+    std::deque<WarpMemOpPtr> ldstQ_;
+    /** Ops that left the stage but still await data. */
+    std::vector<WarpMemOpPtr> pendingOps_;
+    /** L1 hits returning after the hit latency. */
+    DelayQueue<MemRequestPtr> hitReturnQ_;
+
+    struct Writeback
+    {
+        Cycle time;
+        int slot;
+        ptx::RegId reg;
+
+        bool
+        operator>(const Writeback &other) const
+        {
+            return time > other.time;
+        }
+    };
+    std::priority_queue<Writeback, std::vector<Writeback>,
+                        std::greater<Writeback>> wbHeap_;
+
+    /** First-pipeline-stage busy-until markers (Fig 4). */
+    Cycle spStageFreeAt_ = 0;
+    Cycle sfuStageFreeAt_ = 0;
+
+  public:
+    /** Partition mapping hook installed by the Gpu. */
+    PartitionMap partitionMap = nullptr;
+};
+
+} // namespace gcl::sim
+
+#endif // GCL_SIM_SM_HH

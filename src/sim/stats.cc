@@ -1,0 +1,241 @@
+#include "stats.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gcl::sim
+{
+
+SimStats::SimStats(const GpuConfig &config)
+    : config_(config),
+      l2Queries_(config.numPartitions, 0),
+      l2Hits_(config.numPartitions, 0)
+{
+}
+
+void
+SimStats::insertCta(std::vector<uint32_t> &ctas, uint32_t cta)
+{
+    auto it = std::lower_bound(ctas.begin(), ctas.end(), cta);
+    if (it == ctas.end() || *it != cta)
+        ctas.insert(it, cta);
+}
+
+void
+SimStats::l1Access(bool non_det, bool miss, uint64_t line_addr, uint32_t cta)
+{
+    ++hot.l1Access[non_det];
+    if (miss)
+        ++hot.l1Miss[non_det];
+
+    BlockInfo &block = blocks_[line_addr];
+    ++block.accesses;
+    insertCta(block.ctas, cta);
+    insertCta(non_det ? block.ctasNondet : block.ctasDet, cta);
+}
+
+uint32_t
+SimStats::kernelId(const std::string &name)
+{
+    auto it = kernelIds_.find(name);
+    if (it != kernelIds_.end())
+        return it->second;
+    const auto id = static_cast<uint32_t>(kernelNames_.size());
+    kernelNames_.push_back(name);
+    kernelIds_.emplace(name, id);
+    return id;
+}
+
+void
+SimStats::gloadDone(const WarpMemOp &op, uint32_t kernel_id)
+{
+    const bool nd = op.nonDet;
+    const auto nreq = static_cast<uint32_t>(op.requests.size());
+
+    // Fig 2 aggregates.
+    ClassAgg &agg = cls_[nd];
+    ++agg.warps;
+    agg.reqs += nreq;
+    agg.active += op.activeThreads;
+
+    // Fig 5: decomposition of the turnaround time.
+    const double turnaround = static_cast<double>(op.tDone - op.tIssue);
+    const double rsrv_prev =
+        static_cast<double>(op.tFirstAccept - op.tIssue);
+    const double rsrv_cur =
+        static_cast<double>(op.tLastAccept - op.tFirstAccept);
+    double unloaded = 0.0;
+    switch (op.deepest) {
+      case ServiceLevel::L1:
+        unloaded = config_.l1HitLatency;
+        break;
+      case ServiceLevel::L2:
+        unloaded = config_.unloadedL2Latency();
+        break;
+      case ServiceLevel::Dram:
+        unloaded = config_.unloadedDramLatency();
+        break;
+    }
+    const double wasted_mem =
+        std::max(0.0, turnaround - unloaded - rsrv_prev - rsrv_cur);
+
+    agg.turnSum += turnaround;
+    agg.unloaded += unloaded;
+    agg.rsrvPrev += rsrv_prev;
+    agg.rsrvCur += rsrv_cur;
+    agg.mem += wasted_mem;
+
+    // Figs 6 and 7: per-pc breakdown keyed by the request count.
+    const uint64_t key = (uint64_t{kernel_id} << 32) | op.pc;
+    PcAgg &pc = pcAggs_[key];
+    pc.nonDet = nd;
+    PcBucket &bucket = pc.byReqs[nreq];
+    ++bucket.cnt;
+    bucket.turn += turnaround;
+    bucket.gapL1d += rsrv_cur;
+
+    // Gap at icnt-L2: extra queueing between L1 acceptance and the start of
+    // L2 service, averaged over the op's missed requests.
+    double gap_icnt_l2 = 0.0;
+    unsigned missed = 0;
+    for (const auto &req : op.requests) {
+        if (req->level == ServiceLevel::L1)
+            continue;
+        const double nominal = config_.icntLatency + config_.ropLatency;
+        const double actual =
+            static_cast<double>(req->tArriveL2) -
+            static_cast<double>(req->tAccepted);
+        gap_icnt_l2 += std::max(0.0, actual - nominal);
+        ++missed;
+    }
+    if (missed)
+        gap_icnt_l2 /= missed;
+    bucket.gapIcntL2 += gap_icnt_l2;
+
+    // Gap at L2-icnt: spread between the first and the last returned data.
+    bucket.gapL2Icnt +=
+        op.tFirstData ? static_cast<double>(op.tDone - op.tFirstData) : 0.0;
+}
+
+void
+SimStats::distanceHistogram(const std::vector<uint32_t> &ctas,
+                            Histogram &hist)
+{
+    for (size_t i = 0; i < ctas.size(); ++i)
+        for (size_t j = i + 1; j < ctas.size(); ++j)
+            hist.add(static_cast<int64_t>(ctas[j]) - ctas[i], 1.0);
+}
+
+void
+SimStats::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+
+    // --- Hot counters ---
+    set_.inc("warp_insts", static_cast<double>(hot.warpInsts));
+    set_.inc("thread_insts", static_cast<double>(hot.threadInsts));
+    set_.inc("sm_cycles", static_cast<double>(hot.smCycles));
+    set_.inc("busy.sp", static_cast<double>(hot.busySp));
+    set_.inc("busy.sfu", static_cast<double>(hot.busySfu));
+    set_.inc("busy.ldst", static_cast<double>(hot.busyLdst));
+    set_.inc("part.stall_cycles", static_cast<double>(hot.partStalls));
+    set_.inc("sload.warps", static_cast<double>(hot.sloadWarps));
+    set_.inc("sstore.warps", static_cast<double>(hot.sstoreWarps));
+    set_.inc("gstore.warps", static_cast<double>(hot.gstoreWarps));
+    set_.inc("atom.warps", static_cast<double>(hot.atomWarps));
+    set_.inc("l2.atomics", static_cast<double>(hot.l2Atomics));
+
+    static const char *outcome_names[6] = {
+        "hit", "hit_reserved", "miss", "fail_tag", "fail_mshr", "fail_icnt",
+    };
+    for (int o = 0; o < 6; ++o)
+        set_.inc(std::string("l1.outcome.") + outcome_names[o],
+                 static_cast<double>(hot.l1Outcome[o]));
+
+    for (int nd = 0; nd < 2; ++nd) {
+        const char *sfx = nd ? ".nondet" : ".det";
+        set_.inc(std::string("l1.access") + sfx,
+                 static_cast<double>(hot.l1Access[nd]));
+        set_.inc(std::string("l1.miss") + sfx,
+                 static_cast<double>(hot.l1Miss[nd]));
+        set_.inc(std::string("l2.access") + sfx,
+                 static_cast<double>(hot.l2Access[nd]));
+        set_.inc(std::string("l2.miss") + sfx,
+                 static_cast<double>(hot.l2Miss[nd]));
+
+        const ClassAgg &agg = cls_[nd];
+        set_.inc(std::string("gload.warps") + sfx,
+                 static_cast<double>(agg.warps));
+        set_.inc(std::string("gload.reqs") + sfx,
+                 static_cast<double>(agg.reqs));
+        set_.inc(std::string("gload.active") + sfx,
+                 static_cast<double>(agg.active));
+        set_.inc(std::string("turn.cnt") + sfx,
+                 static_cast<double>(agg.warps));
+        set_.inc(std::string("turn.sum") + sfx, agg.turnSum);
+        set_.inc(std::string("turn.unloaded") + sfx, agg.unloaded);
+        set_.inc(std::string("turn.rsrv_prev") + sfx, agg.rsrvPrev);
+        set_.inc(std::string("turn.rsrv_cur") + sfx, agg.rsrvCur);
+        set_.inc(std::string("turn.mem") + sfx, agg.mem);
+    }
+
+    for (size_t p = 0; p < l2Queries_.size(); ++p) {
+        set_.inc("l2.queries.p" + std::to_string(p),
+                 static_cast<double>(l2Queries_[p]));
+        set_.inc("l2.hits.p" + std::to_string(p),
+                 static_cast<double>(l2Hits_[p]));
+    }
+
+    // --- Per-pc aggregates (Figs 6 and 7) ---
+    for (const auto &[key, pc] : pcAggs_) {
+        const uint32_t kernel = static_cast<uint32_t>(key >> 32);
+        const auto pc_idx = static_cast<uint32_t>(key);
+        const std::string prefix = "pc." + kernelNames_[kernel] + "#" +
+                                   std::to_string(pc_idx) + ".";
+        set_.set(prefix + "nondet", pc.nonDet ? 1.0 : 0.0);
+        Histogram &cnt = set_.hist(prefix + "turn_cnt");
+        Histogram &turn = set_.hist(prefix + "turn_sum");
+        Histogram &g1 = set_.hist(prefix + "gap_l1d");
+        Histogram &g2 = set_.hist(prefix + "gap_icnt_l2");
+        Histogram &g3 = set_.hist(prefix + "gap_l2icnt");
+        for (const auto &[nreq, bucket] : pc.byReqs) {
+            cnt.add(nreq, static_cast<double>(bucket.cnt));
+            turn.add(nreq, bucket.turn);
+            g1.add(nreq, bucket.gapL1d);
+            g2.add(nreq, bucket.gapIcntL2);
+            g3.add(nreq, bucket.gapL2Icnt);
+        }
+    }
+    pcAggs_.clear();
+
+    // --- Inter-CTA locality (Figs 10, 11, 12) ---
+    Histogram &dist = set_.hist("cta_distance");
+    Histogram &dist_det = set_.hist("cta_distance.det");
+    Histogram &dist_nondet = set_.hist("cta_distance.nondet");
+    Histogram &reuse = set_.hist("block_reuse");
+
+    for (const auto &[addr, block] : blocks_) {
+        (void)addr;
+        set_.inc("blocks.count");
+        set_.inc("blocks.accesses", static_cast<double>(block.accesses));
+        reuse.add(static_cast<int64_t>(block.accesses), 1.0);
+        if (block.ctas.size() >= 2) {
+            set_.inc("blocks.shared");
+            set_.inc("blocks.shared_accesses",
+                     static_cast<double>(block.accesses));
+            set_.inc("blocks.shared_cta_sum",
+                     static_cast<double>(block.ctas.size()));
+            distanceHistogram(block.ctas, dist);
+        }
+        if (block.ctasDet.size() >= 2)
+            distanceHistogram(block.ctasDet, dist_det);
+        if (block.ctasNondet.size() >= 2)
+            distanceHistogram(block.ctasNondet, dist_nondet);
+    }
+    blocks_.clear();
+}
+
+} // namespace gcl::sim

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Central instrumentation sink for one simulated application run.
+ *
+ * Hot-path events (per instruction, per cycle, per memory request) land in
+ * plain counters; finalize() folds everything into a flat string-keyed
+ * StatsSet that the harness serializes into the benchmark run cache.
+ *
+ * Scalar key map after finalize() (all monotonically accumulated):
+ *   cycles, launches, ctas_launched, threads_per_cta
+ *   warp_insts, thread_insts
+ *   gload.warps[.det|.nondet]      warp-level global loads
+ *   gload.reqs[.det|.nondet]       coalesced memory requests they produced
+ *   gload.active[.det|.nondet]     active threads in those warps
+ *   sload.warps / sstore.warps / gstore.warps / atom.warps / l2.atomics
+ *   busy.sp / busy.sfu / busy.ldst / sm_cycles                    (Fig 4)
+ *   l1.outcome.{hit,hit_reserved,miss,fail_tag,fail_mshr,fail_icnt} (Fig 3)
+ *   l1.access.* / l1.miss.*  and  l2.access.* / l2.miss.*           (Fig 8)
+ *   l2.queries.p<i> / l2.hits.p<i>                              (Table III)
+ *   turn.{cnt,sum,unloaded,rsrv_prev,rsrv_cur,mem}.{det,nondet}     (Fig 5)
+ *   part.stall_cycles
+ *   blocks.{count,accesses,shared,shared_accesses,shared_cta_sum} (Fig 10/11)
+ * Histogram keys:
+ *   cta_distance[.det|.nondet]                                      (Fig 12)
+ *   block_reuse (bucket = accesses per block)                       (Fig 10)
+ *   pc.<kernel>#<pc>.{turn_cnt,turn_sum,gap_l1d,gap_icnt_l2,gap_l2icnt}
+ *       (bucket = #requests of the warp op; Figs 6 and 7), plus the scalar
+ *   pc.<kernel>#<pc>.nondet = 0/1 giving the pc's static class
+ */
+
+#ifndef GCL_SIM_STATS_HH
+#define GCL_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache.hh"
+#include "config.hh"
+#include "mem_request.hh"
+#include "util/stats.hh"
+
+namespace gcl::sim
+{
+
+/** Instrumentation hub owned by the Gpu; shared by reference. */
+class SimStats
+{
+  public:
+    explicit SimStats(const GpuConfig &config);
+
+    /** Flat counters on the per-cycle / per-instruction paths. */
+    struct Hot
+    {
+        uint64_t warpInsts = 0;
+        uint64_t threadInsts = 0;
+        uint64_t smCycles = 0;
+        uint64_t busySp = 0;
+        uint64_t busySfu = 0;
+        uint64_t busyLdst = 0;
+        uint64_t l1Outcome[6] = {};     //!< indexed by AccessOutcome
+        uint64_t l1Access[2] = {};      //!< indexed by nonDet
+        uint64_t l1Miss[2] = {};
+        uint64_t l2Access[2] = {};
+        uint64_t l2Miss[2] = {};
+        uint64_t partStalls = 0;
+        uint64_t sloadWarps = 0;
+        uint64_t sstoreWarps = 0;
+        uint64_t gstoreWarps = 0;
+        uint64_t atomWarps = 0;
+        uint64_t l2Atomics = 0;
+    };
+
+    Hot hot;
+
+    /** Cold, string-keyed stats (launch-level bookkeeping + final output). */
+    StatsSet &set() { return set_; }
+    const StatsSet &set() const { return set_; }
+
+    /** One L1 access attempt this cycle had this outcome (Fig 3). */
+    void
+    l1AccessCycle(AccessOutcome outcome)
+    {
+        ++hot.l1Outcome[static_cast<int>(outcome)];
+    }
+
+    /** An accepted L1 data access for a global load (Figs 8, 10, 11). */
+    void l1Access(bool non_det, bool miss, uint64_t line_addr, uint32_t cta);
+
+    /** An L2 read query from L1 (Fig 8, Table III). */
+    void
+    l2Access(int partition, bool non_det, bool miss)
+    {
+        ++hot.l2Access[non_det];
+        if (miss)
+            ++hot.l2Miss[non_det];
+        ++l2Queries_[static_cast<size_t>(partition)];
+        if (!miss)
+            ++l2Hits_[static_cast<size_t>(partition)];
+    }
+
+    /** A cycle the partition head request could not be serviced. */
+    void partitionStall() { ++hot.partStalls; }
+
+    /** Intern a kernel name; the id keys the per-pc aggregates. */
+    uint32_t kernelId(const std::string &name);
+
+    /** A completed warp-level global-load op (Figs 2, 5, 6, 7). */
+    void gloadDone(const WarpMemOp &op, uint32_t kernel_id);
+
+    /** Fold all plain counters and maps into the StatsSet. Idempotent. */
+    void finalize();
+
+  private:
+    struct ClassAgg
+    {
+        uint64_t warps = 0;
+        uint64_t reqs = 0;
+        uint64_t active = 0;
+        double turnSum = 0;
+        double unloaded = 0;
+        double rsrvPrev = 0;
+        double rsrvCur = 0;
+        double mem = 0;
+    };
+
+    struct PcBucket
+    {
+        uint64_t cnt = 0;
+        double turn = 0;
+        double gapL1d = 0;
+        double gapIcntL2 = 0;
+        double gapL2Icnt = 0;
+    };
+
+    struct PcAgg
+    {
+        bool nonDet = false;
+        std::unordered_map<uint32_t, PcBucket> byReqs;
+    };
+
+    struct BlockInfo
+    {
+        uint64_t accesses = 0;
+        std::vector<uint32_t> ctas;        //!< sorted unique CTA ids
+        std::vector<uint32_t> ctasDet;     //!< via deterministic loads
+        std::vector<uint32_t> ctasNondet;  //!< via non-deterministic loads
+    };
+
+    static void insertCta(std::vector<uint32_t> &ctas, uint32_t cta);
+    static void distanceHistogram(const std::vector<uint32_t> &ctas,
+                                  Histogram &hist);
+
+    const GpuConfig &config_;
+    StatsSet set_;
+
+    std::vector<uint64_t> l2Queries_;
+    std::vector<uint64_t> l2Hits_;
+    ClassAgg cls_[2];
+    std::vector<std::string> kernelNames_;
+    std::unordered_map<std::string, uint32_t> kernelIds_;
+    std::unordered_map<uint64_t, PcAgg> pcAggs_;
+    std::unordered_map<uint64_t, BlockInfo> blocks_;
+    bool finalized_ = false;
+};
+
+} // namespace gcl::sim
+
+#endif // GCL_SIM_STATS_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Per-warp and per-CTA execution contexts, and the per-launch context
+ * shared by all SMs.
+ */
+
+#ifndef GCL_SIM_WARP_HH
+#define GCL_SIM_WARP_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "config.hh"
+#include "memory.hh"
+#include "ptx/cfg.hh"
+#include "ptx/kernel.hh"
+#include "simt_stack.hh"
+
+namespace gcl::sim
+{
+
+/** CUDA-style 3-component dimension. */
+struct Dim3
+{
+    uint32_t x = 1;
+    uint32_t y = 1;
+    uint32_t z = 1;
+
+    uint64_t count() const { return uint64_t{x} * y * z; }
+};
+
+/**
+ * Everything fixed for the duration of one kernel launch: the kernel, its
+ * CFG (for reconvergence pcs), launch geometry, parameters, and the static
+ * load classification used for stat attribution.
+ */
+struct LaunchContext
+{
+    const ptx::Kernel *kernel = nullptr;
+    std::unique_ptr<ptx::Cfg> cfg;
+    Dim3 grid;
+    Dim3 cta;
+    std::vector<uint64_t> params;
+    /** Per-pc flag: is the global load at this pc non-deterministic? */
+    std::vector<bool> nonDetPc;
+
+    /** Warps needed per CTA. */
+    unsigned
+    warpsPerCta(unsigned warp_size) const
+    {
+        return static_cast<unsigned>((cta.count() + warp_size - 1) /
+                                     warp_size);
+    }
+};
+
+/** One CTA resident on an SM. */
+struct CtaContext
+{
+    bool active = false;
+    uint32_t ctaX = 0, ctaY = 0, ctaZ = 0;
+    uint32_t linearId = 0;
+    unsigned numWarps = 0;
+    unsigned warpsDone = 0;
+    unsigned warpsAtBarrier = 0;
+    std::unique_ptr<SharedMemory> shared;
+};
+
+/** One warp resident on an SM. */
+struct WarpContext
+{
+    bool active = false;          //!< slot holds a live warp
+    int ctaSlot = -1;
+    unsigned warpInCta = 0;
+    uint32_t threadBase = 0;      //!< linear in-CTA thread id of lane 0
+
+    SimtStack stack;
+    std::vector<uint64_t> regs;   //!< numRegs x warpSize, lane-major
+
+    bool atBarrier = false;
+    unsigned inflightOps = 0;     //!< issued but not written back
+
+    /** Scoreboard: bit r set = register r has a pending writeback. */
+    std::vector<uint64_t> scoreboard;
+
+    uint64_t &
+    reg(ptx::RegId r, unsigned lane, unsigned warp_size)
+    {
+        return regs[static_cast<size_t>(r) * warp_size + lane];
+    }
+
+    uint64_t
+    reg(ptx::RegId r, unsigned lane, unsigned warp_size) const
+    {
+        return regs[static_cast<size_t>(r) * warp_size + lane];
+    }
+
+    void
+    initRegs(unsigned num_regs, unsigned warp_size)
+    {
+        regs.assign(static_cast<size_t>(num_regs) * warp_size, 0);
+        scoreboard.assign((num_regs + 63) / 64, 0);
+    }
+
+    bool
+    scoreboarded(ptx::RegId r) const
+    {
+        return (scoreboard[r / 64] >> (r % 64)) & 1;
+    }
+
+    void
+    setScoreboard(ptx::RegId r)
+    {
+        scoreboard[r / 64] |= uint64_t{1} << (r % 64);
+    }
+
+    void
+    clearScoreboard(ptx::RegId r)
+    {
+        scoreboard[r / 64] &= ~(uint64_t{1} << (r % 64));
+    }
+};
+
+} // namespace gcl::sim
+
+#endif // GCL_SIM_WARP_HH

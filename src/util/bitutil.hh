@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the simulator.
+ */
+
+#ifndef GCL_UTIL_BITUTIL_HH
+#define GCL_UTIL_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace gcl
+{
+
+/** True iff @p v is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2; @p v must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceil of log2; @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Round @p v up to the next multiple of power-of-two @p align. */
+constexpr uint64_t
+roundUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round @p v down to a multiple of power-of-two @p align. */
+constexpr uint64_t
+roundDown(uint64_t v, uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Integer ceiling division. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace gcl
+
+#endif // GCL_UTIL_BITUTIL_HH

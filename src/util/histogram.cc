@@ -1,0 +1,18 @@
+#include "histogram.hh"
+
+namespace gcl
+{
+
+std::vector<std::pair<int64_t, double>>
+Histogram::normalized() const
+{
+    std::vector<std::pair<int64_t, double>> out;
+    out.reserve(buckets_.size());
+    if (totalWeight_ <= 0.0)
+        return out;
+    for (const auto &[k, w] : buckets_)
+        out.emplace_back(k, w / totalWeight_);
+    return out;
+}
+
+} // namespace gcl

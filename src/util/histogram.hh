@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sparse integer histogram used for request-count and CTA-distance
+ * distributions (Figs 6, 7 and 12 of the paper).
+ */
+
+#ifndef GCL_UTIL_HISTOGRAM_HH
+#define GCL_UTIL_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace gcl
+{
+
+/**
+ * A sparse histogram over signed integer keys with double-valued weights.
+ *
+ * Keys are kept sorted (std::map) so reports iterate in key order. The
+ * histogram also tracks the weighted sum so means are O(1).
+ */
+class Histogram
+{
+  public:
+    /** Add @p weight to bucket @p key. */
+    void
+    add(int64_t key, double weight = 1.0)
+    {
+        buckets_[key] += weight;
+        totalWeight_ += weight;
+        weightedSum_ += static_cast<double>(key) * weight;
+    }
+
+    /** Merge another histogram into this one. */
+    void
+    merge(const Histogram &other)
+    {
+        for (const auto &[k, w] : other.buckets_)
+            add(k, w);
+    }
+
+    double totalWeight() const { return totalWeight_; }
+
+    /** Weighted mean of keys; 0 when empty. */
+    double
+    mean() const
+    {
+        return totalWeight_ > 0 ? weightedSum_ / totalWeight_ : 0.0;
+    }
+
+    /** Weight in a single bucket (0 when absent). */
+    double
+    weightAt(int64_t key) const
+    {
+        auto it = buckets_.find(key);
+        return it == buckets_.end() ? 0.0 : it->second;
+    }
+
+    bool empty() const { return buckets_.empty(); }
+    size_t numBuckets() const { return buckets_.size(); }
+
+    const std::map<int64_t, double> &buckets() const { return buckets_; }
+
+    /** Normalized (key, fraction-of-total) pairs in key order. */
+    std::vector<std::pair<int64_t, double>> normalized() const;
+
+    void
+    clear()
+    {
+        buckets_.clear();
+        totalWeight_ = 0.0;
+        weightedSum_ = 0.0;
+    }
+
+  private:
+    std::map<int64_t, double> buckets_;
+    double totalWeight_ = 0.0;
+    double weightedSum_ = 0.0;
+};
+
+} // namespace gcl
+
+#endif // GCL_UTIL_HISTOGRAM_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user asked for something unsupported (bad config); exits.
+ * warn()   — something suspicious happened but simulation can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef GCL_UTIL_LOGGING_HH
+#define GCL_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gcl
+{
+
+namespace detail
+{
+
+/** Stream-compose a message from variadic parts. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace gcl
+
+/** Abort with a message: something that should never happen did happen. */
+#define gcl_panic(...) \
+    ::gcl::detail::panicImpl(__FILE__, __LINE__, \
+                             ::gcl::detail::composeMessage(__VA_ARGS__))
+
+/** Exit with a message: the user's configuration or input is unusable. */
+#define gcl_fatal(...) \
+    ::gcl::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::gcl::detail::composeMessage(__VA_ARGS__))
+
+/** Emit a non-fatal warning. */
+#define gcl_warn(...) \
+    ::gcl::detail::warnImpl(__FILE__, __LINE__, \
+                            ::gcl::detail::composeMessage(__VA_ARGS__))
+
+/** Emit a status message. */
+#define gcl_inform(...) \
+    ::gcl::detail::informImpl(::gcl::detail::composeMessage(__VA_ARGS__))
+
+/** Internal invariant check that is active in all build types. */
+#define gcl_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            gcl_panic("assertion '", #cond, "' failed. ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // GCL_UTIL_LOGGING_HH

@@ -1,0 +1,82 @@
+#include "rng.hh"
+
+#include "logging.hh"
+
+namespace gcl
+{
+
+uint64_t
+Rng::splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rng::rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+Rng::Rng(uint64_t seed)
+{
+    // Seed the four state words from splitmix64 as recommended by the
+    // xoshiro authors; guarantees a non-zero state.
+    uint64_t x = seed;
+    for (auto &w : state_)
+        w = splitMix64(x);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t *s = state_;
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    gcl_assert(bound > 0, "nextBounded requires a positive bound");
+    // Lemire's nearly-divisionless method; the slight modulo bias of the
+    // plain multiply-shift is acceptable for workload synthesis.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    gcl_assert(lo <= hi, "nextRange requires lo <= hi");
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(nextBounded(span));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random mantissa bits scaled into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace gcl

@@ -1,0 +1,115 @@
+#include "stats.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gcl
+{
+
+double
+StatsSet::get(const std::string &key) const
+{
+    auto it = scalars_.find(key);
+    return it == scalars_.end() ? 0.0 : it->second;
+}
+
+bool
+StatsSet::has(const std::string &key) const
+{
+    return scalars_.count(key) > 0;
+}
+
+const Histogram &
+StatsSet::histOrEmpty(const std::string &key) const
+{
+    static const Histogram empty;
+    auto it = hists_.find(key);
+    return it == hists_.end() ? empty : it->second;
+}
+
+double
+StatsSet::ratio(const std::string &num, const std::string &den) const
+{
+    const double d = get(den);
+    return d != 0.0 ? get(num) / d : 0.0;
+}
+
+void
+StatsSet::merge(const StatsSet &other)
+{
+    for (const auto &[k, v] : other.scalars_)
+        scalars_[k] += v;
+    for (const auto &[k, h] : other.hists_)
+        hists_[k].merge(h);
+}
+
+std::string
+StatsSet::serialize() const
+{
+    // Format:
+    //   s <key> <value>
+    //   h <key> <nbuckets> (<bucket> <weight>)*
+    // Values use %.17g so doubles round-trip exactly.
+    std::ostringstream oss;
+    char buf[64];
+    for (const auto &[k, v] : scalars_) {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        oss << "s " << k << ' ' << buf << '\n';
+    }
+    for (const auto &[k, h] : hists_) {
+        oss << "h " << k << ' ' << h.buckets().size();
+        for (const auto &[bucket, w] : h.buckets()) {
+            std::snprintf(buf, sizeof(buf), "%.17g", w);
+            oss << ' ' << bucket << ' ' << buf;
+        }
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+bool
+StatsSet::deserialize(const std::string &text)
+{
+    clear();
+    std::istringstream iss(text);
+    std::string line;
+    while (std::getline(iss, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        char kind;
+        std::string key;
+        if (!(ls >> kind >> key))
+            return false;
+        if (kind == 's') {
+            double v;
+            if (!(ls >> v))
+                return false;
+            scalars_[key] = v;
+        } else if (kind == 'h') {
+            size_t n;
+            if (!(ls >> n))
+                return false;
+            Histogram &h = hists_[key];
+            for (size_t i = 0; i < n; ++i) {
+                int64_t bucket;
+                double w;
+                if (!(ls >> bucket >> w))
+                    return false;
+                h.add(bucket, w);
+            }
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+StatsSet::clear()
+{
+    scalars_.clear();
+    hists_.clear();
+}
+
+} // namespace gcl

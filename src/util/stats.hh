@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Flat statistics container shared by the simulator, the profiler and the
+ * benchmark harness.
+ *
+ * A StatsSet maps stable string keys to scalar doubles and to sparse
+ * histograms. All simulator instrumentation ultimately lands in one StatsSet
+ * per application run; the benchmark harness serializes these to disk so the
+ * (expensive) 15-application sweep is simulated once per configuration and
+ * shared by every figure binary (see DESIGN.md, "Run cache").
+ */
+
+#ifndef GCL_UTIL_STATS_HH
+#define GCL_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "histogram.hh"
+
+namespace gcl
+{
+
+/** Named scalar counters and histograms with text (de)serialization. */
+class StatsSet
+{
+  public:
+    /** Add @p v to the scalar named @p key (creating it at zero). */
+    void
+    inc(const std::string &key, double v = 1.0)
+    {
+        scalars_[key] += v;
+    }
+
+    /** Overwrite the scalar named @p key. */
+    void
+    set(const std::string &key, double v)
+    {
+        scalars_[key] = v;
+    }
+
+    /** Scalar value; 0 when absent. */
+    double get(const std::string &key) const;
+
+    /** True if the scalar exists. */
+    bool has(const std::string &key) const;
+
+    /** Mutable histogram named @p key (created on first use). */
+    Histogram &hist(const std::string &key) { return hists_[key]; }
+
+    /** Read-only histogram access; returns an empty histogram if absent. */
+    const Histogram &histOrEmpty(const std::string &key) const;
+
+    /** Ratio helper: scalar(num)/scalar(den), 0 when the denominator is 0. */
+    double ratio(const std::string &num, const std::string &den) const;
+
+    /** Merge all entries of @p other into this set. */
+    void merge(const StatsSet &other);
+
+    const std::map<std::string, double> &scalars() const { return scalars_; }
+    const std::map<std::string, Histogram> &hists() const { return hists_; }
+
+    /** Serialize to a line-oriented text form (stable across versions). */
+    std::string serialize() const;
+
+    /**
+     * Parse the form produced by serialize().
+     * @retval true on success; on failure the set is left unspecified.
+     */
+    bool deserialize(const std::string &text);
+
+    void clear();
+
+  private:
+    std::map<std::string, double> scalars_;
+    std::map<std::string, Histogram> hists_;
+};
+
+} // namespace gcl
+
+#endif // GCL_UTIL_STATS_HH

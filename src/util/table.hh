@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Aligned console table and CSV emission for the benchmark harness.
+ *
+ * Every figure/table bench prints two artifacts: a human-readable aligned
+ * table (the "paper view") and a machine-readable CSV block so results can be
+ * re-plotted. Both are produced by this one writer to keep them consistent.
+ */
+
+#ifndef GCL_UTIL_TABLE_HH
+#define GCL_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gcl
+{
+
+/** A simple column-aligned text table with an optional CSV rendering. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row of pre-formatted cells; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format helpers for numeric cells. */
+    static std::string fmt(double v, int precision = 3);
+    static std::string fmtInt(uint64_t v);
+    static std::string fmtPct(double fraction, int precision = 2);
+
+    /** Render with aligned columns and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (headers + rows). */
+    void printCsv(std::ostream &os) const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gcl
+
+#endif // GCL_UTIL_TABLE_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Helpers shared by the workload implementations: typed upload/download,
+ * float comparison, and the IR type aliases the kernels use.
+ */
+
+#ifndef GCL_WORKLOADS_COMMON_HH
+#define GCL_WORKLOADS_COMMON_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "ptx/builder.hh"
+#include "sim/gpu.hh"
+
+namespace gcl::workloads
+{
+
+using DT = ptx::DataType;
+using ptx::immF32;
+using ptx::immF64;
+using ptx::CmpOp;
+using ptx::KernelBuilder;
+using ptx::Label;
+using ptx::MemSpace;
+using ptx::Opcode;
+using ptx::Reg;
+using ptx::SpecialReg;
+using ptx::Src;
+
+/** Allocate and upload a host vector; returns the device address. */
+template <typename T>
+uint64_t
+upload(sim::Gpu &gpu, const std::vector<T> &host)
+{
+    const uint64_t addr = gpu.deviceMalloc(host.size() * sizeof(T));
+    gpu.memcpyToDevice(addr, host.data(), host.size() * sizeof(T));
+    return addr;
+}
+
+/** Allocate zero-initialized device memory for @p count elements. */
+template <typename T>
+uint64_t
+allocZeroed(sim::Gpu &gpu, size_t count)
+{
+    const std::vector<T> zeros(count, T{});
+    return upload(gpu, zeros);
+}
+
+/** Download @p count elements from device address @p addr. */
+template <typename T>
+std::vector<T>
+download(sim::Gpu &gpu, uint64_t addr, size_t count)
+{
+    std::vector<T> host(count);
+    gpu.memcpyToHost(host.data(), addr, count * sizeof(T));
+    return host;
+}
+
+/** Elementwise relative/absolute float comparison. */
+inline bool
+nearlyEqual(const std::vector<float> &a, const std::vector<float> &b,
+            float tolerance = 1e-3f)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const float scale =
+            std::max({1.0f, std::fabs(a[i]), std::fabs(b[i])});
+        if (std::fabs(a[i] - b[i]) > tolerance * scale) {
+            if (std::getenv("GCL_DEBUG_COMPARE"))
+                std::fprintf(stderr,
+                             "nearlyEqual mismatch at %zu: %g vs %g\n", i,
+                             static_cast<double>(a[i]),
+                             static_cast<double>(b[i]));
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Reinterpret a float's bits as the uint32 the IR stores in memory. */
+inline uint32_t
+floatBits(float f)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return bits;
+}
+
+} // namespace gcl::workloads
+
+#endif // GCL_WORKLOADS_COMMON_HH

@@ -1,0 +1,135 @@
+#include "graph.hh"
+
+#include <algorithm>
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+/** Draw one R-MAT endpoint pair in [0, 2^levels). */
+std::pair<uint32_t, uint32_t>
+rmatEdge(Rng &rng, unsigned levels, double a)
+{
+    // R-MAT quadrant probabilities; b and c split most of the remainder.
+    const double b = (1.0 - a) * 0.4, c = (1.0 - a) * 0.4;
+    uint32_t src = 0, dst = 0;
+    for (unsigned level = 0; level < levels; ++level) {
+        const double p = rng.nextDouble();
+        src <<= 1;
+        dst <<= 1;
+        if (p < a) {
+            // top-left quadrant
+        } else if (p < a + b) {
+            dst |= 1;
+        } else if (p < a + b + c) {
+            src |= 1;
+        } else {
+            src |= 1;
+            dst |= 1;
+        }
+    }
+    return {src, dst};
+}
+
+} // namespace
+
+Graph
+makeRmatGraph(uint32_t num_nodes, uint32_t avg_degree, bool undirected,
+              uint32_t max_weight, uint64_t seed, double skew_a)
+{
+    gcl_assert(num_nodes >= 2, "graph needs at least two nodes");
+    gcl_assert(max_weight >= 1, "weights start at 1");
+
+    Rng rng(seed);
+    const unsigned levels = ceilLog2(num_nodes);
+    const uint64_t target_edges = uint64_t{num_nodes} * avg_degree;
+
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    edges.reserve(target_edges * (undirected ? 2 : 1));
+    uint64_t attempts = 0;
+    while (edges.size() < target_edges && attempts < target_edges * 8) {
+        ++attempts;
+        auto [src, dst] = rmatEdge(rng, levels, skew_a);
+        src %= num_nodes;
+        dst %= num_nodes;
+        if (src == dst)
+            continue;
+        edges.emplace_back(src, dst);
+    }
+
+    if (undirected) {
+        const size_t n = edges.size();
+        for (size_t i = 0; i < n; ++i)
+            edges.emplace_back(edges[i].second, edges[i].first);
+    }
+
+    // Ensure the graph is connected with a small diameter: a ring for
+    // guaranteed reachability plus one uniformly random in- and out-edge
+    // per node for expansion (keeps BFS/SSSP iteration counts logarithmic;
+    // pure R-MAT leaves skew-starved nodes with the ring as their only
+    // edge, which blows the diameter up to O(n)).
+    for (uint32_t v = 0; v < num_nodes; ++v) {
+        edges.emplace_back(v, (v + 1) % num_nodes);
+        const auto r1 = static_cast<uint32_t>(rng.nextBounded(num_nodes));
+        const auto r2 = static_cast<uint32_t>(rng.nextBounded(num_nodes));
+        if (r1 != v)
+            edges.emplace_back(v, r1);
+        if (r2 != v)
+            edges.emplace_back(r2, v);
+        if (undirected) {
+            edges.emplace_back((v + 1) % num_nodes, v);
+            if (r1 != v)
+                edges.emplace_back(r1, v);
+            if (r2 != v)
+                edges.emplace_back(v, r2);
+        }
+    }
+
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    Graph g;
+    g.numNodes = num_nodes;
+    g.rowPtr.assign(num_nodes + 1, 0);
+    for (const auto &[src, dst] : edges) {
+        (void)dst;
+        ++g.rowPtr[src + 1];
+    }
+    for (uint32_t v = 0; v < num_nodes; ++v)
+        g.rowPtr[v + 1] += g.rowPtr[v];
+
+    g.col.resize(edges.size());
+    g.weight.resize(edges.size());
+    std::vector<uint32_t> cursor(g.rowPtr.begin(), g.rowPtr.end() - 1);
+    for (const auto &[src, dst] : edges) {
+        const uint32_t slot = cursor[src]++;
+        g.col[slot] = dst;
+        g.weight[slot] = 1 + static_cast<uint32_t>(
+            rng.nextBounded(max_weight));
+    }
+
+    // Symmetric weights for undirected graphs: derive the weight from the
+    // unordered endpoint pair so (u,v) and (v,u) agree.
+    if (undirected) {
+        for (uint32_t v = 0; v < num_nodes; ++v) {
+            for (uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+                const uint32_t u = g.col[e];
+                const uint64_t lo = std::min(v, u), hi = std::max(v, u);
+                // Cheap deterministic pair hash.
+                uint64_t h = (lo << 32 | hi) * 0x9e3779b97f4a7c15ull;
+                h ^= h >> 29;
+                g.weight[e] = 1 + static_cast<uint32_t>(h % max_weight);
+            }
+        }
+    }
+
+    return g;
+}
+
+} // namespace gcl::workloads

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Synthetic graph generation for the graph-application category.
+ *
+ * The paper's graph apps run on R-MAT and road-like inputs whose defining
+ * property for this study is that edge endpoints are randomly distributed,
+ * making indices for data fetching irregular (Section IV-A3). The generator
+ * produces CSR graphs with R-MAT-skewed endpoints.
+ */
+
+#ifndef GCL_WORKLOADS_DATASETS_GRAPH_HH
+#define GCL_WORKLOADS_DATASETS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gcl::workloads
+{
+
+/** CSR graph with optional edge weights. */
+struct Graph
+{
+    uint32_t numNodes = 0;
+    std::vector<uint32_t> rowPtr;   //!< size numNodes + 1
+    std::vector<uint32_t> col;      //!< edge destinations
+    std::vector<uint32_t> weight;   //!< parallel to col
+
+    uint32_t numEdges() const { return static_cast<uint32_t>(col.size()); }
+
+    uint32_t degree(uint32_t v) const { return rowPtr[v + 1] - rowPtr[v]; }
+};
+
+/**
+ * Generate an R-MAT-skewed graph.
+ *
+ * @param num_nodes node count (rounded up to a power of two internally for
+ *        the R-MAT recursion, then clipped)
+ * @param avg_degree average out-degree
+ * @param undirected when true every edge is mirrored, self-loops dropped
+ * @param max_weight weights uniform in [1, max_weight]
+ * @param seed RNG seed
+ * @param skew_a R-MAT "a" quadrant probability; 0.25 yields a uniform
+ *        Erdos-Renyi-like graph (the b and c quadrants track (1-a)/2.5)
+ */
+Graph makeRmatGraph(uint32_t num_nodes, uint32_t avg_degree,
+                    bool undirected, uint32_t max_weight, uint64_t seed,
+                    double skew_a = 0.45);
+
+} // namespace gcl::workloads
+
+#endif // GCL_WORKLOADS_DATASETS_GRAPH_HH

@@ -1,0 +1,97 @@
+#include "matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gcl::workloads
+{
+
+std::vector<float>
+makeRandomMatrix(uint32_t rows, uint32_t cols, float lo, float hi,
+                 uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> m(static_cast<size_t>(rows) * cols);
+    for (auto &v : m)
+        v = lo + static_cast<float>(rng.nextDouble()) * (hi - lo);
+    return m;
+}
+
+std::vector<float>
+makeDominantMatrix(uint32_t n, uint64_t seed)
+{
+    std::vector<float> m = makeRandomMatrix(n, n, -1.0f, 1.0f, seed);
+    for (uint32_t i = 0; i < n; ++i) {
+        float row_sum = 0.0f;
+        for (uint32_t j = 0; j < n; ++j)
+            row_sum += std::fabs(m[static_cast<size_t>(i) * n + j]);
+        m[static_cast<size_t>(i) * n + i] = row_sum + 1.0f;
+    }
+    return m;
+}
+
+std::vector<float>
+makeImage(uint32_t height, uint32_t width, uint64_t seed)
+{
+    // Sum of a few random sinusoids: smooth structure plus noise, so
+    // stencil/wavelet outputs are non-trivial.
+    Rng rng(seed);
+    const double fx1 = 1.0 + rng.nextDouble() * 7.0;
+    const double fy1 = 1.0 + rng.nextDouble() * 7.0;
+    const double fx2 = 1.0 + rng.nextDouble() * 23.0;
+    const double fy2 = 1.0 + rng.nextDouble() * 23.0;
+
+    std::vector<float> img(static_cast<size_t>(height) * width);
+    for (uint32_t y = 0; y < height; ++y) {
+        for (uint32_t x = 0; x < width; ++x) {
+            const double u = static_cast<double>(x) / width;
+            const double v = static_cast<double>(y) / height;
+            double val = 0.5 +
+                0.2 * std::sin(fx1 * u * 6.2831 + fy1 * v * 6.2831) +
+                0.15 * std::cos(fx2 * u * 6.2831 - fy2 * v * 6.2831) +
+                0.05 * rng.nextDouble();
+            val = std::clamp(val, 0.0, 1.0);
+            img[static_cast<size_t>(y) * width + x] =
+                static_cast<float>(val);
+        }
+    }
+    return img;
+}
+
+CsrMatrix
+makeCsrMatrix(uint32_t rows, uint32_t cols, uint32_t avg_nnz, uint64_t seed)
+{
+    gcl_assert(avg_nnz >= 1 && avg_nnz <= cols, "bad nnz density");
+    Rng rng(seed);
+
+    CsrMatrix m;
+    m.rows = rows;
+    m.cols = cols;
+    m.rowPtr.assign(rows + 1, 0);
+
+    std::vector<uint32_t> row_cols;
+    for (uint32_t r = 0; r < rows; ++r) {
+        // Degree varies between 1 and 2*avg (skewed row lengths stress the
+        // non-deterministic inner loop the way real sparse inputs do).
+        const uint32_t nnz = 1 + static_cast<uint32_t>(
+            rng.nextBounded(2 * avg_nnz - 1));
+        row_cols.clear();
+        for (uint32_t k = 0; k < nnz; ++k)
+            row_cols.push_back(static_cast<uint32_t>(rng.nextBounded(cols)));
+        std::sort(row_cols.begin(), row_cols.end());
+        row_cols.erase(std::unique(row_cols.begin(), row_cols.end()),
+                       row_cols.end());
+        for (uint32_t c : row_cols) {
+            m.colIdx.push_back(c);
+            m.values.push_back(
+                static_cast<float>(rng.nextDouble()) * 2.0f - 1.0f);
+        }
+        m.rowPtr[r + 1] = static_cast<uint32_t>(m.colIdx.size());
+    }
+    return m;
+}
+
+} // namespace gcl::workloads

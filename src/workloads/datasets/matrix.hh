@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Dense matrix / image synthesis for the linear-algebra and image
+ * categories.
+ */
+
+#ifndef GCL_WORKLOADS_DATASETS_MATRIX_HH
+#define GCL_WORKLOADS_DATASETS_MATRIX_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gcl::workloads
+{
+
+/** Row-major random matrix with entries in [lo, hi). */
+std::vector<float> makeRandomMatrix(uint32_t rows, uint32_t cols, float lo,
+                                    float hi, uint64_t seed);
+
+/**
+ * Random diagonally-dominant square matrix: well conditioned for the LU
+ * and Gaussian-elimination workloads (no pivoting in the originals either).
+ */
+std::vector<float> makeDominantMatrix(uint32_t n, uint64_t seed);
+
+/** Random grayscale "image" with smooth spatial structure in [0, 1). */
+std::vector<float> makeImage(uint32_t height, uint32_t width, uint64_t seed);
+
+/** CSR sparse matrix for spmv. */
+struct CsrMatrix
+{
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    std::vector<uint32_t> rowPtr;
+    std::vector<uint32_t> colIdx;
+    std::vector<float> values;
+};
+
+/** Random CSR matrix with ~avg_nnz entries per row at random columns. */
+CsrMatrix makeCsrMatrix(uint32_t rows, uint32_t cols, uint32_t avg_nnz,
+                        uint64_t seed);
+
+} // namespace gcl::workloads
+
+#endif // GCL_WORKLOADS_DATASETS_MATRIX_HH

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * bfs (Rodinia): level-synchronous breadth-first search, the paper's own
+ * running example (Code 1 in Section V).
+ *
+ * Kernel 1 visits the current frontier: the mask/cost/rowPtr loads are
+ * deterministic (indexed by tid), while the edge-destination and visited
+ * loads are non-deterministic (indexed through data loaded from memory).
+ */
+
+#include <queue>
+
+#include "common.hh"
+#include "datasets/graph.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kNodes = 32768;
+constexpr uint32_t kAvgDegree = 4;
+constexpr uint32_t kCtaSize = 256;
+
+/**
+ * Frontier-expansion kernel, following the paper's Code 1.
+ * Params: rowPtr, col, mask, updating, visited, cost, n.
+ */
+ptx::Kernel
+buildBfsExpandKernel()
+{
+    KernelBuilder b("bfs_expand", 7);
+
+    Reg tid = b.globalTidX();
+    Reg p_row = b.ldParam(0);
+    Reg p_col = b.ldParam(1);
+    Reg p_mask = b.ldParam(2);
+    Reg p_upd = b.ldParam(3);
+    Reg p_vis = b.ldParam(4);
+    Reg p_cost = b.ldParam(5);
+    Reg n = b.ldParam(6);
+
+    Label out = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, tid, n);
+    b.braIf(oob, out);
+
+    // if (!g_graph_mask[tid]) return;  -- deterministic byte load
+    Reg mask_addr = b.elemAddr(p_mask, tid, 1);
+    Reg mask = b.ld(MemSpace::Global, DT::U32, mask_addr, 0, 1);
+    Reg not_front = b.setp(CmpOp::Eq, DT::U32, mask, 0);
+    b.braIf(not_front, out);
+
+    // g_graph_mask[tid] = false;
+    b.st(MemSpace::Global, DT::U32, mask_addr, 0, 0, 1);
+
+    // start/end of the adjacency list: deterministic loads.
+    Reg row_addr = b.elemAddr(p_row, tid, 4);
+    Reg start = b.ld(MemSpace::Global, DT::U32, row_addr);
+    Reg end = b.ld(MemSpace::Global, DT::U32, row_addr, 4);
+    Reg my_cost =
+        b.ld(MemSpace::Global, DT::S32, b.elemAddr(p_cost, tid, 4));
+    Reg next_cost = b.add(DT::S32, my_cost, 1);
+
+    Reg i = b.mov(DT::U32, start);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg at_end = b.setp(CmpOp::Ge, DT::U32, i, end);
+    b.braIf(at_end, done);
+    {
+        // int id = g_graph_edges[i];  -- NON-deterministic: i derives from
+        // the loaded rowPtr value.
+        Reg id = b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_col, i, 4));
+
+        // if (!g_graph_visited[id])   -- NON-deterministic byte load.
+        Reg vis =
+            b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_vis, id, 1), 0, 1);
+        Label skip = b.newLabel();
+        Reg seen = b.setp(CmpOp::Ne, DT::U32, vis, 0);
+        b.braIf(seen, skip);
+        {
+            b.st(MemSpace::Global, DT::S32, b.elemAddr(p_cost, id, 4),
+                 next_cost);
+            b.st(MemSpace::Global, DT::U32, b.elemAddr(p_upd, id, 1), 1,
+                 0, 1);
+        }
+        b.place(skip);
+        b.assign(DT::U32, i, b.add(DT::U32, i, 1));
+    }
+    b.bra(loop);
+    b.place(done);
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+/**
+ * Frontier-commit kernel. Params: mask, updating, visited, done_flag, n.
+ */
+ptx::Kernel
+buildBfsCommitKernel()
+{
+    KernelBuilder b("bfs_commit", 5);
+
+    Reg tid = b.globalTidX();
+    Reg p_mask = b.ldParam(0);
+    Reg p_upd = b.ldParam(1);
+    Reg p_vis = b.ldParam(2);
+    Reg p_done = b.ldParam(3);
+    Reg n = b.ldParam(4);
+
+    Label out = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, tid, n);
+    b.braIf(oob, out);
+
+    Reg upd_addr = b.elemAddr(p_upd, tid, 1);
+    Reg upd = b.ld(MemSpace::Global, DT::U32, upd_addr, 0, 1);
+    Reg idle = b.setp(CmpOp::Eq, DT::U32, upd, 0);
+    b.braIf(idle, out);
+
+    b.st(MemSpace::Global, DT::U32, b.elemAddr(p_mask, tid, 1), 1, 0, 1);
+    b.st(MemSpace::Global, DT::U32, b.elemAddr(p_vis, tid, 1), 1, 0, 1);
+    b.st(MemSpace::Global, DT::U32, upd_addr, 0, 0, 1);
+    b.st(MemSpace::Global, DT::U32, p_done, 1);
+
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+std::vector<int32_t>
+cpuBfs(const Graph &g, uint32_t source)
+{
+    std::vector<int32_t> cost(g.numNodes, -1);
+    std::queue<uint32_t> frontier;
+    cost[source] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        const uint32_t v = frontier.front();
+        frontier.pop();
+        for (uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            const uint32_t u = g.col[e];
+            if (cost[u] < 0) {
+                cost[u] = cost[v] + 1;
+                frontier.push(u);
+            }
+        }
+    }
+    return cost;
+}
+
+bool
+runBfs(sim::Gpu &gpu)
+{
+    const Graph g = makeRmatGraph(kNodes, kAvgDegree, false, 1, 0xbf5, 0.25);
+    const uint32_t n = g.numNodes;
+    const uint32_t source = 0;
+
+    std::vector<uint8_t> mask(n, 0), updating(n, 0), visited(n, 0);
+    std::vector<int32_t> cost(n, -1);
+    mask[source] = 1;
+    visited[source] = 1;
+    cost[source] = 0;
+
+    const uint64_t d_row = upload(gpu, g.rowPtr);
+    const uint64_t d_col = upload(gpu, g.col);
+    const uint64_t d_mask = upload(gpu, mask);
+    const uint64_t d_upd = upload(gpu, updating);
+    const uint64_t d_vis = upload(gpu, visited);
+    const uint64_t d_cost = upload(gpu, cost);
+    const uint64_t d_done = allocZeroed<uint32_t>(gpu, 1);
+
+    const ptx::Kernel expand = buildBfsExpandKernel();
+    const ptx::Kernel commit = buildBfsCommitKernel();
+    const sim::Dim3 grid{(n + kCtaSize - 1) / kCtaSize, 1, 1};
+    const sim::Dim3 cta{kCtaSize, 1, 1};
+
+    // Host loop, like the Rodinia driver: iterate until no node updates.
+    for (int iter = 0; iter < 1000; ++iter) {
+        const uint32_t zero = 0;
+        gpu.memcpyToDevice(d_done, &zero, sizeof(zero));
+        gpu.launch(expand, grid, cta,
+                   {d_row, d_col, d_mask, d_upd, d_vis, d_cost, n});
+        gpu.launch(commit, grid, cta, {d_mask, d_upd, d_vis, d_done, n});
+        uint32_t done = 0;
+        gpu.memcpyToHost(&done, d_done, sizeof(done));
+        if (!done)
+            break;
+    }
+
+    const auto device_cost = download<int32_t>(gpu, d_cost, n);
+    return device_cost == cpuBfs(g, source);
+}
+
+} // namespace
+
+Workload
+makeBfs()
+{
+    Workload w;
+    w.name = "bfs";
+    w.category = Category::Graph;
+    w.description = "level-synchronous breadth-first search (Rodinia bfs)";
+    w.run = runBfs;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildBfsExpandKernel(),
+                                        buildBfsCommitKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * ccl: connected-component labeling by iterative min-label propagation on a
+ * block-diagonal multi-component graph.
+ *
+ * Each node repeatedly adopts the minimum label among its neighbors
+ * (non-deterministic gathers) until a fixpoint; the stable labels equal
+ * the minimum node id of each component.
+ */
+
+#include <algorithm>
+
+#include "common.hh"
+#include "datasets/graph.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kComponents = 10;   //!< disconnected sub-graphs
+constexpr uint32_t kNodesPerComp = 2048;
+constexpr uint32_t kAvgDegree = 4;
+constexpr uint32_t kCtaSize = 256;     //!< Table I: ccl uses 256 threads/CTA
+
+/** Params: rowPtr, col, label, changed, n. */
+ptx::Kernel
+buildCclPropagateKernel()
+{
+    KernelBuilder b("ccl_propagate", 5);
+
+    Reg tid = b.globalTidX();
+    Reg p_row = b.ldParam(0);
+    Reg p_col = b.ldParam(1);
+    Reg p_label = b.ldParam(2);
+    Reg p_changed = b.ldParam(3);
+    Reg n = b.ldParam(4);
+
+    Label out = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, tid, n);
+    b.braIf(oob, out);
+
+    Reg label_addr = b.elemAddr(p_label, tid, 4);
+    Reg my_label = b.ld(MemSpace::Global, DT::U32, label_addr);
+    Reg best = b.mov(DT::U32, my_label);
+
+    Reg row_addr = b.elemAddr(p_row, tid, 4);
+    Reg start = b.ld(MemSpace::Global, DT::U32, row_addr);
+    Reg end = b.ld(MemSpace::Global, DT::U32, row_addr, 4);
+
+    Reg i = b.mov(DT::U32, start);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg at_end = b.setp(CmpOp::Ge, DT::U32, i, end);
+    b.braIf(at_end, done);
+    {
+        Reg nbr = b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_col, i, 4));
+        // Non-deterministic gather of the neighbor's label.
+        Reg nbr_label =
+            b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_label, nbr, 4));
+        b.assign(DT::U32, best, b.min_(DT::U32, best, nbr_label));
+        b.assign(DT::U32, i, b.add(DT::U32, i, 1));
+    }
+    b.bra(loop);
+    b.place(done);
+
+    Label stable = b.newLabel();
+    Reg no_change = b.setp(CmpOp::Ge, DT::U32, best, my_label);
+    b.braIf(no_change, stable);
+    {
+        b.st(MemSpace::Global, DT::U32, label_addr, best);
+        b.st(MemSpace::Global, DT::U32, p_changed, 1);
+    }
+    b.place(stable);
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+/** Build a block-diagonal graph of kComponents independent sub-graphs. */
+Graph
+makeComponentGraph()
+{
+    Graph g;
+    g.numNodes = kComponents * kNodesPerComp;
+    g.rowPtr.assign(g.numNodes + 1, 0);
+
+    std::vector<Graph> parts;
+    parts.reserve(kComponents);
+    for (uint32_t c = 0; c < kComponents; ++c)
+        parts.push_back(makeRmatGraph(kNodesPerComp, kAvgDegree, true, 1,
+                                      0xcc1000 + c, 0.25));
+
+    for (uint32_t c = 0; c < kComponents; ++c) {
+        const Graph &part = parts[c];
+        const uint32_t base = c * kNodesPerComp;
+        for (uint32_t v = 0; v < kNodesPerComp; ++v) {
+            g.rowPtr[base + v + 1] =
+                g.rowPtr[base + v] + part.degree(v);
+            for (uint32_t e = part.rowPtr[v]; e < part.rowPtr[v + 1]; ++e) {
+                g.col.push_back(base + part.col[e]);
+                g.weight.push_back(part.weight[e]);
+            }
+        }
+    }
+    return g;
+}
+
+std::vector<uint32_t>
+cpuComponents(const Graph &g)
+{
+    // Min node id per component via repeated relaxation (union-find-free
+    // reference that matches what label propagation converges to).
+    std::vector<uint32_t> label(g.numNodes);
+    for (uint32_t v = 0; v < g.numNodes; ++v)
+        label[v] = v;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t v = 0; v < g.numNodes; ++v) {
+            for (uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+                const uint32_t u = g.col[e];
+                const uint32_t m = std::min(label[v], label[u]);
+                if (m < label[v]) {
+                    label[v] = m;
+                    changed = true;
+                }
+                if (m < label[u]) {
+                    label[u] = m;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return label;
+}
+
+bool
+runCcl(sim::Gpu &gpu)
+{
+    const Graph g = makeComponentGraph();
+    const uint32_t n = g.numNodes;
+
+    std::vector<uint32_t> label(n);
+    for (uint32_t v = 0; v < n; ++v)
+        label[v] = v;
+
+    const uint64_t d_row = upload(gpu, g.rowPtr);
+    const uint64_t d_col = upload(gpu, g.col);
+    const uint64_t d_label = upload(gpu, label);
+    const uint64_t d_changed = allocZeroed<uint32_t>(gpu, 1);
+
+    const ptx::Kernel propagate = buildCclPropagateKernel();
+    const sim::Dim3 grid{(n + kCtaSize - 1) / kCtaSize, 1, 1};
+    const sim::Dim3 cta{kCtaSize, 1, 1};
+
+    for (uint32_t iter = 0; iter < n; ++iter) {
+        const uint32_t zero = 0;
+        gpu.memcpyToDevice(d_changed, &zero, sizeof(zero));
+        gpu.launch(propagate, grid, cta,
+                   {d_row, d_col, d_label, d_changed, n});
+        uint32_t changed = 0;
+        gpu.memcpyToHost(&changed, d_changed, sizeof(changed));
+        if (!changed)
+            break;
+    }
+
+    const auto device_label = download<uint32_t>(gpu, d_label, n);
+    return device_label == cpuComponents(g);
+}
+
+} // namespace
+
+Workload
+makeCcl()
+{
+    Workload w;
+    w.name = "ccl";
+    w.category = Category::Graph;
+    w.description = "connected-component labeling by label propagation";
+    w.run = runCcl;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildCclPropagateKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * mis: maximal independent set via Luby's algorithm with random priorities.
+ *
+ * Each round, an undecided node joins the set when its priority is a local
+ * maximum among undecided neighbors (non-deterministic state/priority
+ * gathers); neighbors of joined nodes drop out. Verified for independence
+ * and maximality on the CPU.
+ */
+
+#include "common.hh"
+#include "util/rng.hh"
+#include "datasets/graph.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kNodes = 16384;
+constexpr uint32_t kAvgDegree = 4;
+constexpr uint32_t kCtaSize = 256;
+
+constexpr uint32_t kUndecided = 0;
+constexpr uint32_t kIn = 1;
+constexpr uint32_t kOut = 2;
+
+/**
+ * Select round: undecided local-priority maxima join the set.
+ * Params: rowPtr, col, prio, state, changed, n.
+ */
+ptx::Kernel
+buildMisSelectKernel()
+{
+    KernelBuilder b("mis_select", 6);
+
+    Reg tid = b.globalTidX();
+    Reg p_row = b.ldParam(0);
+    Reg p_col = b.ldParam(1);
+    Reg p_prio = b.ldParam(2);
+    Reg p_state = b.ldParam(3);
+    Reg p_changed = b.ldParam(4);
+    Reg n = b.ldParam(5);
+
+    Label out = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, tid, n);
+    b.braIf(oob, out);
+
+    Reg state_addr = b.elemAddr(p_state, tid, 1);
+    Reg my_state = b.ld(MemSpace::Global, DT::U32, state_addr, 0, 1);
+    Reg decided = b.setp(CmpOp::Ne, DT::U32, my_state, kUndecided);
+    b.braIf(decided, out);
+
+    Reg my_prio = b.ld(MemSpace::Global, DT::U32,
+                       b.elemAddr(p_prio, tid, 4));
+
+    Reg row_addr = b.elemAddr(p_row, tid, 4);
+    Reg start = b.ld(MemSpace::Global, DT::U32, row_addr);
+    Reg end = b.ld(MemSpace::Global, DT::U32, row_addr, 4);
+
+    // is_max stays 1 unless some undecided neighbor outranks me.
+    Reg is_max = b.mov(DT::U32, 1);
+    Reg i = b.mov(DT::U32, start);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg at_end = b.setp(CmpOp::Ge, DT::U32, i, end);
+    b.braIf(at_end, done);
+    {
+        Reg nbr = b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_col, i, 4));
+        Reg nbr_state = b.ld(MemSpace::Global, DT::U32,
+                             b.elemAddr(p_state, nbr, 1), 0, 1);
+
+        // A neighbor already in the set disqualifies me outright — this
+        // also closes the same-round race where a just-joined neighbor
+        // would otherwise read as merely "decided".
+        Label not_in = b.newLabel();
+        Reg nbr_in = b.setp(CmpOp::Eq, DT::U32, nbr_state, kIn);
+        b.braIfNot(nbr_in, not_in);
+        {
+            b.assign(DT::U32, is_max, 0);
+            b.bra(done);
+        }
+        b.place(not_in);
+
+        Label next = b.newLabel();
+        Reg nbr_decided = b.setp(CmpOp::Ne, DT::U32, nbr_state, kUndecided);
+        b.braIf(nbr_decided, next);
+        {
+            Reg nbr_prio = b.ld(MemSpace::Global, DT::U32,
+                                b.elemAddr(p_prio, nbr, 4));
+            Reg outranked = b.setp(CmpOp::Gt, DT::U32, nbr_prio, my_prio);
+            Reg keep = b.selp(DT::U32, 0, is_max, outranked);
+            b.assign(DT::U32, is_max, keep);
+        }
+        b.place(next);
+        b.assign(DT::U32, i, b.add(DT::U32, i, 1));
+    }
+    b.bra(loop);
+    b.place(done);
+
+    Label not_max = b.newLabel();
+    Reg lost = b.setp(CmpOp::Eq, DT::U32, is_max, 0);
+    b.braIf(lost, not_max);
+    {
+        b.st(MemSpace::Global, DT::U32, state_addr, kIn, 0, 1);
+        b.st(MemSpace::Global, DT::U32, p_changed, 1);
+    }
+    b.place(not_max);
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+/**
+ * Drop-out round: undecided neighbors of set members leave.
+ * Params: rowPtr, col, state, changed, n.
+ */
+ptx::Kernel
+buildMisDropKernel()
+{
+    KernelBuilder b("mis_drop", 5);
+
+    Reg tid = b.globalTidX();
+    Reg p_row = b.ldParam(0);
+    Reg p_col = b.ldParam(1);
+    Reg p_state = b.ldParam(2);
+    Reg p_changed = b.ldParam(3);
+    Reg n = b.ldParam(4);
+
+    Label out = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, tid, n);
+    b.braIf(oob, out);
+
+    Reg state_addr = b.elemAddr(p_state, tid, 1);
+    Reg my_state = b.ld(MemSpace::Global, DT::U32, state_addr, 0, 1);
+    Reg decided = b.setp(CmpOp::Ne, DT::U32, my_state, kUndecided);
+    b.braIf(decided, out);
+
+    Reg row_addr = b.elemAddr(p_row, tid, 4);
+    Reg start = b.ld(MemSpace::Global, DT::U32, row_addr);
+    Reg end = b.ld(MemSpace::Global, DT::U32, row_addr, 4);
+
+    Reg i = b.mov(DT::U32, start);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg at_end = b.setp(CmpOp::Ge, DT::U32, i, end);
+    b.braIf(at_end, done);
+    {
+        Reg nbr = b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_col, i, 4));
+        Reg nbr_state = b.ld(MemSpace::Global, DT::U32,
+                             b.elemAddr(p_state, nbr, 1), 0, 1);
+        Label next = b.newLabel();
+        Reg nbr_out = b.setp(CmpOp::Ne, DT::U32, nbr_state, kIn);
+        b.braIf(nbr_out, next);
+        {
+            b.st(MemSpace::Global, DT::U32, state_addr, kOut, 0, 1);
+            b.st(MemSpace::Global, DT::U32, p_changed, 1);
+            b.bra(done);
+        }
+        b.place(next);
+        b.assign(DT::U32, i, b.add(DT::U32, i, 1));
+    }
+    b.bra(loop);
+    b.place(done);
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+bool
+runMis(sim::Gpu &gpu)
+{
+    const Graph g = makeRmatGraph(kNodes, kAvgDegree, true, 1, 0x315, 0.25);
+    const uint32_t n = g.numNodes;
+
+    // Distinct priorities: a pseudorandom permutation of 0..n-1.
+    Rng rng(0x316);
+    std::vector<uint32_t> prio(n);
+    for (uint32_t v = 0; v < n; ++v)
+        prio[v] = v;
+    for (uint32_t v = n; v > 1; --v) {
+        const auto j = static_cast<uint32_t>(rng.nextBounded(v));
+        std::swap(prio[v - 1], prio[j]);
+    }
+
+    const uint64_t d_row = upload(gpu, g.rowPtr);
+    const uint64_t d_col = upload(gpu, g.col);
+    const uint64_t d_prio = upload(gpu, prio);
+    const uint64_t d_state = allocZeroed<uint8_t>(gpu, n);
+    const uint64_t d_changed = allocZeroed<uint32_t>(gpu, 1);
+
+    const ptx::Kernel select = buildMisSelectKernel();
+    const ptx::Kernel drop = buildMisDropKernel();
+    const sim::Dim3 grid{(n + kCtaSize - 1) / kCtaSize, 1, 1};
+    const sim::Dim3 cta{kCtaSize, 1, 1};
+
+    for (uint32_t iter = 0; iter < n; ++iter) {
+        const uint32_t zero = 0;
+        gpu.memcpyToDevice(d_changed, &zero, sizeof(zero));
+        gpu.launch(select, grid, cta,
+                   {d_row, d_col, d_prio, d_state, d_changed, n});
+        gpu.launch(drop, grid, cta,
+                   {d_row, d_col, d_state, d_changed, n});
+        uint32_t changed = 0;
+        gpu.memcpyToHost(&changed, d_changed, sizeof(changed));
+        if (!changed)
+            break;
+    }
+
+    // Verify: no undecided nodes, the set is independent, and it is
+    // maximal (every out-node has an in-neighbor).
+    const auto state = download<uint8_t>(gpu, d_state, n);
+    for (uint32_t v = 0; v < n; ++v) {
+        if (state[v] == kUndecided)
+            return false;
+        bool has_in_neighbor = false;
+        for (uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            const uint32_t u = g.col[e];
+            if (state[v] == kIn && state[u] == kIn)
+                return false;  // not independent
+            if (state[u] == kIn)
+                has_in_neighbor = true;
+        }
+        if (state[v] == kOut && !has_in_neighbor)
+            return false;  // not maximal
+    }
+    return true;
+}
+
+} // namespace
+
+Workload
+makeMis()
+{
+    Workload w;
+    w.name = "mis";
+    w.category = Category::Graph;
+    w.description = "maximal independent set, Luby's algorithm";
+    w.run = runMis;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildMisSelectKernel(),
+                                        buildMisDropKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

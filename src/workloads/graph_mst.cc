@@ -1,0 +1,221 @@
+/**
+ * @file
+ * mst (LonestarGPU-style): Boruvka minimum spanning tree.
+ *
+ * The device kernel performs the irregular phase — every node scans its
+ * edges, looks up the component labels of both endpoints (non-deterministic
+ * gathers) and atomically records its component's cheapest outgoing edge
+ * (weight/edge-id packed into 64 bits). The host contracts components with
+ * a disjoint-set union between rounds, as the original does for its
+ * inter-kernel coordination.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include "common.hh"
+#include "datasets/graph.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kNodes = 4096;
+constexpr uint32_t kAvgDegree = 6;
+constexpr uint32_t kMaxWeight = 15;
+constexpr uint32_t kCtaSize = 384;   //!< Table I: mst uses 384 threads/CTA
+constexpr uint64_t kNoEdge = ~uint64_t{0};
+
+/** Params: rowPtr, col, weight, label, cheapest, n. */
+ptx::Kernel
+buildMstFindMinKernel()
+{
+    KernelBuilder b("mst_find_min", 6);
+
+    Reg tid = b.globalTidX();
+    Reg p_row = b.ldParam(0);
+    Reg p_col = b.ldParam(1);
+    Reg p_w = b.ldParam(2);
+    Reg p_label = b.ldParam(3);
+    Reg p_cheapest = b.ldParam(4);
+    Reg n = b.ldParam(5);
+
+    Label out = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, tid, n);
+    b.braIf(oob, out);
+
+    Reg my_label = b.ld(MemSpace::Global, DT::U32,
+                        b.elemAddr(p_label, tid, 4));
+    Reg cheapest_addr = b.elemAddr(p_cheapest, my_label, 8);
+
+    Reg row_addr = b.elemAddr(p_row, tid, 4);
+    Reg start = b.ld(MemSpace::Global, DT::U32, row_addr);
+    Reg end = b.ld(MemSpace::Global, DT::U32, row_addr, 4);
+
+    Reg i = b.mov(DT::U32, start);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg at_end = b.setp(CmpOp::Ge, DT::U32, i, end);
+    b.braIf(at_end, done);
+    {
+        Reg nbr = b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_col, i, 4));
+        // Non-deterministic gather of the neighbor's component.
+        Reg nbr_label = b.ld(MemSpace::Global, DT::U32,
+                             b.elemAddr(p_label, nbr, 4));
+        Label internal = b.newLabel();
+        Reg same = b.setp(CmpOp::Eq, DT::U32, nbr_label, my_label);
+        b.braIf(same, internal);
+        {
+            // enc = weight << 32 | edge id: atomic min picks the lightest
+            // edge with deterministic edge-id tie-breaking.
+            Reg w = b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_w, i, 4));
+            Reg enc = b.or_(DT::U64,
+                            b.shl(DT::U64, b.cvt(DT::U64, DT::U32, w), 32),
+                            b.cvt(DT::U64, DT::U32, i));
+            (void)b.atom(ptx::AtomOp::Min, DT::U64, cheapest_addr, enc);
+        }
+        b.place(internal);
+        b.assign(DT::U32, i, b.add(DT::U32, i, 1));
+    }
+    b.bra(loop);
+    b.place(done);
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+/** Host-side disjoint-set union. */
+struct Dsu
+{
+    std::vector<uint32_t> parent;
+
+    explicit Dsu(uint32_t n) : parent(n)
+    {
+        std::iota(parent.begin(), parent.end(), 0);
+    }
+
+    uint32_t
+    find(uint32_t v)
+    {
+        while (parent[v] != v) {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        return v;
+    }
+
+    bool
+    merge(uint32_t a, uint32_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return false;
+        parent[std::max(a, b)] = std::min(a, b);
+        return true;
+    }
+};
+
+uint64_t
+cpuKruskal(const Graph &g, const std::vector<uint32_t> &edge_src)
+{
+    std::vector<uint32_t> order(g.numEdges());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return g.weight[a] != g.weight[b] ? g.weight[a] < g.weight[b]
+                                          : a < b;
+    });
+    Dsu dsu(g.numNodes);
+    uint64_t total = 0;
+    for (uint32_t e : order)
+        if (dsu.merge(edge_src[e], g.col[e]))
+            total += g.weight[e];
+    return total;
+}
+
+bool
+runMst(sim::Gpu &gpu)
+{
+    const Graph g = makeRmatGraph(kNodes, kAvgDegree, true, kMaxWeight,
+                                  0xe57);
+    const uint32_t n = g.numNodes;
+
+    // Edge source lookup (CSR rows flattened).
+    std::vector<uint32_t> edge_src(g.numEdges());
+    for (uint32_t v = 0; v < n; ++v)
+        for (uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e)
+            edge_src[e] = v;
+
+    std::vector<uint32_t> label(n);
+    std::iota(label.begin(), label.end(), 0);
+    const std::vector<uint64_t> no_edges(n, kNoEdge);
+
+    const uint64_t d_row = upload(gpu, g.rowPtr);
+    const uint64_t d_col = upload(gpu, g.col);
+    const uint64_t d_w = upload(gpu, g.weight);
+    const uint64_t d_label = upload(gpu, label);
+    const uint64_t d_cheapest = upload(gpu, no_edges);
+
+    const ptx::Kernel find_min = buildMstFindMinKernel();
+    const sim::Dim3 grid{(n + kCtaSize - 1) / kCtaSize, 1, 1};
+    const sim::Dim3 cta{kCtaSize, 1, 1};
+
+    Dsu dsu(n);
+    uint64_t mst_weight = 0;
+    uint32_t mst_edges = 0;
+
+    // Boruvka rounds: device finds per-component cheapest edges, the host
+    // contracts.
+    for (uint32_t round = 0; round < 32; ++round) {
+        gpu.memcpyToDevice(d_cheapest, no_edges.data(),
+                           no_edges.size() * sizeof(uint64_t));
+        gpu.launch(find_min, grid, cta,
+                   {d_row, d_col, d_w, d_label, d_cheapest, n});
+
+        const auto cheapest = download<uint64_t>(gpu, d_cheapest, n);
+        bool merged_any = false;
+        for (uint32_t c = 0; c < n; ++c) {
+            if (cheapest[c] == kNoEdge)
+                continue;
+            const auto edge = static_cast<uint32_t>(cheapest[c]);
+            const auto w = static_cast<uint32_t>(cheapest[c] >> 32);
+            if (dsu.merge(edge_src[edge], g.col[edge])) {
+                mst_weight += w;
+                ++mst_edges;
+                merged_any = true;
+            }
+        }
+        if (!merged_any)
+            break;
+
+        for (uint32_t v = 0; v < n; ++v)
+            label[v] = dsu.find(v);
+        gpu.memcpyToDevice(d_label, label.data(),
+                           label.size() * sizeof(uint32_t));
+    }
+
+    return mst_edges == n - 1 &&
+           mst_weight == cpuKruskal(g, edge_src);
+}
+
+} // namespace
+
+Workload
+makeMst()
+{
+    Workload w;
+    w.name = "mst";
+    w.category = Category::Graph;
+    w.description = "Boruvka minimum spanning tree (LonestarGPU mst)";
+    w.run = runMst;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildMstFindMinKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * sssp (LonestarGPU): single-source shortest paths via topology-driven
+ * Bellman-Ford relaxation with atomicMin, iterated until no distance
+ * changes.
+ *
+ * The neighbor/weight/distance loads of the inner loop are all
+ * non-deterministic; the relaxation itself is an atomic, exercising the
+ * partition-side atomic path.
+ */
+
+#include <limits>
+#include <queue>
+
+#include "common.hh"
+#include "datasets/graph.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kNodes = 8192;
+constexpr uint32_t kAvgDegree = 8;
+constexpr uint32_t kMaxWeight = 15;
+constexpr uint32_t kCtaSize = 512;   //!< Table I: sssp uses 512 threads/CTA
+constexpr uint32_t kInf = 0x3fffffff;
+
+/** Params: rowPtr, col, weight, dist, changed, n. */
+ptx::Kernel
+buildSsspRelaxKernel()
+{
+    KernelBuilder b("sssp_relax", 6);
+
+    Reg tid = b.globalTidX();
+    Reg p_row = b.ldParam(0);
+    Reg p_col = b.ldParam(1);
+    Reg p_w = b.ldParam(2);
+    Reg p_dist = b.ldParam(3);
+    Reg p_changed = b.ldParam(4);
+    Reg n = b.ldParam(5);
+
+    Label out = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, tid, n);
+    b.braIf(oob, out);
+
+    // My current distance (deterministic load); skip unreached nodes.
+    Reg my_dist = b.ld(MemSpace::Global, DT::U32,
+                       b.elemAddr(p_dist, tid, 4));
+    Reg unreached = b.setp(CmpOp::Ge, DT::U32, my_dist, kInf);
+    b.braIf(unreached, out);
+
+    Reg row_addr = b.elemAddr(p_row, tid, 4);
+    Reg start = b.ld(MemSpace::Global, DT::U32, row_addr);
+    Reg end = b.ld(MemSpace::Global, DT::U32, row_addr, 4);
+
+    Reg i = b.mov(DT::U32, start);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg at_end = b.setp(CmpOp::Ge, DT::U32, i, end);
+    b.braIf(at_end, done);
+    {
+        // Non-deterministic loads: i derives from the loaded rowPtr.
+        Reg nbr = b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_col, i, 4));
+        Reg w = b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_w, i, 4));
+        Reg alt = b.add(DT::U32, my_dist, w);
+
+        // Non-deterministic gather of the neighbor's distance.
+        Reg nbr_addr = b.elemAddr(p_dist, nbr, 4);
+        Reg nbr_dist = b.ld(MemSpace::Global, DT::U32, nbr_addr);
+        Label no_improve = b.newLabel();
+        Reg worse = b.setp(CmpOp::Ge, DT::U32, alt, nbr_dist);
+        b.braIf(worse, no_improve);
+        {
+            (void)b.atom(ptx::AtomOp::Min, DT::U32, nbr_addr, alt);
+            b.st(MemSpace::Global, DT::U32, p_changed, 1);
+        }
+        b.place(no_improve);
+        b.assign(DT::U32, i, b.add(DT::U32, i, 1));
+    }
+    b.bra(loop);
+    b.place(done);
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+std::vector<uint32_t>
+cpuDijkstra(const Graph &g, uint32_t source)
+{
+    std::vector<uint32_t> dist(g.numNodes, kInf);
+    using Item = std::pair<uint32_t, uint32_t>;  // (dist, node)
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    dist[source] = 0;
+    pq.emplace(0, source);
+    while (!pq.empty()) {
+        const auto [d, v] = pq.top();
+        pq.pop();
+        if (d > dist[v])
+            continue;
+        for (uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            const uint32_t u = g.col[e];
+            const uint32_t alt = d + g.weight[e];
+            if (alt < dist[u]) {
+                dist[u] = alt;
+                pq.emplace(alt, u);
+            }
+        }
+    }
+    return dist;
+}
+
+bool
+runSssp(sim::Gpu &gpu)
+{
+    const Graph g = makeRmatGraph(kNodes, kAvgDegree, false, kMaxWeight,
+                                  0x55b);
+    const uint32_t n = g.numNodes;
+    const uint32_t source = 0;
+
+    std::vector<uint32_t> dist(n, kInf);
+    dist[source] = 0;
+
+    const uint64_t d_row = upload(gpu, g.rowPtr);
+    const uint64_t d_col = upload(gpu, g.col);
+    const uint64_t d_w = upload(gpu, g.weight);
+    const uint64_t d_dist = upload(gpu, dist);
+    const uint64_t d_changed = allocZeroed<uint32_t>(gpu, 1);
+
+    const ptx::Kernel relax = buildSsspRelaxKernel();
+    const sim::Dim3 grid{(n + kCtaSize - 1) / kCtaSize, 1, 1};
+    const sim::Dim3 cta{kCtaSize, 1, 1};
+
+    for (uint32_t iter = 0; iter < n; ++iter) {
+        const uint32_t zero = 0;
+        gpu.memcpyToDevice(d_changed, &zero, sizeof(zero));
+        gpu.launch(relax, grid, cta,
+                   {d_row, d_col, d_w, d_dist, d_changed, n});
+        uint32_t changed = 0;
+        gpu.memcpyToHost(&changed, d_changed, sizeof(changed));
+        if (!changed)
+            break;
+    }
+
+    const auto device_dist = download<uint32_t>(gpu, d_dist, n);
+    return device_dist == cpuDijkstra(g, source);
+}
+
+} // namespace
+
+Workload
+makeSssp()
+{
+    Workload w;
+    w.name = "sssp";
+    w.category = Category::Graph;
+    w.description =
+        "single-source shortest paths, Bellman-Ford (LonestarGPU sssp)";
+    w.run = runSssp;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildSsspRelaxKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

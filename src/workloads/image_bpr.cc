@@ -1,0 +1,281 @@
+/**
+ * @file
+ * bpr (Rodinia backprop): neural-network layer forward pass plus weight
+ * adjustment.
+ *
+ * The forward kernel follows Rodinia's blocked scheme: each 16x16 CTA
+ * stages an input tile in shared memory, forms the partial products in a
+ * shared matrix, tree-reduces along the input dimension, and emits partial
+ * sums that a second kernel folds and squashes with the sigmoid (SFU ex2).
+ */
+
+#include <cmath>
+
+#include "common.hh"
+#include "datasets/matrix.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kIn = 512;      //!< input layer size
+constexpr uint32_t kHid = 64;      //!< hidden layer size
+constexpr uint32_t kBlk = 16;      //!< tile edge
+constexpr uint32_t kBlocks = kIn / kBlk;
+constexpr float kLog2E = 1.4426950f;
+constexpr float kEta = 0.3f;
+
+/**
+ * Forward partials. Params: input, weights, partial, in, hid.
+ * CTA (kBlk, kBlk): tx = hidden unit inside the block, ty = input row.
+ * Shared: input tile [kBlk] then product matrix [kBlk][kBlk].
+ */
+ptx::Kernel
+buildBprForwardKernel()
+{
+    KernelBuilder b("bpr_layerforward", 5, (kBlk + kBlk * kBlk) * 4);
+
+    Reg tx = b.mov(DT::U32, SpecialReg::TidX);
+    Reg ty = b.mov(DT::U32, SpecialReg::TidY);
+    Reg p_input = b.ldParam(0);
+    Reg p_w = b.ldParam(1);
+    Reg p_partial = b.ldParam(2);
+    (void)b.ldParam(3);  // input size: unused by this kernel's indexing
+    Reg hid_size = b.ldParam(4);
+
+    // Global input row and hidden column of this thread.
+    Reg row = b.mad(DT::U32, SpecialReg::CtaIdY, Src(kBlk), ty);
+    Reg col = b.mad(DT::U32, SpecialReg::CtaIdX, Src(kBlk), tx);
+
+    // One thread column stages the input tile.
+    Label staged = b.newLabel();
+    Reg not_loader = b.setp(CmpOp::Ne, DT::U32, tx, 0);
+    b.braIf(not_loader, staged);
+    {
+        Reg v = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_input, row, 4));
+        b.st(MemSpace::Shared, DT::F32,
+             b.shl(DT::U64, b.cvt(DT::U64, DT::U32, ty), 2), v);
+    }
+    b.place(staged);
+    b.bar();
+
+    // product[ty][tx] = input_s[ty] * w[row][col]
+    Reg in_v = b.ld(MemSpace::Shared, DT::F32,
+                    b.shl(DT::U64, b.cvt(DT::U64, DT::U32, ty), 2));
+    Reg w = b.ld(MemSpace::Global, DT::F32,
+                 b.elemAddr(p_w, b.mad(DT::U32, row, hid_size, col), 4));
+    Reg prod_idx = b.add(DT::U32, b.mad(DT::U32, ty, Src(kBlk), tx),
+                         Src(kBlk));
+    Reg prod_off = b.shl(DT::U64, b.cvt(DT::U64, DT::U32, prod_idx), 2);
+    b.st(MemSpace::Shared, DT::F32, prod_off, b.mul(DT::F32, in_v, w));
+    b.bar();
+
+    // Tree-reduce along ty.
+    Reg stride = b.mov(DT::U32, kBlk / 2);
+    Label reduce = b.newLabel();
+    Label reduced = b.newLabel();
+    b.place(reduce);
+    Reg r_done = b.setp(CmpOp::Eq, DT::U32, stride, 0);
+    b.braIf(r_done, reduced);
+    {
+        Label skip = b.newLabel();
+        Reg idle = b.setp(CmpOp::Ge, DT::U32, ty, stride);
+        b.braIf(idle, skip);
+        {
+            Reg peer_idx = b.add(
+                DT::U32,
+                b.mad(DT::U32, b.add(DT::U32, ty, stride), Src(kBlk), tx),
+                Src(kBlk));
+            Reg peer_off =
+                b.shl(DT::U64, b.cvt(DT::U64, DT::U32, peer_idx), 2);
+            Reg mine = b.ld(MemSpace::Shared, DT::F32, prod_off);
+            Reg theirs = b.ld(MemSpace::Shared, DT::F32, peer_off);
+            b.st(MemSpace::Shared, DT::F32, prod_off,
+                 b.add(DT::F32, mine, theirs));
+        }
+        b.place(skip);
+        b.bar();
+        b.assign(DT::U32, stride, b.shr(DT::U32, stride, 1));
+    }
+    b.bra(reduce);
+    b.place(reduced);
+
+    // Row 0 writes this block's partial: partial[blockY * hid + col].
+    Label not_writer = b.newLabel();
+    Reg rest = b.setp(CmpOp::Ne, DT::U32, ty, 0);
+    b.braIf(rest, not_writer);
+    {
+        Reg sum = b.ld(MemSpace::Shared, DT::F32, prod_off);
+        Reg out_idx =
+            b.mad(DT::U32, SpecialReg::CtaIdY, hid_size, col);
+        b.st(MemSpace::Global, DT::F32, b.elemAddr(p_partial, out_idx, 4),
+             sum);
+    }
+    b.place(not_writer);
+    b.exit();
+    return b.build();
+}
+
+/**
+ * Fold partials and squash. Params: partial, hidden, blocks, hid.
+ * hidden[j] = 1 / (1 + 2^(-x*log2(e))) — the sigmoid via the SFU.
+ */
+ptx::Kernel
+buildBprSquashKernel()
+{
+    KernelBuilder b("bpr_squash", 4);
+
+    Reg j = b.globalTidX();
+    Reg p_partial = b.ldParam(0);
+    Reg p_hidden = b.ldParam(1);
+    Reg blocks = b.ldParam(2);
+    Reg hid_size = b.ldParam(3);
+
+    Label out = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, j, hid_size);
+    b.braIf(oob, out);
+
+    Reg acc = b.mov(DT::F32, immF32(0.0f));
+    Reg i = b.mov(DT::U32, 0);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg at_end = b.setp(CmpOp::Ge, DT::U32, i, blocks);
+    b.braIf(at_end, done);
+    {
+        Reg v = b.ld(MemSpace::Global, DT::F32,
+                     b.elemAddr(p_partial, b.mad(DT::U32, i, hid_size, j),
+                                4));
+        b.assign(DT::F32, acc, b.add(DT::F32, acc, v));
+        b.assign(DT::U32, i, b.add(DT::U32, i, 1));
+    }
+    b.bra(loop);
+    b.place(done);
+
+    Reg exponent = b.mul(DT::F32, acc, immF32(-kLog2E));
+    Reg pow = b.sfu(Opcode::Ex2, DT::F32, exponent);
+    Reg sig = b.div(DT::F32, immF32(1.0f),
+                    b.add(DT::F32, immF32(1.0f), pow));
+    b.st(MemSpace::Global, DT::F32, b.elemAddr(p_hidden, j, 4), sig);
+
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+/**
+ * Weight adjustment. Params: weights, input, delta, in, hid.
+ * w[i][j] += eta * delta[j] * input[i].
+ */
+ptx::Kernel
+buildBprAdjustKernel()
+{
+    KernelBuilder b("bpr_adjust", 5);
+
+    Reg col = b.mad(DT::U32, SpecialReg::CtaIdX, SpecialReg::NTidX,
+                    SpecialReg::TidX);
+    Reg row = b.mad(DT::U32, SpecialReg::CtaIdY, SpecialReg::NTidY,
+                    SpecialReg::TidY);
+    Reg p_w = b.ldParam(0);
+    Reg p_input = b.ldParam(1);
+    Reg p_delta = b.ldParam(2);
+    Reg in_size = b.ldParam(3);
+    Reg hid_size = b.ldParam(4);
+
+    Label out = b.newLabel();
+    Reg oob_r = b.setp(CmpOp::Ge, DT::U32, row, in_size);
+    b.braIf(oob_r, out);
+    Reg oob_c = b.setp(CmpOp::Ge, DT::U32, col, hid_size);
+    b.braIf(oob_c, out);
+
+    Reg in_v = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_input, row, 4));
+    Reg delta = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_delta, col, 4));
+    Reg addr = b.elemAddr(p_w, b.mad(DT::U32, row, hid_size, col), 4);
+    Reg w = b.ld(MemSpace::Global, DT::F32, addr);
+    Reg step = b.mul(DT::F32, b.mul(DT::F32, delta, immF32(kEta)), in_v);
+    b.st(MemSpace::Global, DT::F32, addr, b.add(DT::F32, w, step));
+
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+bool
+runBpr(sim::Gpu &gpu)
+{
+    const auto input = makeRandomMatrix(kIn, 1, -1.0f, 1.0f, 0xb901);
+    auto weights = makeRandomMatrix(kIn, kHid, -0.5f, 0.5f, 0xb902);
+    const auto delta = makeRandomMatrix(kHid, 1, -0.2f, 0.2f, 0xb903);
+
+    const uint64_t d_input = upload(gpu, input);
+    const uint64_t d_w = upload(gpu, weights);
+    const uint64_t d_delta = upload(gpu, delta);
+    const uint64_t d_partial = allocZeroed<float>(gpu, kBlocks * kHid);
+    const uint64_t d_hidden = allocZeroed<float>(gpu, kHid);
+
+    gpu.launch(buildBprForwardKernel(),
+               sim::Dim3{kHid / kBlk, kBlocks, 1},
+               sim::Dim3{kBlk, kBlk, 1},
+               {d_input, d_w, d_partial, kIn, kHid});
+    gpu.launch(buildBprSquashKernel(), sim::Dim3{1, 1, 1},
+               sim::Dim3{kHid, 1, 1}, {d_partial, d_hidden, kBlocks, kHid});
+    gpu.launch(buildBprAdjustKernel(),
+               sim::Dim3{kHid / kBlk, kIn / kBlk, 1},
+               sim::Dim3{kBlk, kBlk, 1},
+               {d_w, d_input, d_delta, kIn, kHid});
+
+    // CPU reference mirroring the blocked reduction order.
+    std::vector<float> hidden_ref(kHid, 0.0f);
+    for (uint32_t j = 0; j < kHid; ++j) {
+        float acc = 0.0f;
+        for (uint32_t blk = 0; blk < kBlocks; ++blk) {
+            float partial[kBlk];
+            for (uint32_t t = 0; t < kBlk; ++t) {
+                const uint32_t i = blk * kBlk + t;
+                partial[t] =
+                    input[i] * weights[static_cast<size_t>(i) * kHid + j];
+            }
+            for (uint32_t stride = kBlk / 2; stride > 0; stride /= 2)
+                for (uint32_t t = 0; t < stride; ++t)
+                    partial[t] += partial[t + stride];
+            acc += partial[0];
+        }
+        const double sig =
+            1.0 / (1.0 + std::exp2(-static_cast<double>(acc) * kLog2E));
+        hidden_ref[j] = static_cast<float>(sig);
+    }
+    std::vector<float> w_ref = weights;
+    for (uint32_t i = 0; i < kIn; ++i)
+        for (uint32_t j = 0; j < kHid; ++j)
+            w_ref[static_cast<size_t>(i) * kHid + j] +=
+                (delta[j] * kEta) * input[i];
+
+    const auto hidden = download<float>(gpu, d_hidden, kHid);
+    const auto w = download<float>(gpu, d_w, size_t{kIn} * kHid);
+    return nearlyEqual(hidden, hidden_ref, 1e-3f) &&
+           nearlyEqual(w, w_ref, 1e-3f);
+}
+
+} // namespace
+
+Workload
+makeBpr()
+{
+    Workload w;
+    w.name = "bpr";
+    w.category = Category::Image;
+    w.description =
+        "back-propagation layer forward + weight adjust (Rodinia backprop)";
+    w.run = runBpr;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildBprForwardKernel(),
+                                        buildBprSquashKernel(),
+                                        buildBprAdjustKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * dwt (Rodinia dwt2d): one level of a 2D Haar wavelet transform.
+ *
+ * Each CTA stages a 32x32 input tile into shared memory, then every thread
+ * computes one 2x2 Haar butterfly from the staged tile and scatters the
+ * four subband outputs. Image-category profile: each global pixel is read
+ * exactly once (high cold-miss ratio, Fig 10) and reuse happens in shared
+ * memory (Fig 9).
+ */
+
+#include "common.hh"
+#include "datasets/matrix.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kDim = 256;    //!< square image edge
+constexpr uint32_t kTile = 16;    //!< CTA is kTile x kTile threads
+constexpr uint32_t kIn = 2 * kTile;
+
+/**
+ * Haar level. Params: in, out, width. CTA (kTile, kTile); grid covers the
+ * image in 2*kTile input tiles. Shared memory holds the 32x32 input tile.
+ */
+ptx::Kernel
+buildDwtKernel()
+{
+    KernelBuilder b("dwt_haar", 3, kIn * kIn * 4);
+
+    Reg tx = b.mov(DT::U32, SpecialReg::TidX);
+    Reg ty = b.mov(DT::U32, SpecialReg::TidY);
+    Reg p_in = b.ldParam(0);
+    Reg p_out = b.ldParam(1);
+    Reg width = b.ldParam(2);
+
+    // Input tile origin.
+    Reg ox = b.mul(DT::U32, SpecialReg::CtaIdX, kIn);
+    Reg oy = b.mul(DT::U32, SpecialReg::CtaIdY, kIn);
+
+    // Stage the 32x32 tile: each thread loads a 2x2 quad (coalesced row
+    // pairs). Quad origin inside the tile: (2*ty, 2*tx).
+    Reg lx = b.shl(DT::U32, tx, 1);
+    Reg ly = b.shl(DT::U32, ty, 1);
+    Reg gx = b.add(DT::U32, ox, lx);
+    Reg gy = b.add(DT::U32, oy, ly);
+
+    for (unsigned dy = 0; dy < 2; ++dy) {
+        for (unsigned dx = 0; dx < 2; ++dx) {
+            Reg gidx = b.mad(DT::U32, b.add(DT::U32, gy, dy), width,
+                             b.add(DT::U32, gx, dx));
+            Reg v = b.ld(MemSpace::Global, DT::F32,
+                         b.elemAddr(p_in, gidx, 4));
+            Reg sidx = b.mad(DT::U32, b.add(DT::U32, ly, dy), kIn,
+                             b.add(DT::U32, lx, dx));
+            b.st(MemSpace::Shared, DT::F32,
+                 b.shl(DT::U64, b.cvt(DT::U64, DT::U32, sidx), 2), v);
+        }
+    }
+    b.bar();
+
+    // Butterfly from the staged quad.
+    auto smem_at = [&](Reg row, Reg col) {
+        Reg sidx = b.mad(DT::U32, row, kIn, col);
+        return b.ld(MemSpace::Shared, DT::F32,
+                    b.shl(DT::U64, b.cvt(DT::U64, DT::U32, sidx), 2));
+    };
+    Reg ly1 = b.add(DT::U32, ly, 1);
+    Reg lx1 = b.add(DT::U32, lx, 1);
+    Reg a = smem_at(ly, lx);
+    Reg c = smem_at(ly, lx1);
+    Reg d = smem_at(ly1, lx);
+    Reg e = smem_at(ly1, lx1);
+
+    Reg sum = b.add(DT::F32, b.add(DT::F32, a, c), b.add(DT::F32, d, e));
+    Reg ll = b.mul(DT::F32, sum, immF32(0.25f));
+    Reg lh = b.mul(DT::F32,
+                   b.sub(DT::F32, b.add(DT::F32, a, c),
+                         b.add(DT::F32, d, e)),
+                   immF32(0.25f));
+    Reg hl = b.mul(DT::F32,
+                   b.sub(DT::F32, b.add(DT::F32, a, d),
+                         b.add(DT::F32, c, e)),
+                   immF32(0.25f));
+    Reg hh = b.mul(DT::F32,
+                   b.sub(DT::F32, b.add(DT::F32, a, e),
+                         b.add(DT::F32, c, d)),
+                   immF32(0.25f));
+
+    // Output coordinates in the half-resolution subband planes.
+    Reg half = b.shr(DT::U32, width, 1);
+    Reg sx = b.mad(DT::U32, SpecialReg::CtaIdX, Src(kTile), tx);
+    Reg sy = b.mad(DT::U32, SpecialReg::CtaIdY, Src(kTile), ty);
+    Reg base = b.mad(DT::U32, sy, width, sx);
+
+    auto store_band = [&](Reg value, uint32_t band_row, uint32_t band_col) {
+        // Band origin: (band_row*half, band_col*half) in the output image.
+        Reg off = b.mad(DT::U32, b.mul(DT::U32, half, band_row), width,
+                        b.mul(DT::U32, half, band_col));
+        Reg idx = b.add(DT::U32, base, off);
+        b.st(MemSpace::Global, DT::F32, b.elemAddr(p_out, idx, 4), value);
+    };
+    store_band(ll, 0, 0);
+    store_band(lh, 0, 1);
+    store_band(hl, 1, 0);
+    store_band(hh, 1, 1);
+
+    b.exit();
+    return b.build();
+}
+
+std::vector<float>
+cpuDwt(const std::vector<float> &in, uint32_t width)
+{
+    const uint32_t half = width / 2;
+    std::vector<float> out(in.size(), 0.0f);
+    for (uint32_t y = 0; y < half; ++y) {
+        for (uint32_t x = 0; x < half; ++x) {
+            const float a = in[static_cast<size_t>(2 * y) * width + 2 * x];
+            const float c =
+                in[static_cast<size_t>(2 * y) * width + 2 * x + 1];
+            const float d =
+                in[static_cast<size_t>(2 * y + 1) * width + 2 * x];
+            const float e =
+                in[static_cast<size_t>(2 * y + 1) * width + 2 * x + 1];
+            out[static_cast<size_t>(y) * width + x] =
+                (a + c + d + e) * 0.25f;
+            out[static_cast<size_t>(y) * width + half + x] =
+                ((a + c) - (d + e)) * 0.25f;
+            out[static_cast<size_t>(y + half) * width + x] =
+                ((a + d) - (c + e)) * 0.25f;
+            out[static_cast<size_t>(y + half) * width + half + x] =
+                ((a + e) - (c + d)) * 0.25f;
+        }
+    }
+    return out;
+}
+
+bool
+runDwt(sim::Gpu &gpu)
+{
+    const auto img = makeImage(kDim, kDim, 0xd317);
+    const uint64_t d_in = upload(gpu, img);
+    const uint64_t d_out = allocZeroed<float>(gpu, img.size());
+
+    gpu.launch(buildDwtKernel(), sim::Dim3{kDim / kIn, kDim / kIn, 1},
+               sim::Dim3{kTile, kTile, 1}, {d_in, d_out, kDim});
+
+    const auto out = download<float>(gpu, d_out, img.size());
+    return nearlyEqual(out, cpuDwt(img, kDim));
+}
+
+} // namespace
+
+Workload
+makeDwt()
+{
+    Workload w;
+    w.name = "dwt";
+    w.category = Category::Image;
+    w.description = "2D discrete (Haar) wavelet transform (Rodinia dwt2d)";
+    w.run = runDwt;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildDwtKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

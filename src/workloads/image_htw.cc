@@ -1,0 +1,251 @@
+/**
+ * @file
+ * htw (Rodinia heartwall): template tracking of sample points in a frame.
+ *
+ * One CTA per tracked point: the CTA stages a search window from the frame
+ * into shared memory, then evaluates the SSD of an 8x8 template at every
+ * displacement with a shared-memory reduction per offset, keeping the best.
+ * Shared memory is re-read per displacement, giving the image-category
+ * shared-to-global load ratio of Fig 9.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include "common.hh"
+#include "datasets/matrix.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kFrameDim = 192;
+constexpr uint32_t kPoints = 51;    //!< Table I: htw has 51 CTAs
+constexpr uint32_t kWin = 16;       //!< search window edge (shared staged)
+constexpr uint32_t kTpl = 8;        //!< template edge
+constexpr uint32_t kOffsets = kWin - kTpl + 1;  //!< 9x9 displacements
+constexpr uint32_t kCtaSize = 64;   //!< kTpl * kTpl threads
+
+/**
+ * Params: frame, tpl, bestOut, frameDim.
+ * The sample-point grid is derived arithmetically from %ctaid (the paper's
+ * image apps are fully deterministic in Fig 1), mirrored on the host.
+ * Shared layout: window[kWin*kWin] floats then reduction pad[kCtaSize].
+ */
+ptx::Kernel
+buildHtwTrackKernel()
+{
+    KernelBuilder b("htw_track", 4,
+                    (kWin * kWin + kCtaSize) * 4);
+
+    Reg tid = b.mov(DT::U32, SpecialReg::TidX);
+    Reg point = b.mov(DT::U32, SpecialReg::CtaIdX);
+    Reg p_frame = b.ldParam(0);
+    Reg p_tpl = b.ldParam(1);
+    Reg p_best = b.ldParam(2);
+    Reg frame_dim = b.ldParam(3);
+
+    // Window origin: a deterministic pseudo-grid over the frame.
+    Reg span = b.sub(DT::U32, frame_dim, kWin);
+    Reg wx = b.rem(DT::U32, b.mul(DT::U32, point, 37), span);
+    Reg wy = b.rem(DT::U32, b.mul(DT::U32, point, 61), span);
+
+    // Stage the kWin x kWin window: each of the 64 threads loads 4 pixels.
+    Reg i = b.mov(DT::U32, tid);
+    Label stage = b.newLabel();
+    Label staged = b.newLabel();
+    b.place(stage);
+    Reg done_staging =
+        b.setp(CmpOp::Ge, DT::U32, i, kWin * kWin);
+    b.braIf(done_staging, staged);
+    {
+        Reg row = b.div(DT::U32, i, kWin);
+        Reg col = b.rem(DT::U32, i, kWin);
+        Reg gidx = b.mad(DT::U32, b.add(DT::U32, wy, row), frame_dim,
+                         b.add(DT::U32, wx, col));
+        Reg v = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_frame, gidx, 4));
+        b.st(MemSpace::Shared, DT::F32,
+             b.shl(DT::U64, b.cvt(DT::U64, DT::U32, i), 2), v);
+        b.assign(DT::U32, i, b.add(DT::U32, i, kCtaSize));
+    }
+    b.bra(stage);
+    b.place(staged);
+    b.bar();
+
+    // My template element (one per thread).
+    Reg trow = b.div(DT::U32, tid, Src(kTpl));
+    Reg tcol = b.rem(DT::U32, tid, Src(kTpl));
+    Reg tval = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_tpl, tid, 4));
+
+    Reg best_ssd = b.mov(DT::F32, immF32(1e30f));
+    Reg best_off = b.mov(DT::U32, 0);
+
+    Reg off = b.mov(DT::U32, 0);
+    Label offsets = b.newLabel();
+    Label done = b.newLabel();
+    b.place(offsets);
+    Reg offs_done =
+        b.setp(CmpOp::Ge, DT::U32, off, kOffsets * kOffsets);
+    b.braIf(offs_done, done);
+    {
+        Reg dy = b.div(DT::U32, off, Src(kOffsets));
+        Reg dx = b.rem(DT::U32, off, Src(kOffsets));
+
+        // diff = window[trow+dy][tcol+dx] - template[trow][tcol]
+        Reg widx = b.mad(DT::U32, b.add(DT::U32, trow, dy), Src(kWin),
+                         b.add(DT::U32, tcol, dx));
+        Reg wv = b.ld(MemSpace::Shared, DT::F32,
+                      b.shl(DT::U64, b.cvt(DT::U64, DT::U32, widx), 2));
+        Reg diff = b.sub(DT::F32, wv, tval);
+        Reg sq = b.mul(DT::F32, diff, diff);
+
+        // Tree reduction over the 64 partials in the pad region.
+        Reg pad = b.add(DT::U32, b.mul(DT::U32, tid, 4),
+                        Src(kWin * kWin * 4));
+        b.st(MemSpace::Shared, DT::F32, b.cvt(DT::U64, DT::U32, pad), sq);
+        b.bar();
+        Reg stride = b.mov(DT::U32, kCtaSize / 2);
+        Label reduce = b.newLabel();
+        Label reduced = b.newLabel();
+        b.place(reduce);
+        Reg r_done = b.setp(CmpOp::Eq, DT::U32, stride, 0);
+        b.braIf(r_done, reduced);
+        {
+            Label skip = b.newLabel();
+            Reg idle = b.setp(CmpOp::Ge, DT::U32, tid, stride);
+            b.braIf(idle, skip);
+            {
+                Reg mine_off = b.cvt(DT::U64, DT::U32, pad);
+                Reg peer = b.add(DT::U32,
+                                 b.mul(DT::U32, b.add(DT::U32, tid, stride),
+                                       4),
+                                 Src(kWin * kWin * 4));
+                Reg mine = b.ld(MemSpace::Shared, DT::F32, mine_off);
+                Reg theirs = b.ld(MemSpace::Shared, DT::F32,
+                                  b.cvt(DT::U64, DT::U32, peer));
+                b.st(MemSpace::Shared, DT::F32, mine_off,
+                     b.add(DT::F32, mine, theirs));
+            }
+            b.place(skip);
+            b.bar();
+            b.assign(DT::U32, stride, b.shr(DT::U32, stride, 1));
+        }
+        b.bra(reduce);
+        b.place(reduced);
+
+        // Everyone reads the total; all lanes keep identical best-tracking
+        // state, so the final store is uniform.
+        Reg total = b.ld(MemSpace::Shared, DT::F32,
+                         b.mov(DT::U64, kWin * kWin * 4));
+        Label not_better = b.newLabel();
+        Reg worse = b.setp(CmpOp::Ge, DT::F32, total, best_ssd);
+        b.braIf(worse, not_better);
+        {
+            b.assign(DT::F32, best_ssd, total);
+            b.assign(DT::U32, best_off, off);
+        }
+        b.place(not_better);
+        b.bar();
+        b.assign(DT::U32, off, b.add(DT::U32, off, 1));
+    }
+    b.bra(offsets);
+    b.place(done);
+
+    Label not_writer = b.newLabel();
+    Reg rest = b.setp(CmpOp::Ne, DT::U32, tid, 0);
+    b.braIf(rest, not_writer);
+    b.st(MemSpace::Global, DT::U32, b.elemAddr(p_best, point, 4), best_off);
+    b.place(not_writer);
+    b.exit();
+    return b.build();
+}
+
+std::vector<uint32_t>
+cpuTrack(const std::vector<float> &frame, const std::vector<float> &tpl,
+         const std::vector<uint32_t> &px, const std::vector<uint32_t> &py)
+{
+    std::vector<uint32_t> best(px.size(), 0);
+    for (size_t p = 0; p < px.size(); ++p) {
+        float best_ssd = 1e30f;
+        uint32_t best_off = 0;
+        for (uint32_t off = 0; off < kOffsets * kOffsets; ++off) {
+            const uint32_t dy = off / kOffsets;
+            const uint32_t dx = off % kOffsets;
+            // Mirror the kernel's tree reduction bit-for-bit so the
+            // best-offset tie-breaking is identical.
+            float partial[kCtaSize];
+            for (uint32_t t = 0; t < kCtaSize; ++t) {
+                const uint32_t ty = t / kTpl;
+                const uint32_t tx = t % kTpl;
+                const float wv =
+                    frame[static_cast<size_t>(py[p] + ty + dy) * kFrameDim +
+                          (px[p] + tx + dx)];
+                const float d =
+                    wv - tpl[static_cast<size_t>(ty) * kTpl + tx];
+                partial[t] = d * d;
+            }
+            for (uint32_t stride = kCtaSize / 2; stride > 0; stride /= 2)
+                for (uint32_t t = 0; t < stride; ++t)
+                    partial[t] += partial[t + stride];
+            const float ssd = partial[0];
+            if (ssd < best_ssd) {
+                best_ssd = ssd;
+                best_off = off;
+            }
+        }
+        best[p] = best_off;
+    }
+    return best;
+}
+
+bool
+runHtw(sim::Gpu &gpu)
+{
+    const auto frame = makeImage(kFrameDim, kFrameDim, 0x47a1);
+    // The template is a real frame patch plus noise, so each point has an
+    // unambiguous best displacement.
+    std::vector<float> tpl(kTpl * kTpl);
+    for (uint32_t y = 0; y < kTpl; ++y)
+        for (uint32_t x = 0; x < kTpl; ++x)
+            tpl[static_cast<size_t>(y) * kTpl + x] =
+                frame[static_cast<size_t>(40 + y) * kFrameDim + (52 + x)];
+
+    // Host mirror of the kernel's deterministic point grid.
+    std::vector<uint32_t> px(kPoints), py(kPoints);
+    for (uint32_t p = 0; p < kPoints; ++p) {
+        px[p] = (p * 37) % (kFrameDim - kWin);
+        py[p] = (p * 61) % (kFrameDim - kWin);
+    }
+
+    const uint64_t d_frame = upload(gpu, frame);
+    const uint64_t d_tpl = upload(gpu, tpl);
+    const uint64_t d_best = allocZeroed<uint32_t>(gpu, kPoints);
+
+    gpu.launch(buildHtwTrackKernel(), sim::Dim3{kPoints, 1, 1},
+               sim::Dim3{kCtaSize, 1, 1},
+               {d_frame, d_tpl, d_best, kFrameDim});
+
+    const auto best = download<uint32_t>(gpu, d_best, kPoints);
+    return best == cpuTrack(frame, tpl, px, py);
+}
+
+} // namespace
+
+Workload
+makeHtw()
+{
+    Workload w;
+    w.name = "htw";
+    w.category = Category::Image;
+    w.description = "heart-wall template tracking (Rodinia heartwall)";
+    w.run = runHtw;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildHtwTrackKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * mriq (Parboil mri-q): Q-matrix computation for non-Cartesian MRI
+ * reconstruction.
+ *
+ * Each thread owns one voxel and sweeps the k-space samples; CTAs stage
+ * k-space tiles in shared memory (the original uses constant memory) and
+ * the trigonometry runs on the SFU pipeline. Global loads are a vanishing
+ * fraction of instructions — Table I reports 0.03% for mriq.
+ */
+
+#include <cmath>
+
+#include "common.hh"
+#include "datasets/matrix.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kVoxels = 4096;
+constexpr uint32_t kSamples = 256;
+constexpr uint32_t kCtaSize = 256;
+constexpr uint32_t kTileSamples = 64;   //!< k-space samples staged per tile
+constexpr float kTwoPi = 6.2831853f;
+
+/**
+ * Params: x, y, z, kx, ky, kz, phi, qr, qi, numK.
+ * Shared layout: kx|ky|kz|phi tiles of kTileSamples floats each.
+ */
+ptx::Kernel
+buildMriqKernel()
+{
+    KernelBuilder b("mriq_computeQ", 10, kTileSamples * 4 * 4);
+
+    Reg tid = b.mov(DT::U32, SpecialReg::TidX);
+    Reg voxel = b.globalTidX();
+    Reg p_x = b.ldParam(0);
+    Reg p_y = b.ldParam(1);
+    Reg p_z = b.ldParam(2);
+    Reg p_kx = b.ldParam(3);
+    Reg p_ky = b.ldParam(4);
+    Reg p_kz = b.ldParam(5);
+    Reg p_phi = b.ldParam(6);
+    Reg p_qr = b.ldParam(7);
+    Reg p_qi = b.ldParam(8);
+    Reg num_k = b.ldParam(9);
+
+    Reg x = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_x, voxel, 4));
+    Reg y = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_y, voxel, 4));
+    Reg z = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_z, voxel, 4));
+
+    Reg qr = b.mov(DT::F32, immF32(0.0f));
+    Reg qi = b.mov(DT::F32, immF32(0.0f));
+
+    Reg base = b.mov(DT::U32, 0);
+    Label tiles = b.newLabel();
+    Label finish = b.newLabel();
+    b.place(tiles);
+    Reg all_done = b.setp(CmpOp::Ge, DT::U32, base, num_k);
+    b.braIf(all_done, finish);
+    {
+        // Cooperative staging: threads tid < kTileSamples load one sample
+        // each into the four shared arrays.
+        Label staged = b.newLabel();
+        Reg not_loader = b.setp(CmpOp::Ge, DT::U32, tid, kTileSamples);
+        b.braIf(not_loader, staged);
+        {
+            Reg k = b.add(DT::U32, base, tid);
+            Reg s_off = b.shl(DT::U64, b.cvt(DT::U64, DT::U32, tid), 2);
+            Reg kx = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_kx, k, 4));
+            b.st(MemSpace::Shared, DT::F32, s_off, kx);
+            Reg ky = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_ky, k, 4));
+            b.st(MemSpace::Shared, DT::F32, s_off, ky, kTileSamples * 4);
+            Reg kz = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_kz, k, 4));
+            b.st(MemSpace::Shared, DT::F32, s_off, kz, kTileSamples * 8);
+            Reg phi =
+                b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_phi, k, 4));
+            b.st(MemSpace::Shared, DT::F32, s_off, phi, kTileSamples * 12);
+        }
+        b.place(staged);
+        b.bar();
+
+        // Sweep the staged tile.
+        Reg i = b.mov(DT::U32, 0);
+        Label sweep = b.newLabel();
+        Label swept = b.newLabel();
+        b.place(sweep);
+        Reg tile_done = b.setp(CmpOp::Ge, DT::U32, i, kTileSamples);
+        b.braIf(tile_done, swept);
+        {
+            Reg s_off = b.shl(DT::U64, b.cvt(DT::U64, DT::U32, i), 2);
+            Reg kx = b.ld(MemSpace::Shared, DT::F32, s_off);
+            Reg ky = b.ld(MemSpace::Shared, DT::F32, s_off,
+                          kTileSamples * 4);
+            Reg kz = b.ld(MemSpace::Shared, DT::F32, s_off,
+                          kTileSamples * 8);
+            Reg phi = b.ld(MemSpace::Shared, DT::F32, s_off,
+                           kTileSamples * 12);
+
+            Reg dot = b.mad(DT::F32, kz, z,
+                            b.mad(DT::F32, ky, y, b.mul(DT::F32, kx, x)));
+            Reg angle = b.mul(DT::F32, dot, immF32(kTwoPi));
+            Reg c = b.sfu(Opcode::Cos, DT::F32, angle);
+            Reg s = b.sfu(Opcode::Sin, DT::F32, angle);
+            b.assign(DT::F32, qr, b.mad(DT::F32, phi, c, qr));
+            b.assign(DT::F32, qi, b.mad(DT::F32, phi, s, qi));
+            b.assign(DT::U32, i, b.add(DT::U32, i, 1));
+        }
+        b.bra(sweep);
+        b.place(swept);
+        b.bar();
+        b.assign(DT::U32, base, b.add(DT::U32, base, kTileSamples));
+    }
+    b.bra(tiles);
+    b.place(finish);
+
+    b.st(MemSpace::Global, DT::F32, b.elemAddr(p_qr, voxel, 4), qr);
+    b.st(MemSpace::Global, DT::F32, b.elemAddr(p_qi, voxel, 4), qi);
+    b.exit();
+    return b.build();
+}
+
+bool
+runMriq(sim::Gpu &gpu)
+{
+    const auto x = makeRandomMatrix(kVoxels, 1, -1.0f, 1.0f, 0x3a71);
+    const auto y = makeRandomMatrix(kVoxels, 1, -1.0f, 1.0f, 0x3a72);
+    const auto z = makeRandomMatrix(kVoxels, 1, -1.0f, 1.0f, 0x3a73);
+    const auto kx = makeRandomMatrix(kSamples, 1, -0.5f, 0.5f, 0x3a74);
+    const auto ky = makeRandomMatrix(kSamples, 1, -0.5f, 0.5f, 0x3a75);
+    const auto kz = makeRandomMatrix(kSamples, 1, -0.5f, 0.5f, 0x3a76);
+    const auto phi = makeRandomMatrix(kSamples, 1, 0.0f, 1.0f, 0x3a77);
+
+    const uint64_t d_x = upload(gpu, x);
+    const uint64_t d_y = upload(gpu, y);
+    const uint64_t d_z = upload(gpu, z);
+    const uint64_t d_kx = upload(gpu, kx);
+    const uint64_t d_ky = upload(gpu, ky);
+    const uint64_t d_kz = upload(gpu, kz);
+    const uint64_t d_phi = upload(gpu, phi);
+    const uint64_t d_qr = allocZeroed<float>(gpu, kVoxels);
+    const uint64_t d_qi = allocZeroed<float>(gpu, kVoxels);
+
+    gpu.launch(buildMriqKernel(), sim::Dim3{kVoxels / kCtaSize, 1, 1},
+               sim::Dim3{kCtaSize, 1, 1},
+               {d_x, d_y, d_z, d_kx, d_ky, d_kz, d_phi, d_qr, d_qi,
+                kSamples});
+
+    // CPU reference in the same accumulation order. The simulator computes
+    // sin/cos in double precision, so tolerance absorbs the difference to
+    // float-precision libm usage.
+    std::vector<float> qr_ref(kVoxels, 0.0f), qi_ref(kVoxels, 0.0f);
+    for (uint32_t v = 0; v < kVoxels; ++v) {
+        float qr = 0.0f, qi = 0.0f;
+        for (uint32_t k = 0; k < kSamples; ++k) {
+            const float dot = kx[k] * x[v] + ky[k] * y[v] + kz[k] * z[v];
+            const double angle = static_cast<double>(dot) * kTwoPi;
+            qr = static_cast<float>(phi[k] * std::cos(angle) + qr);
+            qi = static_cast<float>(phi[k] * std::sin(angle) + qi);
+        }
+        qr_ref[v] = qr;
+        qi_ref[v] = qi;
+    }
+
+    const auto qr = download<float>(gpu, d_qr, kVoxels);
+    const auto qi = download<float>(gpu, d_qi, kVoxels);
+    return nearlyEqual(qr, qr_ref, 5e-3f) && nearlyEqual(qi, qi_ref, 5e-3f);
+}
+
+} // namespace
+
+Workload
+makeMriq()
+{
+    Workload w;
+    w.name = "mriq";
+    w.category = Category::Image;
+    w.description = "MRI Q-matrix calibration (Parboil mri-q)";
+    w.run = runMriq;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildMriqKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * srad (Rodinia): speckle-reducing anisotropic diffusion, the two-kernel
+ * stencil pipeline (coefficient pass + update pass), iterated.
+ *
+ * All neighbor indices are computed with clamped index arithmetic, so every
+ * global load is deterministic; the stencil's 4-point neighborhoods give
+ * high inter-CTA sharing at distance 1 (Fig 12b).
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "common.hh"
+#include "datasets/matrix.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kDim = 192;
+constexpr uint32_t kTile = 16;
+constexpr uint32_t kIters = 2;
+constexpr float kQ0Sq = 0.05f;
+constexpr float kLambda = 0.5f;
+
+/**
+ * Pass 1: diffusion coefficient. Params: img, coef, dim.
+ * c = 1 / (1 + (q^2 - q0^2) / (q0^2 (1 + q0^2))) with q^2 from the
+ * normalized gradient/laplacian, clamped to [0, 1].
+ */
+ptx::Kernel
+buildSradCoefKernel()
+{
+    KernelBuilder b("srad_coef", 3);
+
+    Reg x = b.mad(DT::U32, SpecialReg::CtaIdX, SpecialReg::NTidX,
+                  SpecialReg::TidX);
+    Reg y = b.mad(DT::U32, SpecialReg::CtaIdY, SpecialReg::NTidY,
+                  SpecialReg::TidY);
+    Reg p_img = b.ldParam(0);
+    Reg p_coef = b.ldParam(1);
+    Reg dim = b.ldParam(2);
+
+    Label out = b.newLabel();
+    Reg oob_x = b.setp(CmpOp::Ge, DT::U32, x, dim);
+    b.braIf(oob_x, out);
+    Reg oob_y = b.setp(CmpOp::Ge, DT::U32, y, dim);
+    b.braIf(oob_y, out);
+
+    Reg last = b.sub(DT::U32, dim, 1);
+    Reg xe = b.min_(DT::U32, b.add(DT::U32, x, 1), last);
+    Reg xw = b.selp(DT::U32, b.sub(DT::U32, x, 1), 0,
+                    b.setp(CmpOp::Gt, DT::U32, x, 0));
+    Reg ys = b.min_(DT::U32, b.add(DT::U32, y, 1), last);
+    Reg yn = b.selp(DT::U32, b.sub(DT::U32, y, 1), 0,
+                    b.setp(CmpOp::Gt, DT::U32, y, 0));
+
+    auto pixel = b.ld(MemSpace::Global, DT::F32,
+                      b.elemAddr(p_img, b.mad(DT::U32, y, dim, x), 4));
+    auto north = b.ld(MemSpace::Global, DT::F32,
+                      b.elemAddr(p_img, b.mad(DT::U32, yn, dim, x), 4));
+    auto south = b.ld(MemSpace::Global, DT::F32,
+                      b.elemAddr(p_img, b.mad(DT::U32, ys, dim, x), 4));
+    auto east = b.ld(MemSpace::Global, DT::F32,
+                     b.elemAddr(p_img, b.mad(DT::U32, y, dim, xe), 4));
+    auto west = b.ld(MemSpace::Global, DT::F32,
+                     b.elemAddr(p_img, b.mad(DT::U32, y, dim, xw), 4));
+
+    Reg dn = b.sub(DT::F32, north, pixel);
+    Reg ds = b.sub(DT::F32, south, pixel);
+    Reg de = b.sub(DT::F32, east, pixel);
+    Reg dw = b.sub(DT::F32, west, pixel);
+
+    Reg g2_num =
+        b.add(DT::F32, b.add(DT::F32, b.mul(DT::F32, dn, dn),
+                             b.mul(DT::F32, ds, ds)),
+              b.add(DT::F32, b.mul(DT::F32, de, de),
+                    b.mul(DT::F32, dw, dw)));
+    Reg pix2 = b.mul(DT::F32, pixel, pixel);
+    Reg g2 = b.div(DT::F32, g2_num, pix2);
+    Reg lap = b.div(DT::F32,
+                    b.add(DT::F32, b.add(DT::F32, dn, ds),
+                          b.add(DT::F32, de, dw)),
+                    pixel);
+    // q^2 = 0.5*g2 - (1/16)*lap^2, normalized by (1 + 0.25*lap)^2.
+    Reg num = b.sub(DT::F32, b.mul(DT::F32, g2, immF32(0.5f)),
+                    b.mul(DT::F32, b.mul(DT::F32, lap, lap),
+                          immF32(0.0625f)));
+    Reg den_base = b.add(DT::F32, immF32(1.0f),
+                         b.mul(DT::F32, lap, immF32(0.25f)));
+    Reg den = b.mul(DT::F32, den_base, den_base);
+    Reg qsq = b.div(DT::F32, num, den);
+
+    Reg cden = b.add(DT::F32, immF32(1.0f),
+                     b.div(DT::F32, b.sub(DT::F32, qsq, immF32(kQ0Sq)),
+                           immF32(kQ0Sq * (1.0f + kQ0Sq))));
+    Reg c = b.div(DT::F32, immF32(1.0f), cden);
+    c = b.max_(DT::F32, c, immF32(0.0f));
+    c = b.min_(DT::F32, c, immF32(1.0f));
+
+    b.st(MemSpace::Global, DT::F32,
+         b.elemAddr(p_coef, b.mad(DT::U32, y, dim, x), 4), c);
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+/**
+ * Pass 2: diffusion update. Params: img, coef, out, dim.
+ * out = img + (lambda/4) * (cS*dS + cE*dE + cN*dN + cW*dW) using the
+ * clamped-neighbor coefficients from pass 1.
+ */
+ptx::Kernel
+buildSradUpdateKernel()
+{
+    KernelBuilder b("srad_update", 4);
+
+    Reg x = b.mad(DT::U32, SpecialReg::CtaIdX, SpecialReg::NTidX,
+                  SpecialReg::TidX);
+    Reg y = b.mad(DT::U32, SpecialReg::CtaIdY, SpecialReg::NTidY,
+                  SpecialReg::TidY);
+    Reg p_img = b.ldParam(0);
+    Reg p_coef = b.ldParam(1);
+    Reg p_out = b.ldParam(2);
+    Reg dim = b.ldParam(3);
+
+    Label out_lbl = b.newLabel();
+    Reg oob_x = b.setp(CmpOp::Ge, DT::U32, x, dim);
+    b.braIf(oob_x, out_lbl);
+    Reg oob_y = b.setp(CmpOp::Ge, DT::U32, y, dim);
+    b.braIf(oob_y, out_lbl);
+
+    Reg last = b.sub(DT::U32, dim, 1);
+    Reg xe = b.min_(DT::U32, b.add(DT::U32, x, 1), last);
+    Reg xw = b.selp(DT::U32, b.sub(DT::U32, x, 1), 0,
+                    b.setp(CmpOp::Gt, DT::U32, x, 0));
+    Reg ys = b.min_(DT::U32, b.add(DT::U32, y, 1), last);
+    Reg yn = b.selp(DT::U32, b.sub(DT::U32, y, 1), 0,
+                    b.setp(CmpOp::Gt, DT::U32, y, 0));
+
+    auto img_at = [&](Reg yy, Reg xx) {
+        return b.ld(MemSpace::Global, DT::F32,
+                    b.elemAddr(p_img, b.mad(DT::U32, yy, dim, xx), 4));
+    };
+    auto coef_at = [&](Reg yy, Reg xx) {
+        return b.ld(MemSpace::Global, DT::F32,
+                    b.elemAddr(p_coef, b.mad(DT::U32, yy, dim, xx), 4));
+    };
+
+    Reg pixel = img_at(y, x);
+    Reg dn = b.sub(DT::F32, img_at(yn, x), pixel);
+    Reg ds = b.sub(DT::F32, img_at(ys, x), pixel);
+    Reg de = b.sub(DT::F32, img_at(y, xe), pixel);
+    Reg dw = b.sub(DT::F32, img_at(y, xw), pixel);
+
+    Reg div = b.add(
+        DT::F32,
+        b.add(DT::F32, b.mul(DT::F32, coef_at(yn, x), dn),
+              b.mul(DT::F32, coef_at(ys, x), ds)),
+        b.add(DT::F32, b.mul(DT::F32, coef_at(y, xe), de),
+              b.mul(DT::F32, coef_at(y, xw), dw)));
+
+    Reg updated = b.mad(DT::F32, div, immF32(kLambda * 0.25f), pixel);
+    b.st(MemSpace::Global, DT::F32,
+         b.elemAddr(p_out, b.mad(DT::U32, y, dim, x), 4), updated);
+
+    b.place(out_lbl);
+    b.exit();
+    return b.build();
+}
+
+void
+cpuSradIteration(const std::vector<float> &img, std::vector<float> &next,
+                 uint32_t dim)
+{
+    std::vector<float> coef(img.size(), 0.0f);
+    auto at = [&](const std::vector<float> &v, uint32_t y, uint32_t x) {
+        return v[static_cast<size_t>(y) * dim + x];
+    };
+    for (uint32_t y = 0; y < dim; ++y) {
+        for (uint32_t x = 0; x < dim; ++x) {
+            const uint32_t yn = y > 0 ? y - 1 : 0;
+            const uint32_t ys = std::min(y + 1, dim - 1);
+            const uint32_t xw = x > 0 ? x - 1 : 0;
+            const uint32_t xe = std::min(x + 1, dim - 1);
+            const float pixel = at(img, y, x);
+            const float dn = at(img, yn, x) - pixel;
+            const float ds = at(img, ys, x) - pixel;
+            const float de = at(img, y, xe) - pixel;
+            const float dw = at(img, y, xw) - pixel;
+            const float g2 =
+                (dn * dn + ds * ds + de * de + dw * dw) / (pixel * pixel);
+            const float lap = (dn + ds + de + dw) / pixel;
+            const float num = 0.5f * g2 - 0.0625f * (lap * lap);
+            const float den_base = 1.0f + 0.25f * lap;
+            const float qsq = num / (den_base * den_base);
+            float c = 1.0f /
+                (1.0f + (qsq - kQ0Sq) / (kQ0Sq * (1.0f + kQ0Sq)));
+            c = std::clamp(c, 0.0f, 1.0f);
+            coef[static_cast<size_t>(y) * dim + x] = c;
+        }
+    }
+    for (uint32_t y = 0; y < dim; ++y) {
+        for (uint32_t x = 0; x < dim; ++x) {
+            const uint32_t yn = y > 0 ? y - 1 : 0;
+            const uint32_t ys = std::min(y + 1, dim - 1);
+            const uint32_t xw = x > 0 ? x - 1 : 0;
+            const uint32_t xe = std::min(x + 1, dim - 1);
+            const float pixel = at(img, y, x);
+            const float div = at(coef, yn, x) * (at(img, yn, x) - pixel) +
+                              at(coef, ys, x) * (at(img, ys, x) - pixel) +
+                              at(coef, y, xe) * (at(img, y, xe) - pixel) +
+                              at(coef, y, xw) * (at(img, y, xw) - pixel);
+            next[static_cast<size_t>(y) * dim + x] =
+                pixel + kLambda * 0.25f * div;
+        }
+    }
+}
+
+bool
+runSrad(sim::Gpu &gpu)
+{
+    // Keep pixel values away from zero: the algorithm divides by them.
+    auto img = makeImage(kDim, kDim, 0x53ad);
+    for (auto &v : img)
+        v += 0.5f;
+
+    const uint64_t d_img = upload(gpu, img);
+    const uint64_t d_coef = allocZeroed<float>(gpu, img.size());
+    const uint64_t d_out = allocZeroed<float>(gpu, img.size());
+
+    const ptx::Kernel coef = buildSradCoefKernel();
+    const ptx::Kernel update = buildSradUpdateKernel();
+    const sim::Dim3 grid{kDim / kTile, kDim / kTile, 1};
+    const sim::Dim3 cta{kTile, kTile, 1};
+
+    uint64_t src = d_img, dst = d_out;
+    for (uint32_t it = 0; it < kIters; ++it) {
+        gpu.launch(coef, grid, cta, {src, d_coef, kDim});
+        gpu.launch(update, grid, cta, {src, d_coef, dst, kDim});
+        std::swap(src, dst);
+    }
+
+    std::vector<float> ref = img;
+    std::vector<float> next(img.size(), 0.0f);
+    for (uint32_t it = 0; it < kIters; ++it) {
+        cpuSradIteration(ref, next, kDim);
+        std::swap(ref, next);
+    }
+
+    const auto result = download<float>(gpu, src, img.size());
+    return nearlyEqual(result, ref, 5e-3f);
+}
+
+} // namespace
+
+Workload
+makeSrad()
+{
+    Workload w;
+    w.name = "srad";
+    w.category = Category::Image;
+    w.description =
+        "speckle-reducing anisotropic diffusion stencil (Rodinia srad)";
+    w.run = runSrad;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildSradCoefKernel(),
+                                        buildSradUpdateKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

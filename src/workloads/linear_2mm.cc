@@ -1,0 +1,135 @@
+/**
+ * @file
+ * 2mm (PolyBench): two dense matrix multiplications, E = C * (A * B).
+ *
+ * The canonical deterministic-load workload: every address is a linear
+ * function of %ctaid/%tid and the loop counter, so the classifier marks all
+ * global loads deterministic and they coalesce perfectly (Fig 1).
+ */
+
+#include "common.hh"
+#include "datasets/matrix.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kN = 128;       //!< matrix dimension
+constexpr uint32_t kTile = 16;     //!< CTA is kTile x kTile threads
+
+/** C[row,col] = sum_k A[row,k] * B[k,col]. Params: A, B, C, N. */
+ptx::Kernel
+buildMatmulKernel()
+{
+    KernelBuilder b("mm_kernel", 4);
+
+    Reg col = b.mad(DT::U32, SpecialReg::CtaIdX, SpecialReg::NTidX,
+                    SpecialReg::TidX);
+    Reg row = b.mad(DT::U32, SpecialReg::CtaIdY, SpecialReg::NTidY,
+                    SpecialReg::TidY);
+    Reg p_a = b.ldParam(0);
+    Reg p_b = b.ldParam(1);
+    Reg p_c = b.ldParam(2);
+    Reg n = b.ldParam(3);
+
+    Label out = b.newLabel();
+    Reg oob_r = b.setp(CmpOp::Ge, DT::U32, row, n);
+    b.braIf(oob_r, out);
+    Reg oob_c = b.setp(CmpOp::Ge, DT::U32, col, n);
+    b.braIf(oob_c, out);
+
+    Reg acc = b.mov(DT::F32, immF32(0.0f));
+    Reg k = b.mov(DT::U32, 0);
+
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg at_end = b.setp(CmpOp::Ge, DT::U32, k, n);
+    b.braIf(at_end, done);
+    {
+        Reg a_idx = b.mad(DT::U32, row, n, k);
+        Reg a = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_a, a_idx, 4));
+        Reg b_idx = b.mad(DT::U32, k, n, col);
+        Reg bv = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_b, b_idx, 4));
+        Reg t = b.mad(DT::F32, a, bv, acc);
+        b.assign(DT::F32, acc, t);
+        b.assign(DT::U32, k, b.add(DT::U32, k, 1));
+    }
+    b.bra(loop);
+    b.place(done);
+
+    Reg c_idx = b.mad(DT::U32, row, n, col);
+    b.st(MemSpace::Global, DT::F32, b.elemAddr(p_c, c_idx, 4), acc);
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+/** Reference matmul mirroring the kernel's accumulation order. */
+std::vector<float>
+cpuMatmul(const std::vector<float> &a, const std::vector<float> &b,
+          uint32_t n)
+{
+    std::vector<float> c(static_cast<size_t>(n) * n, 0.0f);
+    for (uint32_t row = 0; row < n; ++row) {
+        for (uint32_t col = 0; col < n; ++col) {
+            float acc = 0.0f;
+            for (uint32_t k = 0; k < n; ++k) {
+                const double prod =
+                    static_cast<double>(a[static_cast<size_t>(row) * n + k]) *
+                    b[static_cast<size_t>(k) * n + col];
+                acc = static_cast<float>(prod + acc);
+            }
+            c[static_cast<size_t>(row) * n + col] = acc;
+        }
+    }
+    return c;
+}
+
+bool
+run2mm(sim::Gpu &gpu)
+{
+    const auto a = makeRandomMatrix(kN, kN, -1.0f, 1.0f, 0x2a01);
+    const auto b = makeRandomMatrix(kN, kN, -1.0f, 1.0f, 0x2a02);
+    const auto c = makeRandomMatrix(kN, kN, -1.0f, 1.0f, 0x2a03);
+
+    const uint64_t d_a = upload(gpu, a);
+    const uint64_t d_b = upload(gpu, b);
+    const uint64_t d_c = upload(gpu, c);
+    const uint64_t d_tmp = allocZeroed<float>(gpu, size_t{kN} * kN);
+    const uint64_t d_e = allocZeroed<float>(gpu, size_t{kN} * kN);
+
+    const ptx::Kernel kernel = buildMatmulKernel();
+    const sim::Dim3 grid{kN / kTile, kN / kTile, 1};
+    const sim::Dim3 cta{kTile, kTile, 1};
+
+    // tmp = A * B, then E = C * tmp.
+    gpu.launch(kernel, grid, cta, {d_a, d_b, d_tmp, kN});
+    gpu.launch(kernel, grid, cta, {d_c, d_tmp, d_e, kN});
+
+    const auto tmp_ref = cpuMatmul(a, b, kN);
+    const auto e_ref = cpuMatmul(c, tmp_ref, kN);
+    const auto e = download<float>(gpu, d_e, size_t{kN} * kN);
+    return nearlyEqual(e, e_ref, 2e-3f);
+}
+
+} // namespace
+
+Workload
+make2mm()
+{
+    Workload w;
+    w.name = "2mm";
+    w.category = Category::Linear;
+    w.description = "two dense matrix multiplications (PolyBench 2mm)";
+    w.run = run2mm;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildMatmulKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

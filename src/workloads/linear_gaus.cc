@@ -1,0 +1,178 @@
+/**
+ * @file
+ * gaus (Rodinia gaussian): Gaussian elimination of Ax = b using the
+ * Fan1/Fan2 kernel pair, one pair per pivot — the "many tiny launches"
+ * workload of Table I.
+ */
+
+#include "common.hh"
+#include "datasets/matrix.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kN = 64;
+constexpr uint32_t kFan1Cta = 16;   //!< Table I: 16 threads/CTA
+constexpr uint32_t kTile = 16;
+
+/** Fan1: m[i] = A[i][k] / A[k][k] for i > k. Params: m, A, n, k. */
+ptx::Kernel
+buildFan1Kernel()
+{
+    KernelBuilder b("gaus_fan1", 4);
+
+    Reg gtid = b.globalTidX();
+    Reg p_m = b.ldParam(0);
+    Reg p_a = b.ldParam(1);
+    Reg n = b.ldParam(2);
+    Reg k = b.ldParam(3);
+
+    Reg i = b.add(DT::U32, b.add(DT::U32, k, 1), gtid);
+    Label out = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, i, n);
+    b.braIf(oob, out);
+
+    Reg pivot = b.ld(MemSpace::Global, DT::F32,
+                     b.elemAddr(p_a, b.mad(DT::U32, k, n, k), 4));
+    Reg v = b.ld(MemSpace::Global, DT::F32,
+                 b.elemAddr(p_a, b.mad(DT::U32, i, n, k), 4));
+    b.st(MemSpace::Global, DT::F32, b.elemAddr(p_m, i, 4),
+         b.div(DT::F32, v, pivot));
+
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+/**
+ * Fan2: A[i][j] -= m[i] * A[k][j] for i > k, j >= k, and the RHS
+ * b[i] -= m[i] * b[k] (handled by the j == k threads).
+ * Params: m, A, rhs, n, k.
+ */
+ptx::Kernel
+buildFan2Kernel()
+{
+    KernelBuilder b("gaus_fan2", 5);
+
+    Reg gx = b.mad(DT::U32, SpecialReg::CtaIdX, SpecialReg::NTidX,
+                   SpecialReg::TidX);
+    Reg gy = b.mad(DT::U32, SpecialReg::CtaIdY, SpecialReg::NTidY,
+                   SpecialReg::TidY);
+    Reg p_m = b.ldParam(0);
+    Reg p_a = b.ldParam(1);
+    Reg p_rhs = b.ldParam(2);
+    Reg n = b.ldParam(3);
+    Reg k = b.ldParam(4);
+
+    Reg i = b.add(DT::U32, b.add(DT::U32, k, 1), gy);
+    Reg j = b.add(DT::U32, k, gx);
+
+    Label out = b.newLabel();
+    Reg oob_i = b.setp(CmpOp::Ge, DT::U32, i, n);
+    b.braIf(oob_i, out);
+    Reg oob_j = b.setp(CmpOp::Ge, DT::U32, j, n);
+    b.braIf(oob_j, out);
+
+    Reg mult = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_m, i, 4));
+    Reg kj = b.ld(MemSpace::Global, DT::F32,
+                  b.elemAddr(p_a, b.mad(DT::U32, k, n, j), 4));
+    Reg addr = b.elemAddr(p_a, b.mad(DT::U32, i, n, j), 4);
+    Reg v = b.ld(MemSpace::Global, DT::F32, addr);
+    b.st(MemSpace::Global, DT::F32, addr,
+         b.sub(DT::F32, v, b.mul(DT::F32, mult, kj)));
+
+    // One thread column also updates the right-hand side.
+    Label skip_rhs = b.newLabel();
+    Reg not_first = b.setp(CmpOp::Ne, DT::U32, j, k);
+    b.braIf(not_first, skip_rhs);
+    {
+        Reg bk = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_rhs, k, 4));
+        Reg bi_addr = b.elemAddr(p_rhs, i, 4);
+        Reg bi = b.ld(MemSpace::Global, DT::F32, bi_addr);
+        b.st(MemSpace::Global, DT::F32, bi_addr,
+             b.sub(DT::F32, bi, b.mul(DT::F32, mult, bk)));
+    }
+    b.place(skip_rhs);
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+void
+cpuGaussian(std::vector<float> &a, std::vector<float> &rhs, uint32_t n)
+{
+    std::vector<float> m(n, 0.0f);
+    for (uint32_t k = 0; k + 1 < n; ++k) {
+        const float pivot = a[static_cast<size_t>(k) * n + k];
+        for (uint32_t i = k + 1; i < n; ++i)
+            m[i] = static_cast<float>(
+                static_cast<double>(a[static_cast<size_t>(i) * n + k]) /
+                pivot);
+        for (uint32_t i = k + 1; i < n; ++i) {
+            for (uint32_t j = k; j < n; ++j) {
+                const double prod = static_cast<double>(m[i]) *
+                                    a[static_cast<size_t>(k) * n + j];
+                a[static_cast<size_t>(i) * n + j] = static_cast<float>(
+                    static_cast<double>(a[static_cast<size_t>(i) * n + j]) -
+                    prod);
+            }
+            const double prod = static_cast<double>(m[i]) * rhs[k];
+            rhs[i] =
+                static_cast<float>(static_cast<double>(rhs[i]) - prod);
+        }
+    }
+}
+
+bool
+runGaus(sim::Gpu &gpu)
+{
+    auto a = makeDominantMatrix(kN, 0x6a05);
+    auto rhs = makeRandomMatrix(kN, 1, -1.0f, 1.0f, 0x6a06);
+
+    const uint64_t d_a = upload(gpu, a);
+    const uint64_t d_rhs = upload(gpu, rhs);
+    const uint64_t d_m = allocZeroed<float>(gpu, kN);
+
+    const ptx::Kernel fan1 = buildFan1Kernel();
+    const ptx::Kernel fan2 = buildFan2Kernel();
+
+    for (uint32_t k = 0; k + 1 < kN; ++k) {
+        const uint32_t remaining = kN - k - 1;
+        gpu.launch(fan1,
+                   sim::Dim3{(remaining + kFan1Cta - 1) / kFan1Cta, 1, 1},
+                   sim::Dim3{kFan1Cta, 1, 1}, {d_m, d_a, kN, k});
+
+        const uint32_t tx = (kN - k + kTile - 1) / kTile;
+        const uint32_t ty = (remaining + kTile - 1) / kTile;
+        gpu.launch(fan2, sim::Dim3{tx, ty, 1}, sim::Dim3{kTile, kTile, 1},
+                   {d_m, d_a, d_rhs, kN, k});
+    }
+
+    cpuGaussian(a, rhs, kN);
+    const auto dev_a = download<float>(gpu, d_a, size_t{kN} * kN);
+    const auto dev_rhs = download<float>(gpu, d_rhs, kN);
+    return nearlyEqual(dev_a, a, 5e-3f) && nearlyEqual(dev_rhs, rhs, 5e-3f);
+}
+
+} // namespace
+
+Workload
+makeGaus()
+{
+    Workload w;
+    w.name = "gaus";
+    w.category = Category::Linear;
+    w.description = "Gaussian elimination, Fan1/Fan2 kernels (Rodinia)";
+    w.run = runGaus;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildFan1Kernel(),
+                                        buildFan2Kernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

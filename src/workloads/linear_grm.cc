@@ -1,0 +1,280 @@
+/**
+ * @file
+ * grm (PolyBench gramschmidt): classical Gram-Schmidt QR decomposition.
+ *
+ * Three kernels per column — a shared-memory tree reduction for the column
+ * norm (exercising barriers and the SFU sqrt), a normalization kernel, and
+ * a projection/update kernel with one CTA per remaining column.
+ */
+
+#include <cmath>
+
+#include "common.hh"
+#include "datasets/matrix.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kN = 48;        //!< rows == cols
+constexpr uint32_t kCtaSize = 64;  //!< reduction width (>= kN, power of 2)
+
+/**
+ * Emit a shared-memory tree reduction over sdata[0..ntid) into sdata[0].
+ * The caller must have stored each thread's partial at sdata[tid*4].
+ */
+void
+emitSmemReduction(KernelBuilder &b, Reg tid)
+{
+    Reg stride = b.shr(DT::U32, SpecialReg::NTidX, 1);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg finished = b.setp(CmpOp::Eq, DT::U32, stride, 0);
+    b.braIf(finished, done);
+    {
+        Label skip = b.newLabel();
+        Reg idle = b.setp(CmpOp::Ge, DT::U32, tid, stride);
+        b.braIf(idle, skip);
+        {
+            Reg my_addr = b.shl(DT::U64, b.cvt(DT::U64, DT::U32, tid), 2);
+            Reg peer = b.add(DT::U32, tid, stride);
+            Reg peer_addr =
+                b.shl(DT::U64, b.cvt(DT::U64, DT::U32, peer), 2);
+            Reg mine = b.ld(MemSpace::Shared, DT::F32, my_addr);
+            Reg theirs = b.ld(MemSpace::Shared, DT::F32, peer_addr);
+            b.st(MemSpace::Shared, DT::F32, my_addr,
+                 b.add(DT::F32, mine, theirs));
+        }
+        b.place(skip);
+        b.bar();
+        b.assign(DT::U32, stride, b.shr(DT::U32, stride, 1));
+    }
+    b.bra(loop);
+    b.place(done);
+}
+
+/**
+ * Column norm: r[k*n+k] = sqrt(sum_i a[i*n+k]^2), one CTA.
+ * Params: a, r, n, k.
+ */
+ptx::Kernel
+buildGrmNormKernel()
+{
+    KernelBuilder b("grm_norm", 4, kCtaSize * 4);
+
+    Reg tid = b.mov(DT::U32, SpecialReg::TidX);
+    Reg p_a = b.ldParam(0);
+    Reg p_r = b.ldParam(1);
+    Reg n = b.ldParam(2);
+    Reg k = b.ldParam(3);
+
+    // Partial = a[tid*n+k]^2 when tid < n else 0.
+    Reg partial = b.mov(DT::F32, immF32(0.0f));
+    Label no_load = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, tid, n);
+    b.braIf(oob, no_load);
+    {
+        Reg v = b.ld(MemSpace::Global, DT::F32,
+                     b.elemAddr(p_a, b.mad(DT::U32, tid, n, k), 4));
+        b.assign(DT::F32, partial, b.mul(DT::F32, v, v));
+    }
+    b.place(no_load);
+
+    Reg smem_addr = b.shl(DT::U64, b.cvt(DT::U64, DT::U32, tid), 2);
+    b.st(MemSpace::Shared, DT::F32, smem_addr, partial);
+    b.bar();
+    emitSmemReduction(b, tid);
+
+    Label not_first = b.newLabel();
+    Reg rest = b.setp(CmpOp::Ne, DT::U32, tid, 0);
+    b.braIf(rest, not_first);
+    {
+        Reg total = b.ld(MemSpace::Shared, DT::F32, b.mov(DT::U64, 0));
+        Reg norm = b.sfu(Opcode::Sqrt, DT::F32, total);
+        b.st(MemSpace::Global, DT::F32,
+             b.elemAddr(p_r, b.mad(DT::U32, k, n, k), 4), norm);
+    }
+    b.place(not_first);
+    b.exit();
+    return b.build();
+}
+
+/** q[i*n+k] = a[i*n+k] / r[k*n+k]. Params: a, q, r, n, k. */
+ptx::Kernel
+buildGrmNormalizeKernel()
+{
+    KernelBuilder b("grm_normalize", 5);
+
+    Reg i = b.globalTidX();
+    Reg p_a = b.ldParam(0);
+    Reg p_q = b.ldParam(1);
+    Reg p_r = b.ldParam(2);
+    Reg n = b.ldParam(3);
+    Reg k = b.ldParam(4);
+
+    Label out = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, i, n);
+    b.braIf(oob, out);
+
+    Reg norm = b.ld(MemSpace::Global, DT::F32,
+                    b.elemAddr(p_r, b.mad(DT::U32, k, n, k), 4));
+    Reg v = b.ld(MemSpace::Global, DT::F32,
+                 b.elemAddr(p_a, b.mad(DT::U32, i, n, k), 4));
+    b.st(MemSpace::Global, DT::F32,
+         b.elemAddr(p_q, b.mad(DT::U32, i, n, k), 4),
+         b.div(DT::F32, v, norm));
+
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+/**
+ * Projection: one CTA per column j = k+1+ctaid.x. First a shared-memory
+ * reduction computes r = q_k . a_j; after a barrier every thread updates
+ * a[i*n+j] -= q[i*n+k] * r. Params: a, q, r, n, k.
+ */
+ptx::Kernel
+buildGrmProjectKernel()
+{
+    KernelBuilder b("grm_project", 5, kCtaSize * 4);
+
+    Reg tid = b.mov(DT::U32, SpecialReg::TidX);
+    Reg p_a = b.ldParam(0);
+    Reg p_q = b.ldParam(1);
+    Reg p_r = b.ldParam(2);
+    Reg n = b.ldParam(3);
+    Reg k = b.ldParam(4);
+    Reg j = b.add(DT::U32, b.add(DT::U32, k, 1), SpecialReg::CtaIdX);
+
+    Reg partial = b.mov(DT::F32, immF32(0.0f));
+    Label no_load = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, tid, n);
+    b.braIf(oob, no_load);
+    {
+        Reg qv = b.ld(MemSpace::Global, DT::F32,
+                      b.elemAddr(p_q, b.mad(DT::U32, tid, n, k), 4));
+        Reg av = b.ld(MemSpace::Global, DT::F32,
+                      b.elemAddr(p_a, b.mad(DT::U32, tid, n, j), 4));
+        b.assign(DT::F32, partial, b.mul(DT::F32, qv, av));
+    }
+    b.place(no_load);
+
+    Reg smem_addr = b.shl(DT::U64, b.cvt(DT::U64, DT::U32, tid), 2);
+    b.st(MemSpace::Shared, DT::F32, smem_addr, partial);
+    b.bar();
+    emitSmemReduction(b, tid);
+
+    // Thread 0 records r[k*n+j].
+    Label not_first = b.newLabel();
+    Reg rest = b.setp(CmpOp::Ne, DT::U32, tid, 0);
+    b.braIf(rest, not_first);
+    {
+        Reg dot0 = b.ld(MemSpace::Shared, DT::F32, b.mov(DT::U64, 0));
+        b.st(MemSpace::Global, DT::F32,
+             b.elemAddr(p_r, b.mad(DT::U32, k, n, j), 4), dot0);
+    }
+    b.place(not_first);
+    b.bar();
+
+    Label out = b.newLabel();
+    Reg oob2 = b.setp(CmpOp::Ge, DT::U32, tid, n);
+    b.braIf(oob2, out);
+    {
+        Reg dot = b.ld(MemSpace::Shared, DT::F32, b.mov(DT::U64, 0));
+        Reg qv = b.ld(MemSpace::Global, DT::F32,
+                      b.elemAddr(p_q, b.mad(DT::U32, tid, n, k), 4));
+        Reg addr = b.elemAddr(p_a, b.mad(DT::U32, tid, n, j), 4);
+        Reg av = b.ld(MemSpace::Global, DT::F32, addr);
+        b.st(MemSpace::Global, DT::F32, addr,
+             b.sub(DT::F32, av, b.mul(DT::F32, qv, dot)));
+    }
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+/** CPU mirror of the kernels' arithmetic (same order, same precision). */
+void
+cpuGramSchmidt(std::vector<float> a, std::vector<float> &q,
+               std::vector<float> &r, uint32_t n)
+{
+    for (uint32_t k = 0; k < n; ++k) {
+        float sum = 0.0f;
+        for (uint32_t i = 0; i < n; ++i) {
+            const float v = a[static_cast<size_t>(i) * n + k];
+            sum += v * v;
+        }
+        const float norm = std::sqrt(sum);
+        r[static_cast<size_t>(k) * n + k] = norm;
+        for (uint32_t i = 0; i < n; ++i)
+            q[static_cast<size_t>(i) * n + k] =
+                a[static_cast<size_t>(i) * n + k] / norm;
+        for (uint32_t j = k + 1; j < n; ++j) {
+            float dot = 0.0f;
+            for (uint32_t i = 0; i < n; ++i)
+                dot += q[static_cast<size_t>(i) * n + k] *
+                       a[static_cast<size_t>(i) * n + j];
+            r[static_cast<size_t>(k) * n + j] = dot;
+            for (uint32_t i = 0; i < n; ++i)
+                a[static_cast<size_t>(i) * n + j] -=
+                    q[static_cast<size_t>(i) * n + k] * dot;
+        }
+    }
+}
+
+bool
+runGrm(sim::Gpu &gpu)
+{
+    const auto a = makeDominantMatrix(kN, 0x94a1);
+    const uint64_t d_a = upload(gpu, a);
+    const uint64_t d_q = allocZeroed<float>(gpu, size_t{kN} * kN);
+    const uint64_t d_r = allocZeroed<float>(gpu, size_t{kN} * kN);
+
+    const ptx::Kernel norm = buildGrmNormKernel();
+    const ptx::Kernel normalize = buildGrmNormalizeKernel();
+    const ptx::Kernel project = buildGrmProjectKernel();
+
+    const sim::Dim3 cta{kCtaSize, 1, 1};
+    for (uint32_t k = 0; k < kN; ++k) {
+        gpu.launch(norm, sim::Dim3{1, 1, 1}, cta, {d_a, d_r, kN, k});
+        gpu.launch(normalize, sim::Dim3{1, 1, 1}, cta,
+                   {d_a, d_q, d_r, kN, k});
+        if (k + 1 < kN)
+            gpu.launch(project, sim::Dim3{kN - k - 1, 1, 1}, cta,
+                       {d_a, d_q, d_r, kN, k});
+    }
+
+    std::vector<float> q_ref(size_t{kN} * kN, 0.0f);
+    std::vector<float> r_ref(size_t{kN} * kN, 0.0f);
+    cpuGramSchmidt(a, q_ref, r_ref, kN);
+
+    const auto q = download<float>(gpu, d_q, size_t{kN} * kN);
+    // The reduction tree sums in a different order than the CPU loop, so
+    // compare with a slightly wider tolerance.
+    return nearlyEqual(q, q_ref, 1e-2f);
+}
+
+} // namespace
+
+Workload
+makeGrm()
+{
+    Workload w;
+    w.name = "grm";
+    w.category = Category::Linear;
+    w.description = "Gram-Schmidt QR decomposition (PolyBench gramschmidt)";
+    w.run = runGrm;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildGrmNormKernel(),
+                                        buildGrmNormalizeKernel(),
+                                        buildGrmProjectKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * lu (PolyBench): in-place LU decomposition without pivoting.
+ *
+ * One scale + one update kernel per elimination step; the step index k is a
+ * kernel parameter, so every address stays a linear function of
+ * parameterized data — all loads deterministic.
+ */
+
+#include "common.hh"
+#include "datasets/matrix.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kN = 96;
+constexpr uint32_t kTile = 16;
+
+/** A[i][k] /= A[k][k] for i > k. Params: A, n, k. */
+ptx::Kernel
+buildLuScaleKernel()
+{
+    KernelBuilder b("lu_scale", 3);
+
+    Reg gtid = b.globalTidX();
+    Reg p_a = b.ldParam(0);
+    Reg n = b.ldParam(1);
+    Reg k = b.ldParam(2);
+
+    // i = k + 1 + gtid
+    Reg i = b.add(DT::U32, b.add(DT::U32, k, 1), gtid);
+    Label out = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, i, n);
+    b.braIf(oob, out);
+
+    Reg pivot_idx = b.mad(DT::U32, k, n, k);
+    Reg pivot = b.ld(MemSpace::Global, DT::F32,
+                     b.elemAddr(p_a, pivot_idx, 4));
+    Reg idx = b.mad(DT::U32, i, n, k);
+    Reg addr = b.elemAddr(p_a, idx, 4);
+    Reg v = b.ld(MemSpace::Global, DT::F32, addr);
+    Reg scaled = b.div(DT::F32, v, pivot);
+    b.st(MemSpace::Global, DT::F32, addr, scaled);
+
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+/** A[i][j] -= A[i][k] * A[k][j] for i,j > k. Params: A, n, k. */
+ptx::Kernel
+buildLuUpdateKernel()
+{
+    KernelBuilder b("lu_update", 3);
+
+    Reg gx = b.mad(DT::U32, SpecialReg::CtaIdX, SpecialReg::NTidX,
+                   SpecialReg::TidX);
+    Reg gy = b.mad(DT::U32, SpecialReg::CtaIdY, SpecialReg::NTidY,
+                   SpecialReg::TidY);
+    Reg p_a = b.ldParam(0);
+    Reg n = b.ldParam(1);
+    Reg k = b.ldParam(2);
+
+    Reg j = b.add(DT::U32, b.add(DT::U32, k, 1), gx);
+    Reg i = b.add(DT::U32, b.add(DT::U32, k, 1), gy);
+
+    Label out = b.newLabel();
+    Reg oob_j = b.setp(CmpOp::Ge, DT::U32, j, n);
+    b.braIf(oob_j, out);
+    Reg oob_i = b.setp(CmpOp::Ge, DT::U32, i, n);
+    b.braIf(oob_i, out);
+
+    Reg ik = b.ld(MemSpace::Global, DT::F32,
+                  b.elemAddr(p_a, b.mad(DT::U32, i, n, k), 4));
+    Reg kj = b.ld(MemSpace::Global, DT::F32,
+                  b.elemAddr(p_a, b.mad(DT::U32, k, n, j), 4));
+    Reg addr = b.elemAddr(p_a, b.mad(DT::U32, i, n, j), 4);
+    Reg v = b.ld(MemSpace::Global, DT::F32, addr);
+    Reg prod = b.mul(DT::F32, ik, kj);
+    b.st(MemSpace::Global, DT::F32, addr, b.sub(DT::F32, v, prod));
+
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+std::vector<float>
+cpuLu(std::vector<float> a, uint32_t n)
+{
+    for (uint32_t k = 0; k + 1 < n; ++k) {
+        const float pivot = a[static_cast<size_t>(k) * n + k];
+        for (uint32_t i = k + 1; i < n; ++i)
+            a[static_cast<size_t>(i) * n + k] = static_cast<float>(
+                static_cast<double>(a[static_cast<size_t>(i) * n + k]) /
+                pivot);
+        for (uint32_t i = k + 1; i < n; ++i) {
+            for (uint32_t j = k + 1; j < n; ++j) {
+                const double prod =
+                    static_cast<double>(a[static_cast<size_t>(i) * n + k]) *
+                    a[static_cast<size_t>(k) * n + j];
+                a[static_cast<size_t>(i) * n + j] = static_cast<float>(
+                    static_cast<double>(a[static_cast<size_t>(i) * n + j]) -
+                    prod);
+            }
+        }
+    }
+    return a;
+}
+
+bool
+runLu(sim::Gpu &gpu)
+{
+    const auto a = makeDominantMatrix(kN, 0x11u);
+    const uint64_t d_a = upload(gpu, a);
+
+    const ptx::Kernel scale = buildLuScaleKernel();
+    const ptx::Kernel update = buildLuUpdateKernel();
+
+    for (uint32_t k = 0; k + 1 < kN; ++k) {
+        const uint32_t remaining = kN - k - 1;
+        const sim::Dim3 scale_grid{(remaining + 127) / 128, 1, 1};
+        gpu.launch(scale, scale_grid, sim::Dim3{128, 1, 1}, {d_a, kN, k});
+
+        const uint32_t tiles = (remaining + kTile - 1) / kTile;
+        gpu.launch(update, sim::Dim3{tiles, tiles, 1},
+                   sim::Dim3{kTile, kTile, 1}, {d_a, kN, k});
+    }
+
+    const auto result = download<float>(gpu, d_a, size_t{kN} * kN);
+    return nearlyEqual(result, cpuLu(a, kN), 5e-3f);
+}
+
+} // namespace
+
+Workload
+makeLu()
+{
+    Workload w;
+    w.name = "lu";
+    w.category = Category::Linear;
+    w.description = "in-place LU decomposition (PolyBench lu)";
+    w.run = runLu;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildLuScaleKernel(),
+                                        buildLuUpdateKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * spmv (Parboil): sparse-matrix dense-vector multiplication over CSR.
+ *
+ * The linear-algebra outlier in Table I: the row-pointer loads are
+ * deterministic, but the inner loop indexes colIdx/values through the
+ * loaded row extent and gathers x through loaded column indices — all
+ * non-deterministic (Section IV-A1).
+ */
+
+#include "common.hh"
+#include "datasets/matrix.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+namespace
+{
+
+constexpr uint32_t kRows = 24576;
+constexpr uint32_t kCols = 24576;
+constexpr uint32_t kAvgNnz = 8;
+constexpr uint32_t kCtaSize = 192;   //!< Table I: 192 threads/CTA
+
+/** y[row] = sum_i vals[i] * x[colIdx[i]]. Params: rowPtr,colIdx,vals,x,y,n. */
+ptx::Kernel
+buildSpmvKernel()
+{
+    KernelBuilder b("spmv_kernel", 6);
+
+    Reg row = b.globalTidX();
+    Reg p_rowptr = b.ldParam(0);
+    Reg p_colidx = b.ldParam(1);
+    Reg p_vals = b.ldParam(2);
+    Reg p_x = b.ldParam(3);
+    Reg p_y = b.ldParam(4);
+    Reg n = b.ldParam(5);
+
+    Label out = b.newLabel();
+    Reg oob = b.setp(CmpOp::Ge, DT::U32, row, n);
+    b.braIf(oob, out);
+
+    // Row extent: deterministic loads.
+    Reg row_addr = b.elemAddr(p_rowptr, row, 4);
+    Reg start = b.ld(MemSpace::Global, DT::U32, row_addr);
+    Reg end = b.ld(MemSpace::Global, DT::U32, row_addr, 4);
+
+    Reg acc = b.mov(DT::F32, immF32(0.0f));
+    Reg i = b.mov(DT::U32, start);
+
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg at_end = b.setp(CmpOp::Ge, DT::U32, i, end);
+    b.braIf(at_end, done);
+    {
+        // Non-deterministic: i derives from the loaded rowPtr.
+        Reg c = b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_colidx, i, 4));
+        Reg v = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_vals, i, 4));
+        // Non-deterministic gather through the loaded column index.
+        Reg xv = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_x, c, 4));
+        Reg t = b.mad(DT::F32, v, xv, acc);
+        b.assign(DT::F32, acc, t);
+        b.assign(DT::U32, i, b.add(DT::U32, i, 1));
+    }
+    b.bra(loop);
+    b.place(done);
+
+    b.st(MemSpace::Global, DT::F32, b.elemAddr(p_y, row, 4), acc);
+    b.place(out);
+    b.exit();
+    return b.build();
+}
+
+std::vector<float>
+cpuSpmv(const CsrMatrix &m, const std::vector<float> &x)
+{
+    std::vector<float> y(m.rows, 0.0f);
+    for (uint32_t r = 0; r < m.rows; ++r) {
+        float acc = 0.0f;
+        for (uint32_t i = m.rowPtr[r]; i < m.rowPtr[r + 1]; ++i) {
+            const double prod = static_cast<double>(m.values[i]) *
+                                x[m.colIdx[i]];
+            acc = static_cast<float>(prod + acc);
+        }
+        y[r] = acc;
+    }
+    return y;
+}
+
+bool
+runSpmv(sim::Gpu &gpu)
+{
+    const CsrMatrix m = makeCsrMatrix(kRows, kCols, kAvgNnz, 0x5b37);
+    const auto x = makeRandomMatrix(kCols, 1, -1.0f, 1.0f, 0x5b38);
+
+    const uint64_t d_rowptr = upload(gpu, m.rowPtr);
+    const uint64_t d_colidx = upload(gpu, m.colIdx);
+    const uint64_t d_vals = upload(gpu, m.values);
+    const uint64_t d_x = upload(gpu, x);
+    const uint64_t d_y = allocZeroed<float>(gpu, kRows);
+
+    const sim::Dim3 grid{(kRows + kCtaSize - 1) / kCtaSize, 1, 1};
+    const sim::Dim3 cta{kCtaSize, 1, 1};
+    gpu.launch(buildSpmvKernel(), grid, cta,
+               {d_rowptr, d_colidx, d_vals, d_x, d_y, kRows});
+
+    const auto y = download<float>(gpu, d_y, kRows);
+    return nearlyEqual(y, cpuSpmv(m, x));
+}
+
+} // namespace
+
+Workload
+makeSpmv()
+{
+    Workload w;
+    w.name = "spmv";
+    w.category = Category::Linear;
+    w.description =
+        "sparse matrix dense vector multiplication over CSR (Parboil spmv)";
+    w.run = runSpmv;
+    w.kernels = [] {
+        return std::vector<ptx::Kernel>{buildSpmvKernel()};
+    };
+    return w;
+}
+
+} // namespace gcl::workloads

@@ -1,0 +1,54 @@
+#include "workload.hh"
+
+#include "util/logging.hh"
+
+namespace gcl::workloads
+{
+
+std::string
+toString(Category category)
+{
+    switch (category) {
+      case Category::Linear: return "linear";
+      case Category::Image: return "image";
+      case Category::Graph: return "graph";
+    }
+    return "?";
+}
+
+const std::vector<Workload> &
+all()
+{
+    // Table I order: linear algebra, image processing, graph.
+    static const std::vector<Workload> workloads = [] {
+        std::vector<Workload> w;
+        w.push_back(make2mm());
+        w.push_back(makeGaus());
+        w.push_back(makeGrm());
+        w.push_back(makeLu());
+        w.push_back(makeSpmv());
+        w.push_back(makeHtw());
+        w.push_back(makeMriq());
+        w.push_back(makeDwt());
+        w.push_back(makeBpr());
+        w.push_back(makeSrad());
+        w.push_back(makeBfs());
+        w.push_back(makeSssp());
+        w.push_back(makeCcl());
+        w.push_back(makeMst());
+        w.push_back(makeMis());
+        return w;
+    }();
+    return workloads;
+}
+
+const Workload &
+byName(const std::string &name)
+{
+    for (const auto &w : all())
+        if (w.name == name)
+            return w;
+    gcl_panic("unknown workload '", name, "'");
+}
+
+} // namespace gcl::workloads

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The 15-application suite of the paper (Table I), reimplemented as
+ * structurally faithful kernels in the PTX-like IR over synthetic inputs.
+ *
+ * Every workload bundles a host driver (allocates device memory, launches
+ * its kernels — iterating with host readbacks where the original app does)
+ * and a CPU reference check so functional correctness is verified on every
+ * run. See DESIGN.md §"Substitutions" for the scaling rationale.
+ */
+
+#ifndef GCL_WORKLOADS_WORKLOAD_HH
+#define GCL_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ptx/kernel.hh"
+#include "sim/gpu.hh"
+
+namespace gcl::workloads
+{
+
+/** Table I application categories. */
+enum class Category
+{
+    Linear,
+    Image,
+    Graph,
+};
+
+std::string toString(Category category);
+
+/** One benchmark application. */
+struct Workload
+{
+    std::string name;
+    Category category;
+    std::string description;
+
+    /**
+     * Run the full application on @p gpu (data generation, uploads, one or
+     * more kernel launches, downloads) and verify the outputs against the
+     * CPU reference implementation.
+     *
+     * @retval true when the device results match the reference.
+     */
+    std::function<bool(sim::Gpu &gpu)> run;
+
+    /** Build the workload's kernels (for static analysis reports). */
+    std::function<std::vector<ptx::Kernel>()> kernels;
+};
+
+/** All 15 workloads in Table I order. */
+const std::vector<Workload> &all();
+
+/** Lookup by Table I name; panics on unknown names. */
+const Workload &byName(const std::string &name);
+
+// Per-application factories (defined in their own translation units).
+Workload make2mm();
+Workload makeGaus();
+Workload makeGrm();
+Workload makeLu();
+Workload makeSpmv();
+Workload makeHtw();
+Workload makeMriq();
+Workload makeDwt();
+Workload makeBpr();
+Workload makeSrad();
+Workload makeBfs();
+Workload makeSssp();
+Workload makeCcl();
+Workload makeMst();
+Workload makeMis();
+
+} // namespace gcl::workloads
+
+#endif // GCL_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the benchmark-harness helpers: per-pc series discovery and
+ * class-ratio extraction used by the Fig 6/7 binaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/figures.hh"
+
+namespace
+{
+
+using gcl::StatsSet;
+using gcl::bench::classKey;
+using gcl::bench::classRatio;
+using gcl::bench::discoverPcSeries;
+using gcl::bench::hottestPc;
+
+StatsSet
+makePcStats()
+{
+    StatsSet s;
+    s.set("pc.kern#5.nondet", 1.0);
+    s.hist("pc.kern#5.turn_cnt").add(3, 100.0);
+    s.hist("pc.kern#5.turn_cnt").add(7, 50.0);
+    s.hist("pc.kern#5.turn_sum").add(3, 40000.0);
+    s.set("pc.kern#9.nondet", 0.0);
+    s.hist("pc.kern#9.turn_cnt").add(1, 600.0);
+    s.set("pc.other_kernel#12.nondet", 1.0);
+    s.hist("pc.other_kernel#12.turn_cnt").add(2, 10.0);
+    return s;
+}
+
+TEST(BenchHelpers, ClassKeySuffixes)
+{
+    EXPECT_EQ(classKey("gload.reqs", false), "gload.reqs.det");
+    EXPECT_EQ(classKey("gload.reqs", true), "gload.reqs.nondet");
+}
+
+TEST(BenchHelpers, ClassRatioHandlesMissingClass)
+{
+    StatsSet s;
+    s.set("gload.reqs.det", 30.0);
+    s.set("gload.warps.det", 10.0);
+    EXPECT_DOUBLE_EQ(classRatio(s, "gload.reqs", "gload.warps", false),
+                     3.0);
+    EXPECT_DOUBLE_EQ(classRatio(s, "gload.reqs", "gload.warps", true),
+                     0.0);
+}
+
+TEST(BenchHelpers, DiscoverFindsAllSeriesHeaviestFirst)
+{
+    const auto series = discoverPcSeries(makePcStats());
+    ASSERT_EQ(series.size(), 3u);
+    EXPECT_EQ(series[0].kernel, "kern");
+    EXPECT_EQ(series[0].pc, 9u);          // 600 warps
+    EXPECT_FALSE(series[0].nonDet);
+    EXPECT_EQ(series[1].pc, 5u);          // 150 warps
+    EXPECT_TRUE(series[1].nonDet);
+    EXPECT_EQ(series[1].prefix, "pc.kern#5.");
+    EXPECT_EQ(series[2].kernel, "other_kernel");
+    EXPECT_EQ(series[2].pc, 12u);
+}
+
+TEST(BenchHelpers, HottestPcFiltersByClass)
+{
+    const auto stats = makePcStats();
+    EXPECT_EQ(hottestPc(stats, false).pc, 9u);
+    EXPECT_EQ(hottestPc(stats, true).pc, 5u);
+}
+
+TEST(BenchHelpers, HottestPcEmptyWhenClassAbsent)
+{
+    StatsSet s;
+    s.set("pc.kern#5.nondet", 1.0);
+    s.hist("pc.kern#5.turn_cnt").add(1, 1.0);
+    EXPECT_TRUE(hottestPc(s, false).prefix.empty());
+    EXPECT_FALSE(hottestPc(s, true).prefix.empty());
+}
+
+TEST(BenchHelpers, IgnoresNonPcHistograms)
+{
+    StatsSet s;
+    s.hist("cta_distance").add(1, 5.0);
+    s.hist("block_reuse").add(2, 5.0);
+    EXPECT_TRUE(discoverPcSeries(s).empty());
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Cache and MSHR unit tests: the outcome taxonomy (hit, hit-reserved,
+ * miss, reservation fails), LRU replacement, reserved-line pinning, and
+ * fill/merge behavior — parameterized over cache geometries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+
+namespace
+{
+
+using namespace gcl::sim;
+
+MemRequestPtr
+makeReq(uint64_t line_addr)
+{
+    auto req = std::make_shared<MemRequest>();
+    req->lineAddr = line_addr;
+    return req;
+}
+
+CacheConfig
+smallConfig()
+{
+    // 2 sets x 2 ways x 128B lines; 2 MSHRs with merge depth 2.
+    CacheConfig config;
+    config.sizeBytes = 512;
+    config.lineBytes = 128;
+    config.assoc = 2;
+    config.mshrEntries = 2;
+    config.mshrMaxMerge = 2;
+    return config;
+}
+
+TEST(CacheTest, ColdMissThenHitAfterFill)
+{
+    Cache cache("t", smallConfig());
+    auto req = makeReq(0);
+    EXPECT_EQ(cache.access(req, true), AccessOutcome::Miss);
+    EXPECT_FALSE(cache.isHit(0));
+    const auto merged = cache.fill(0);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].get(), req.get());
+    EXPECT_TRUE(cache.isHit(0));
+    EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::Hit);
+}
+
+TEST(CacheTest, ReservedLineMergesSecondaryMisses)
+{
+    Cache cache("t", smallConfig());
+    auto first = makeReq(0);
+    auto second = makeReq(0);
+    EXPECT_EQ(cache.access(first, true), AccessOutcome::Miss);
+    EXPECT_EQ(cache.access(second, true), AccessOutcome::HitReserved);
+    const auto merged = cache.fill(0);
+    ASSERT_EQ(merged.size(), 2u);
+}
+
+TEST(CacheTest, MergeListOverflowIsMshrFail)
+{
+    Cache cache("t", smallConfig());  // merge depth 2
+    EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::Miss);
+    EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::HitReserved);
+    EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::FailMshr);
+}
+
+TEST(CacheTest, MshrExhaustionIsMshrFail)
+{
+    Cache cache("t", smallConfig());  // 2 MSHR entries
+    // Two primary misses in different sets take both entries.
+    EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::Miss);
+    EXPECT_EQ(cache.access(makeReq(128), true), AccessOutcome::Miss);
+    // Third distinct line: set has ways free but MSHRs are gone.
+    EXPECT_EQ(cache.access(makeReq(256), true), AccessOutcome::FailMshr);
+}
+
+TEST(CacheTest, AllWaysReservedIsTagFail)
+{
+    auto config = smallConfig();
+    config.mshrEntries = 8;  // plenty of MSHRs: isolate the tag fail
+    Cache cache("t", config);
+    // Set 0 holds lines 0, 256, 512, ... (2 sets). Reserve both ways.
+    EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::Miss);
+    EXPECT_EQ(cache.access(makeReq(256), true), AccessOutcome::Miss);
+    EXPECT_EQ(cache.access(makeReq(512), true), AccessOutcome::FailTag);
+    // The other set is unaffected.
+    EXPECT_EQ(cache.access(makeReq(128), true), AccessOutcome::Miss);
+}
+
+TEST(CacheTest, NoInterconnectSpaceIsIcntFail)
+{
+    Cache cache("t", smallConfig());
+    EXPECT_EQ(cache.access(makeReq(0), false), AccessOutcome::FailIcnt);
+    // Nothing was reserved by the failed attempt.
+    EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::Miss);
+}
+
+TEST(CacheTest, FailedAccessHasNoSideEffects)
+{
+    Cache cache("t", smallConfig());
+    EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::Miss);
+    EXPECT_EQ(cache.access(makeReq(256), true), AccessOutcome::Miss);
+    // Tag fail must not consume an MSHR or evict anything.
+    EXPECT_EQ(cache.access(makeReq(512), true), AccessOutcome::FailTag);
+    const auto merged0 = cache.fill(0);
+    EXPECT_EQ(merged0.size(), 1u);
+    EXPECT_TRUE(cache.isHit(0));
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed)
+{
+    Cache cache("t", smallConfig());
+    // Fill both ways of set 0 with lines 0 and 256.
+    cache.access(makeReq(0), true);
+    cache.fill(0);
+    cache.access(makeReq(256), true);
+    cache.fill(256);
+    // Touch line 0 so line 256 is LRU.
+    EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::Hit);
+    // Miss on 512 evicts 256, not 0.
+    EXPECT_EQ(cache.access(makeReq(512), true), AccessOutcome::Miss);
+    cache.fill(512);
+    EXPECT_TRUE(cache.isHit(0));
+    EXPECT_TRUE(cache.isHit(512));
+    EXPECT_FALSE(cache.isHit(256));
+}
+
+TEST(CacheTest, ReservedLineIsNotEvictable)
+{
+    Cache cache("t", smallConfig());
+    // Reserve line 0 (in flight), fill line 256: both ways of set 0 used.
+    cache.access(makeReq(0), true);
+    cache.access(makeReq(256), true);
+    cache.fill(256);
+    // A new miss in set 0 must evict 256 (valid), never the reserved 0.
+    EXPECT_EQ(cache.access(makeReq(512), true), AccessOutcome::Miss);
+    const auto merged = cache.fill(0);  // the original fill still lands
+    EXPECT_EQ(merged.size(), 1u);
+    EXPECT_TRUE(cache.isHit(0));
+}
+
+TEST(CacheDeathTest, FillWithoutReservationPanics)
+{
+    Cache cache("t", smallConfig());
+    EXPECT_DEATH(cache.fill(0), "not reserved");
+}
+
+/** Parameterized sweep: geometry invariants hold across shapes. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
+{
+};
+
+TEST_P(CacheGeometry, FillsWholeCapacityWithoutEviction)
+{
+    const auto [size_kb, assoc] = GetParam();
+    CacheConfig config;
+    config.sizeBytes = size_kb * 1024;
+    config.lineBytes = 128;
+    config.assoc = assoc;
+    config.mshrEntries = 4096;
+    config.mshrMaxMerge = 4;
+    Cache cache("t", config);
+
+    const uint32_t lines = config.sizeBytes / config.lineBytes;
+    for (uint32_t i = 0; i < lines; ++i) {
+        ASSERT_EQ(cache.access(makeReq(uint64_t{i} * 128), true),
+                  AccessOutcome::Miss);
+        cache.fill(uint64_t{i} * 128);
+    }
+    // Every line still hits: the cache held its full capacity.
+    for (uint32_t i = 0; i < lines; ++i)
+        ASSERT_EQ(cache.access(makeReq(uint64_t{i} * 128), true),
+                  AccessOutcome::Hit);
+    // One more distinct line evicts exactly one resident line.
+    ASSERT_EQ(cache.access(makeReq(uint64_t{lines} * 128), true),
+              AccessOutcome::Miss);
+    cache.fill(uint64_t{lines} * 128);
+    uint32_t hits = 0;
+    for (uint32_t i = 0; i <= lines; ++i)
+        hits += cache.isHit(uint64_t{i} * 128);
+    EXPECT_EQ(hits, lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(16u, 4u),    // the L1D shape
+                      std::make_tuple(128u, 8u),   // the L2 slice shape
+                      std::make_tuple(4u, 1u),     // direct mapped
+                      std::make_tuple(8u, 2u),
+                      std::make_tuple(64u, 16u)));
+
+TEST(MshrTest, LifecycleAndLimits)
+{
+    Mshr mshr(2, 3);
+    EXPECT_FALSE(mshr.full());
+    EXPECT_FALSE(mshr.hasEntry(0));
+
+    mshr.allocate(0, makeReq(0));
+    EXPECT_TRUE(mshr.hasEntry(0));
+    EXPECT_TRUE(mshr.canMerge(0));
+    mshr.merge(0, makeReq(0));
+    mshr.merge(0, makeReq(0));
+    EXPECT_FALSE(mshr.canMerge(0));  // merge depth 3 reached
+
+    mshr.allocate(128, makeReq(128));
+    EXPECT_TRUE(mshr.full());
+
+    const auto released = mshr.release(0);
+    EXPECT_EQ(released.size(), 3u);
+    EXPECT_FALSE(mshr.hasEntry(0));
+    EXPECT_FALSE(mshr.full());
+}
+
+TEST(MshrDeathTest, DoubleAllocatePanics)
+{
+    Mshr mshr(4, 4);
+    mshr.allocate(0, makeReq(0));
+    EXPECT_DEATH(mshr.allocate(0, makeReq(0)), "double allocate");
+}
+
+} // namespace

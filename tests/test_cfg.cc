@@ -1,0 +1,233 @@
+/**
+ * @file
+ * CFG and postdominator tests, including the reconvergence-pc regression
+ * that bit the shared-memory reduction kernels (ipdom must be the closest
+ * strict postdominator, not the farthest).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ptx/builder.hh"
+#include "ptx/cfg.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace gcl;
+using namespace gcl::ptx;
+using DT = DataType;
+
+/** if/else diamond reconverges at the join block. */
+TEST(CfgTest, DiamondReconvergesAtJoin)
+{
+    KernelBuilder b("k", 0);
+    Reg p = b.setp(CmpOp::Eq, DT::U32, SpecialReg::TidX, 0);  // pc 0
+    Label else_lbl = b.newLabel();
+    Label join = b.newLabel();
+    b.braIf(p, else_lbl);          // pc 1
+    (void)b.mov(DT::U32, 1);       // pc 2 (then)
+    b.bra(join);                   // pc 3
+    b.place(else_lbl);
+    (void)b.mov(DT::U32, 2);       // pc 4 (else)
+    b.place(join);
+    (void)b.mov(DT::U32, 3);       // pc 5 (join)
+    Kernel k = b.build();
+
+    Cfg cfg(k);
+    EXPECT_EQ(cfg.reconvergencePc(1), 5u);
+}
+
+/** Guarded skip (if-without-else) reconverges right after the branch. */
+TEST(CfgTest, GuardedSkipReconvergesAtTarget)
+{
+    KernelBuilder b("k", 0);
+    Reg p = b.setp(CmpOp::Eq, DT::U32, SpecialReg::TidX, 0);  // pc 0
+    Label skip = b.newLabel();
+    b.braIf(p, skip);              // pc 1
+    (void)b.mov(DT::U32, 1);       // pc 2
+    b.place(skip);
+    (void)b.mov(DT::U32, 2);       // pc 3
+    Kernel k = b.build();
+
+    Cfg cfg(k);
+    EXPECT_EQ(cfg.reconvergencePc(1), 3u);
+}
+
+/**
+ * Regression: a guarded skip FOLLOWED by a loop must still reconverge at
+ * the skip target, not at the far-away exit. (The broken ipdom extraction
+ * chose the farthest postdominator, which serialized every reduction
+ * kernel's barriers.)
+ */
+TEST(CfgTest, SkipBeforeLoopReconvergesLocally)
+{
+    KernelBuilder b("k", 1, 64);
+    Reg tx = b.mov(DT::U32, SpecialReg::TidX);
+    Label staged = b.newLabel();
+    Reg nl = b.setp(CmpOp::Ne, DT::U32, tx, 0);
+    const size_t guard_pc = b.pc();
+    b.braIf(nl, staged);
+    (void)b.ld(MemSpace::Global, DT::F32, b.ldParam(0));
+    b.place(staged);
+    const size_t bar_pc = b.pc();
+    b.bar();
+    Reg stride = b.mov(DT::U32, 8);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg fin = b.setp(CmpOp::Eq, DT::U32, stride, 0);
+    b.braIf(fin, done);
+    b.assign(DT::U32, stride, b.shr(DT::U32, stride, 1));
+    b.bra(loop);
+    b.place(done);
+    Kernel k = b.build();
+
+    Cfg cfg(k);
+    EXPECT_EQ(cfg.reconvergencePc(guard_pc), bar_pc);
+}
+
+/** Loop-exit branch reconverges at the code after the loop. */
+TEST(CfgTest, LoopExitReconvergence)
+{
+    KernelBuilder b("k", 0);
+    Reg i = b.mov(DT::U32, 0);     // pc 0
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg p = b.setp(CmpOp::Ge, DT::U32, i, 4);  // pc 1
+    const size_t exit_branch = b.pc();
+    b.braIf(p, done);              // pc 2
+    b.assign(DT::U32, i, b.add(DT::U32, i, 1));
+    b.bra(loop);
+    b.place(done);
+    (void)b.mov(DT::U32, 9);
+    Kernel k = b.build();
+
+    Cfg cfg(k);
+    const size_t reconv = cfg.reconvergencePc(exit_branch);
+    // Reconvergence at the post-loop block (the branch target).
+    EXPECT_EQ(reconv, static_cast<size_t>(k.inst(exit_branch).branchTarget));
+}
+
+TEST(CfgTest, BlockStructureOfStraightLine)
+{
+    KernelBuilder b("k", 0);
+    (void)b.mov(DT::U32, 1);
+    (void)b.mov(DT::U32, 2);
+    Kernel k = b.build();
+    Cfg cfg(k);
+    ASSERT_EQ(cfg.numBlocks(), 1u);
+    EXPECT_EQ(cfg.block(0).first, 0u);
+    EXPECT_EQ(cfg.block(0).last, k.size() - 1);
+    EXPECT_EQ(cfg.block(0).succs.size(), 1u);
+    EXPECT_EQ(cfg.block(0).succs[0], cfg.exitId());
+}
+
+TEST(CfgTest, UnreachableCodeIsMarked)
+{
+    // bra over a block that nothing targets.
+    std::vector<Instruction> insts(3);
+    insts[0].op = Opcode::Bra;
+    insts[0].branchTarget = 2;
+    insts[1].op = Opcode::Mov;
+    insts[1].dst = 0;
+    insts[1].srcs[0] = Operand::makeImm(1);
+    insts[2].op = Opcode::Exit;
+    Kernel k("k", std::move(insts), 2, 0, 0);
+    Cfg cfg(k);
+    EXPECT_TRUE(cfg.reachable(static_cast<size_t>(cfg.blockOf(0))));
+    EXPECT_FALSE(cfg.reachable(static_cast<size_t>(cfg.blockOf(1))));
+    EXPECT_TRUE(cfg.reachable(static_cast<size_t>(cfg.blockOf(2))));
+}
+
+TEST(CfgTest, PostDominatesBasics)
+{
+    KernelBuilder b("k", 0);
+    Reg p = b.setp(CmpOp::Eq, DT::U32, SpecialReg::TidX, 0);
+    Label skip = b.newLabel();
+    b.braIf(p, skip);
+    (void)b.mov(DT::U32, 1);
+    b.place(skip);
+    (void)b.mov(DT::U32, 2);
+    Kernel k = b.build();
+    Cfg cfg(k);
+
+    const int entry = cfg.blockOf(0);
+    const int body = cfg.blockOf(2);
+    const int join = cfg.blockOf(3);
+    EXPECT_TRUE(cfg.postDominates(join, entry));
+    EXPECT_TRUE(cfg.postDominates(join, body));
+    EXPECT_FALSE(cfg.postDominates(body, entry));
+    EXPECT_TRUE(cfg.postDominates(cfg.exitId(), entry));
+}
+
+/**
+ * Property test: on random structured kernels, every conditional branch's
+ * reconvergence pc (a) post-dominates the branch block and (b) is the
+ * closest such block — no other postdominator of the branch lies strictly
+ * between them on every path. We check (a) plus that the reconvergence
+ * point is never beyond a block that also postdominates.
+ */
+TEST(CfgTest, RandomStructuredKernelsHaveSoundIpdoms)
+{
+    Rng rng(0xcf6);
+    for (int trial = 0; trial < 30; ++trial) {
+        KernelBuilder b("k", 0);
+        // Random nesting of if/loop constructs, always structured.
+        std::vector<std::pair<Label, bool>> stack;  // (label, isLoopHead)
+        std::vector<Label> loop_heads;
+        const int ops = 10 + static_cast<int>(rng.nextBounded(20));
+        for (int i = 0; i < ops; ++i) {
+            const auto kind = rng.nextBounded(4);
+            if (kind == 0 && stack.size() < 4) {
+                Reg p = b.setp(CmpOp::Eq, DT::U32, SpecialReg::TidX,
+                               static_cast<int>(rng.nextBounded(32)));
+                Label end = b.newLabel();
+                b.braIf(p, end);
+                stack.emplace_back(end, false);
+            } else if (kind == 1 && !stack.empty()) {
+                b.place(stack.back().first);
+                stack.pop_back();
+            } else {
+                (void)b.mov(DT::U32,
+                            static_cast<int>(rng.nextBounded(100)));
+            }
+        }
+        while (!stack.empty()) {
+            b.place(stack.back().first);
+            stack.pop_back();
+        }
+        Kernel k = b.build();
+        Cfg cfg(k);
+
+        for (size_t pc = 0; pc < k.size(); ++pc) {
+            if (!k.inst(pc).isBranch() || !k.inst(pc).guarded)
+                continue;
+            const size_t reconv = cfg.reconvergencePc(pc);
+            if (reconv == k.size())
+                continue;  // reconverges at exit
+            const int branch_block = cfg.blockOf(pc);
+            const int reconv_block = cfg.blockOf(reconv);
+            EXPECT_TRUE(cfg.postDominates(reconv_block, branch_block))
+                << "trial " << trial << " pc " << pc;
+            // Closest: the branch's ipdom must not itself be
+            // post-dominated by a different strict postdominator of the
+            // branch that is not the reconvergence block.
+            for (size_t other = 0; other < cfg.numBlocks(); ++other) {
+                if (static_cast<int>(other) == branch_block ||
+                    static_cast<int>(other) == reconv_block)
+                    continue;
+                if (cfg.postDominates(static_cast<int>(other),
+                                      branch_block)) {
+                    EXPECT_TRUE(cfg.postDominates(
+                        static_cast<int>(other), reconv_block))
+                        << "block " << other
+                        << " lies between branch and reconvergence";
+                }
+            }
+        }
+    }
+}
+
+} // namespace

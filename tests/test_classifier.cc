@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the paper's core contribution: backward-dataflow load
+ * classification (Section V). Each test constructs an addressing pattern
+ * and checks the resulting class, including the paper's own Code 1 example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.hh"
+#include "ptx/builder.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace gcl;
+using namespace gcl::ptx;
+using core::LoadClass;
+using core::LoadClassifier;
+using DT = DataType;
+
+/** tid-indexed array access: a[f(tid, ctaid)] -> deterministic. */
+TEST(Classifier, ThreadIndexedLoadIsDeterministic)
+{
+    KernelBuilder b("k", 1);
+    Reg tid = b.globalTidX();
+    Reg base = b.ldParam(0);
+    (void)b.ld(MemSpace::Global, DT::U32, b.elemAddr(base, tid, 4));
+    Kernel k = b.build();
+
+    LoadClassifier c(k);
+    ASSERT_EQ(c.globalLoads().size(), 1u);
+    EXPECT_EQ(c.globalLoads()[0].cls, LoadClass::Deterministic);
+    EXPECT_TRUE(c.globalLoads()[0].slice.sources.param);
+    EXPECT_TRUE(c.globalLoads()[0].slice.sources.specialReg);
+    EXPECT_FALSE(c.globalLoads()[0].slice.dependsOnMemory());
+}
+
+/** a[b[i]] gather -> non-deterministic. */
+TEST(Classifier, LoadedIndexIsNonDeterministic)
+{
+    KernelBuilder b("k", 2);
+    Reg tid = b.globalTidX();
+    Reg p_idx = b.ldParam(0);
+    Reg p_data = b.ldParam(1);
+    Reg idx = b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_idx, tid, 4));
+    (void)b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_data, idx, 4));
+    Kernel k = b.build();
+
+    LoadClassifier c(k);
+    ASSERT_EQ(c.globalLoads().size(), 2u);
+    EXPECT_EQ(c.globalLoads()[0].cls, LoadClass::Deterministic);
+    EXPECT_EQ(c.globalLoads()[1].cls, LoadClass::NonDeterministic);
+    // The tainting pc is the index load.
+    ASSERT_EQ(c.globalLoads()[1].slice.taintingPcs.size(), 1u);
+    EXPECT_EQ(c.globalLoads()[1].slice.taintingPcs[0],
+              c.globalLoads()[0].pc);
+}
+
+/** Arbitrarily long arithmetic chains keep determinism. */
+TEST(Classifier, ArithmeticChainPreservesDeterminism)
+{
+    KernelBuilder b("k", 2);
+    Reg tid = b.globalTidX();
+    Reg n = b.ldParam(1);
+    Reg x = b.mul(DT::U32, tid, 12);
+    x = b.add(DT::U32, x, n);
+    x = b.shl(DT::U32, x, 2);
+    x = b.xor_(DT::U32, x, 0x55);
+    x = b.rem(DT::U32, x, n);
+    Reg base = b.ldParam(0);
+    (void)b.ld(MemSpace::Global, DT::U32, b.elemAddr(base, x, 4));
+    Kernel k = b.build();
+
+    LoadClassifier c(k);
+    ASSERT_EQ(c.globalLoads().size(), 1u);
+    EXPECT_EQ(c.globalLoads()[0].cls, LoadClass::Deterministic);
+}
+
+/** An address fed by a shared-memory load is non-deterministic. */
+TEST(Classifier, SharedLoadTaintsAddress)
+{
+    KernelBuilder b("k", 1, 128);
+    Reg zero = b.mov(DT::U64, 0);
+    Reg idx = b.ld(MemSpace::Shared, DT::U32, zero);
+    Reg base = b.ldParam(0);
+    (void)b.ld(MemSpace::Global, DT::U32, b.elemAddr(base, idx, 4));
+    Kernel k = b.build();
+
+    LoadClassifier c(k);
+    ASSERT_EQ(c.globalLoads().size(), 1u);
+    EXPECT_EQ(c.globalLoads()[0].cls, LoadClass::NonDeterministic);
+    EXPECT_TRUE(c.globalLoads()[0].slice.sources.dataLoad);
+}
+
+/** An address fed by an atomic's return value is non-deterministic. */
+TEST(Classifier, AtomicReturnTaintsAddress)
+{
+    KernelBuilder b("k", 2);
+    Reg counter = b.ldParam(0);
+    Reg slot = b.atom(AtomOp::Add, DT::U32, counter, 1);
+    Reg base = b.ldParam(1);
+    (void)b.ld(MemSpace::Global, DT::U32, b.elemAddr(base, slot, 4));
+    Kernel k = b.build();
+
+    LoadClassifier c(k);
+    ASSERT_EQ(c.globalLoads().size(), 1u);
+    EXPECT_EQ(c.globalLoads()[0].cls, LoadClass::NonDeterministic);
+    EXPECT_TRUE(c.globalLoads()[0].slice.sources.atomic);
+}
+
+/** Loop induction variable from a constant bound stays deterministic. */
+TEST(Classifier, DeterministicLoopInduction)
+{
+    KernelBuilder b("k", 2);
+    Reg base = b.ldParam(0);
+    Reg n = b.ldParam(1);
+    Reg i = b.mov(DT::U32, 0);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg fin = b.setp(CmpOp::Ge, DT::U32, i, n);
+    b.braIf(fin, done);
+    (void)b.ld(MemSpace::Global, DT::U32, b.elemAddr(base, i, 4));
+    b.assign(DT::U32, i, b.add(DT::U32, i, 1));
+    b.bra(loop);
+    b.place(done);
+    Kernel k = b.build();
+
+    LoadClassifier c(k);
+    ASSERT_EQ(c.globalLoads().size(), 1u);
+    EXPECT_EQ(c.globalLoads()[0].cls, LoadClass::Deterministic);
+}
+
+/** Loop bound loaded from memory taints the induction variable (spmv). */
+TEST(Classifier, LoadedLoopBoundTaintsInduction)
+{
+    KernelBuilder b("k", 2);
+    Reg p_row = b.ldParam(0);
+    Reg p_col = b.ldParam(1);
+    Reg tid = b.globalTidX();
+    Reg start =
+        b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_row, tid, 4));
+    Reg end =
+        b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_row, tid, 4), 4);
+    Reg i = b.mov(DT::U32, start);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg fin = b.setp(CmpOp::Ge, DT::U32, i, end);
+    b.braIf(fin, done);
+    (void)b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_col, i, 4));
+    b.assign(DT::U32, i, b.add(DT::U32, i, 1));
+    b.bra(loop);
+    b.place(done);
+    Kernel k = b.build();
+
+    LoadClassifier c(k);
+    ASSERT_EQ(c.globalLoads().size(), 3u);
+    EXPECT_EQ(c.globalLoads()[0].cls, LoadClass::Deterministic);  // start
+    EXPECT_EQ(c.globalLoads()[1].cls, LoadClass::Deterministic);  // end
+    EXPECT_EQ(c.globalLoads()[2].cls, LoadClass::NonDeterministic);
+}
+
+/** Merging deterministic and tainted definitions is conservative. */
+TEST(Classifier, BranchMergeIsConservative)
+{
+    KernelBuilder b("k", 2);
+    Reg p_data = b.ldParam(0);
+    Reg tid = b.globalTidX();
+    Reg idx = b.mov(DT::U32, tid);
+    Reg cond = b.setp(CmpOp::Eq, DT::U32, tid, 0);
+    Label merge = b.newLabel();
+    b.braIf(cond, merge);
+    {
+        // One path overwrites idx with a loaded value.
+        Reg loaded =
+            b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_data, tid, 4));
+        b.assign(DT::U32, idx, loaded);
+    }
+    b.place(merge);
+    (void)b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_data, idx, 4));
+    Kernel k = b.build();
+
+    LoadClassifier c(k);
+    ASSERT_EQ(c.globalLoads().size(), 2u);
+    EXPECT_EQ(c.globalLoads()[1].cls, LoadClass::NonDeterministic);
+}
+
+/** selp mixing a loaded value into an address taints it. */
+TEST(Classifier, SelpPropagatesTaint)
+{
+    KernelBuilder b("k", 2);
+    Reg p_data = b.ldParam(0);
+    Reg tid = b.globalTidX();
+    Reg loaded =
+        b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_data, tid, 4));
+    Reg p = b.setp(CmpOp::Gt, DT::U32, tid, 16);
+    Reg idx = b.selp(DT::U32, loaded, tid, p);
+    (void)b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_data, idx, 4));
+    Kernel k = b.build();
+
+    LoadClassifier c(k);
+    EXPECT_EQ(c.globalLoads()[1].cls, LoadClass::NonDeterministic);
+}
+
+/** A loaded VALUE that never feeds an address leaves loads deterministic. */
+TEST(Classifier, LoadedValueWithoutAddressUseStaysDeterministic)
+{
+    KernelBuilder b("k", 2);
+    Reg p_a = b.ldParam(0);
+    Reg p_b = b.ldParam(1);
+    Reg tid = b.globalTidX();
+    Reg v = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_a, tid, 4));
+    Reg w = b.ld(MemSpace::Global, DT::F32, b.elemAddr(p_b, tid, 4));
+    Reg sum = b.add(DT::F32, v, w);
+    b.st(MemSpace::Global, DT::F32, b.elemAddr(p_a, tid, 4), sum);
+    Kernel k = b.build();
+
+    LoadClassifier c(k);
+    EXPECT_EQ(c.numDeterministic(), 2u);
+    EXPECT_EQ(c.numNonDeterministic(), 0u);
+}
+
+TEST(Classifier, ReportMentionsEveryLoad)
+{
+    KernelBuilder b("k", 2);
+    Reg tid = b.globalTidX();
+    Reg p_idx = b.ldParam(0);
+    Reg idx = b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_idx, tid, 4));
+    (void)b.ld(MemSpace::Global, DT::U32, b.elemAddr(p_idx, idx, 4));
+    Kernel k = b.build();
+
+    LoadClassifier c(k);
+    const std::string report = c.report();
+    EXPECT_NE(report.find("deterministic"), std::string::npos);
+    EXPECT_NE(report.find("non-deterministic"), std::string::npos);
+}
+
+TEST(Classifier, ClassOfPanicsOnNonLoadPc)
+{
+    KernelBuilder b("k", 1);
+    Reg tid = b.globalTidX();
+    (void)b.ld(MemSpace::Global, DT::U32,
+               b.elemAddr(b.ldParam(0), tid, 4));
+    Kernel k = b.build();
+    LoadClassifier c(k);
+    EXPECT_DEATH(c.classOf(0), "not a global load");
+}
+
+/** Paper Code 1: the bfs kernels classify exactly as Section V describes. */
+TEST(Classifier, PaperCode1BfsClassification)
+{
+    const auto kernels = workloads::byName("bfs").kernels();
+    ASSERT_EQ(kernels.size(), 2u);
+
+    // Expansion kernel: mask/rowPtr/rowPtr+4/cost deterministic;
+    // edges[i] and visited[id] non-deterministic.
+    LoadClassifier expand(kernels[0]);
+    EXPECT_EQ(expand.numDeterministic(), 4u);
+    EXPECT_EQ(expand.numNonDeterministic(), 2u);
+
+    // Commit kernel: all loads tid-indexed.
+    LoadClassifier commit(kernels[1]);
+    EXPECT_EQ(commit.numNonDeterministic(), 0u);
+    EXPECT_GT(commit.numDeterministic(), 0u);
+}
+
+/** Every linear/image workload except spmv is statically deterministic. */
+TEST(Classifier, WorkloadStaticMixesMatchThePaper)
+{
+    for (const auto &workload : workloads::all()) {
+        size_t nondet = 0, total = 0;
+        for (const auto &kernel : workload.kernels()) {
+            LoadClassifier c(kernel);
+            nondet += c.numNonDeterministic();
+            total += c.globalLoads().size();
+        }
+        if (workload.name == "spmv" ||
+            workload.category == workloads::Category::Graph) {
+            EXPECT_GT(nondet, 0u) << workload.name;
+        } else {
+            EXPECT_EQ(nondet, 0u) << workload.name;
+        }
+        EXPECT_GT(total, 0u) << workload.name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Coalescer unit and property tests (Section VI: the coalescer sits before
+ * the L1 and folds a warp's lane addresses into 128B transactions).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/coalescer.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using gcl::Rng;
+using gcl::sim::coalesce;
+
+using Addrs = std::vector<std::pair<unsigned, uint64_t>>;
+
+Addrs
+lanes(std::initializer_list<uint64_t> addrs)
+{
+    Addrs out;
+    unsigned lane = 0;
+    for (uint64_t a : addrs)
+        out.emplace_back(lane++, a);
+    return out;
+}
+
+TEST(Coalescer, FullyCoalescedWarpIsOneRequest)
+{
+    Addrs addrs;
+    for (unsigned lane = 0; lane < 32; ++lane)
+        addrs.emplace_back(lane, 0x1000 + lane * 4);
+    const auto lines = coalesce(addrs, 4, 128);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], 0x1000u);
+}
+
+TEST(Coalescer, MisalignedSequentialSpansTwoLines)
+{
+    Addrs addrs;
+    for (unsigned lane = 0; lane < 32; ++lane)
+        addrs.emplace_back(lane, 0x1040 + lane * 4);  // straddles 0x1080
+    const auto lines = coalesce(addrs, 4, 128);
+    EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(Coalescer, EightByteAccessesNeedTwoLines)
+{
+    Addrs addrs;
+    for (unsigned lane = 0; lane < 32; ++lane)
+        addrs.emplace_back(lane, 0x2000 + lane * 8);
+    const auto lines = coalesce(addrs, 8, 128);
+    EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(Coalescer, ByteAccessesPackTightly)
+{
+    Addrs addrs;
+    for (unsigned lane = 0; lane < 32; ++lane)
+        addrs.emplace_back(lane, 0x3000 + lane);
+    const auto lines = coalesce(addrs, 1, 128);
+    EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(Coalescer, Stride128IsFullyDiverged)
+{
+    Addrs addrs;
+    for (unsigned lane = 0; lane < 32; ++lane)
+        addrs.emplace_back(lane, uint64_t{lane} * 128);
+    EXPECT_EQ(coalesce(addrs, 4, 128).size(), 32u);
+}
+
+TEST(Coalescer, UniformAddressIsOneRequest)
+{
+    Addrs addrs;
+    for (unsigned lane = 0; lane < 32; ++lane)
+        addrs.emplace_back(lane, 0x4000);
+    EXPECT_EQ(coalesce(addrs, 4, 128).size(), 1u);
+}
+
+TEST(Coalescer, EmptyMaskProducesNothing)
+{
+    EXPECT_TRUE(coalesce({}, 4, 128).empty());
+}
+
+TEST(Coalescer, FirstTouchOrderIsPreserved)
+{
+    const auto lines = coalesce(lanes({0x300, 0x100, 0x200, 0x110}), 4, 128);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], 0x300u);
+    EXPECT_EQ(lines[1], 0x100u);
+    EXPECT_EQ(lines[2], 0x200u);
+}
+
+TEST(Coalescer, StraddlingAccessCoversBothLines)
+{
+    // A 4-byte access at 0x7e..0x81 with 2-byte elements cannot happen for
+    // aligned IR accesses, but the coalescer still covers the span.
+    const auto lines = coalesce({{0, 0x7e}}, 4, 128);
+    EXPECT_EQ(lines.size(), 2u);
+}
+
+/** Property sweep over random address patterns. */
+class CoalescerProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CoalescerProperty, CoversExactlyTheTouchedLines)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 200; ++trial) {
+        const unsigned access_size = 1u << rng.nextBounded(4);  // 1..8
+        Addrs addrs;
+        std::set<uint64_t> expected;
+        const unsigned active = 1 + static_cast<unsigned>(
+            rng.nextBounded(32));
+        for (unsigned lane = 0; lane < active; ++lane) {
+            const uint64_t addr =
+                rng.nextBounded(1 << 16) * access_size;  // aligned
+            addrs.emplace_back(lane, addr);
+            expected.insert(addr / 128 * 128);
+            expected.insert((addr + access_size - 1) / 128 * 128);
+        }
+        const auto lines = coalesce(addrs, access_size, 128);
+        // No duplicates.
+        const std::set<uint64_t> got(lines.begin(), lines.end());
+        ASSERT_EQ(got.size(), lines.size());
+        // Exactly the touched lines.
+        ASSERT_EQ(got, expected);
+        // Never more requests than lanes * 2 nor fewer than 1.
+        ASSERT_GE(lines.size(), 1u);
+        ASSERT_LE(lines.size(), size_t{active} * 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalescerProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace

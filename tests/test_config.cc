@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Configuration tests: occupancy limits, the fingerprint used by the bench
+ * run-cache, and the partition address map (baseline + semi-global L2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/config.hh"
+#include "sim/gpu.hh"
+
+namespace
+{
+
+using namespace gcl::sim;
+
+TEST(Config, TableIIDefaults)
+{
+    GpuConfig config;
+    EXPECT_EQ(config.numSms, 15u);
+    EXPECT_EQ(config.warpSize, 32u);
+    EXPECT_EQ(config.maxThreadsPerSm, 1536u);
+    EXPECT_EQ(config.l1.sizeBytes, 16u * 1024);
+    EXPECT_EQ(config.l1.assoc, 4u);
+    EXPECT_EQ(config.l1.mshrEntries, 64u);
+    EXPECT_EQ(config.l1.numSets(), 32u);
+    EXPECT_EQ(config.l2.sizeBytes, 128u * 1024);
+    EXPECT_EQ(config.numPartitions * config.l2.sizeBytes, 768u * 1024);
+    EXPECT_EQ(config.ropLatency, 120u);
+    EXPECT_EQ(config.dramLatency, 100u);
+}
+
+TEST(Config, OccupancyLimitedByThreads)
+{
+    GpuConfig config;
+    EXPECT_EQ(config.ctasPerSm(256, 0), 6u);    // 1536/256
+    EXPECT_EQ(config.ctasPerSm(1536, 0), 1u);
+    EXPECT_EQ(config.ctasPerSm(64, 0), 8u);     // capped by maxCtasPerSm
+}
+
+TEST(Config, OccupancyLimitedBySharedMemory)
+{
+    GpuConfig config;  // 48KB shared memory per SM
+    EXPECT_EQ(config.ctasPerSm(128, 16 * 1024), 3u);
+    EXPECT_EQ(config.ctasPerSm(128, 48 * 1024), 1u);
+}
+
+TEST(ConfigDeathTest, OversizedCtaRejected)
+{
+    GpuConfig config;
+    EXPECT_DEATH(config.ctasPerSm(2048, 0), "unsupported");
+    EXPECT_DEATH(config.ctasPerSm(32, 64 * 1024), "exceeds");
+}
+
+TEST(Config, UnloadedLatenciesCompose)
+{
+    GpuConfig config;
+    EXPECT_EQ(config.unloadedL2Latency(),
+              2 * config.icntLatency + config.ropLatency);
+    EXPECT_EQ(config.unloadedDramLatency(),
+              config.unloadedL2Latency() + config.dramLatency);
+}
+
+TEST(Config, FingerprintDetectsEveryAblationKnob)
+{
+    const GpuConfig base;
+    std::set<uint64_t> prints{base.fingerprint()};
+
+    GpuConfig a = base;
+    a.ctaSched = CtaSchedPolicy::Clustered;
+    EXPECT_TRUE(prints.insert(a.fingerprint()).second);
+
+    GpuConfig b = base;
+    b.smsPerL2Cluster = 5;
+    EXPECT_TRUE(prints.insert(b.fingerprint()).second);
+
+    GpuConfig c = base;
+    c.nondetSplitRequests = 4;
+    EXPECT_TRUE(prints.insert(c.fingerprint()).second);
+
+    GpuConfig d = base;
+    d.l1.sizeBytes *= 2;
+    EXPECT_TRUE(prints.insert(d.fingerprint()).second);
+
+    GpuConfig e = base;
+    e.warpSched = WarpSchedPolicy::GreedyThenOldest;
+    EXPECT_TRUE(prints.insert(e.fingerprint()).second);
+
+    // Identical config -> identical fingerprint.
+    EXPECT_EQ(GpuConfig{}.fingerprint(), base.fingerprint());
+}
+
+TEST(Config, DescribeMentionsKeyParameters)
+{
+    GpuConfig config;
+    config.smsPerL2Cluster = 5;
+    config.nondetSplitRequests = 4;
+    const std::string text = config.describe();
+    EXPECT_NE(text.find("15 SMs"), std::string::npos);
+    EXPECT_NE(text.find("16KB"), std::string::npos);
+    EXPECT_NE(text.find("Semi-L2"), std::string::npos);
+    EXPECT_NE(text.find("WarpSplit"), std::string::npos);
+}
+
+TEST(PartitionMap, BaselineStripesAcrossAllPartitions)
+{
+    GpuConfig config;
+    std::set<int> seen;
+    for (uint64_t line = 0; line < 64; ++line)
+        seen.insert(Gpu::mapPartition(line * 128, 0, config));
+    EXPECT_EQ(seen.size(), config.numPartitions);
+    // SM id must not matter in the baseline.
+    for (uint64_t line = 0; line < 16; ++line)
+        EXPECT_EQ(Gpu::mapPartition(line * 128, 0, config),
+                  Gpu::mapPartition(line * 128, 14, config));
+}
+
+TEST(PartitionMap, SemiGlobalClustersConfineTraffic)
+{
+    GpuConfig config;
+    config.smsPerL2Cluster = 5;  // 3 clusters, 2 partitions each
+    for (int sm = 0; sm < 15; ++sm) {
+        const int cluster = sm / 5;
+        std::set<int> seen;
+        for (uint64_t line = 0; line < 64; ++line)
+            seen.insert(Gpu::mapPartition(line * 128, sm, config));
+        EXPECT_EQ(seen.size(), 2u) << "sm " << sm;
+        for (int part : seen) {
+            EXPECT_GE(part, cluster * 2) << "sm " << sm;
+            EXPECT_LT(part, cluster * 2 + 2) << "sm " << sm;
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the dataflow substrate: reaching definitions and backward
+ * slicing over straight-line code, branches and loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dataflow/backward_slice.hh"
+#include "dataflow/reaching_defs.hh"
+#include "ptx/builder.hh"
+#include "ptx/cfg.hh"
+
+namespace
+{
+
+using namespace gcl;
+using namespace gcl::ptx;
+using dataflow::BackwardSlicer;
+using dataflow::ReachingDefs;
+using DT = DataType;
+
+bool
+contains(const std::vector<size_t> &v, size_t x)
+{
+    return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(ReachingDefsTest, StraightLineLatestDefWins)
+{
+    // r is defined twice; only the later def reaches the use.
+    KernelBuilder b("k", 1);
+    Reg r = b.mov(DT::U32, 1);       // pc 0
+    b.assign(DT::U32, r, Src(2));    // pc 1
+    Reg use = b.add(DT::U32, r, 3);  // pc 2, uses r
+    (void)use;
+    Kernel k = b.build();
+
+    Cfg cfg(k);
+    ReachingDefs rd(cfg);
+    const auto defs = rd.defsReaching(2, r.id);
+    ASSERT_EQ(defs.size(), 1u);
+    EXPECT_EQ(defs[0], 1u);
+}
+
+TEST(ReachingDefsTest, BranchMergeKeepsBothDefs)
+{
+    KernelBuilder b("k", 1);
+    Reg p = b.setp(CmpOp::Eq, DT::U32, SpecialReg::TidX, 0);  // pc 0
+    Reg r = b.mov(DT::U32, 1);                                // pc 1
+    Label merge = b.newLabel();
+    b.braIf(p, merge);                                        // pc 2
+    b.assign(DT::U32, r, Src(2));                             // pc 3
+    b.place(merge);
+    Reg use = b.add(DT::U32, r, 0);                           // pc 4
+    (void)use;
+    Kernel k = b.build();
+
+    Cfg cfg(k);
+    ReachingDefs rd(cfg);
+    const auto defs = rd.defsReaching(4, r.id);
+    ASSERT_EQ(defs.size(), 2u);
+    EXPECT_TRUE(contains(defs, 1));
+    EXPECT_TRUE(contains(defs, 3));
+}
+
+TEST(ReachingDefsTest, LoopBackEdgeCarriesDefs)
+{
+    KernelBuilder b("k", 1);
+    Reg i = b.mov(DT::U32, 0);                       // pc 0
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg p = b.setp(CmpOp::Ge, DT::U32, i, 10);       // pc 1 (uses i)
+    b.braIf(p, done);                                // pc 2
+    Reg t = b.add(DT::U32, i, 1);                    // pc 3 (uses i)
+    b.assign(DT::U32, i, t);                         // pc 4 (defines i)
+    b.bra(loop);                                     // pc 5
+    b.place(done);
+    Kernel k = b.build();
+
+    Cfg cfg(k);
+    ReachingDefs rd(cfg);
+    // At the loop-head use, both the initial def and the back-edge def of
+    // i reach.
+    const auto head = rd.defsReaching(1, i.id);
+    ASSERT_EQ(head.size(), 2u);
+    EXPECT_TRUE(contains(head, 0));
+    EXPECT_TRUE(contains(head, 4));
+    // Inside the body, same two defs reach the use at pc 3.
+    const auto body = rd.defsReaching(3, i.id);
+    EXPECT_EQ(body.size(), 2u);
+}
+
+TEST(ReachingDefsTest, UsesInDefiningInstructionSeeOldDefs)
+{
+    KernelBuilder b("k", 1);
+    Reg r = b.mov(DT::U32, 7);       // pc 0
+    b.assign(DT::U32, r, b.add(DT::U32, r, 1));  // pc 1: t=r+1, pc 2: r=t
+    Kernel k = b.build();
+
+    Cfg cfg(k);
+    ReachingDefs rd(cfg);
+    // The use of r at pc 1 must see only the def at pc 0.
+    const auto defs = rd.defsReaching(1, r.id);
+    ASSERT_EQ(defs.size(), 1u);
+    EXPECT_EQ(defs[0], 0u);
+}
+
+TEST(BackwardSliceTest, ImmediateOnly)
+{
+    KernelBuilder b("k", 1);
+    Reg addr = b.mov(DT::U64, 0x1000);
+    (void)b.ld(MemSpace::Global, DT::U32, addr);
+    Kernel k = b.build();
+
+    Cfg cfg(k);
+    BackwardSlicer slicer(cfg);
+    const auto slice = slicer.sliceAddress(1);
+    EXPECT_TRUE(slice.sources.immediate);
+    EXPECT_FALSE(slice.sources.param);
+    EXPECT_FALSE(slice.dependsOnMemory());
+}
+
+TEST(BackwardSliceTest, SliceCollectsContributingDefs)
+{
+    KernelBuilder b("k", 1);
+    Reg base = b.ldParam(0);                       // pc 0
+    Reg tid = b.globalTidX();                      // pc 1
+    Reg addr = b.elemAddr(base, tid, 4);           // pcs 2..4
+    (void)b.ld(MemSpace::Global, DT::U32, addr);   // pc 5
+    Kernel k = b.build();
+
+    Cfg cfg(k);
+    BackwardSlicer slicer(cfg);
+    const auto slice = slicer.sliceAddress(5);
+    // The slice walks add -> (param, shl -> cvt -> mad(sregs)).
+    EXPECT_TRUE(contains(slice.slicePcs, 0));
+    EXPECT_TRUE(contains(slice.slicePcs, 1));
+    EXPECT_GE(slice.slicePcs.size(), 4u);
+    EXPECT_TRUE(slice.sources.param);
+    EXPECT_TRUE(slice.sources.specialReg);
+}
+
+TEST(BackwardSliceTest, StoreAddressCanBeSliced)
+{
+    KernelBuilder b("k", 1);
+    Reg base = b.ldParam(0);
+    Reg idx = b.ld(MemSpace::Global, DT::U32, base);
+    Reg addr = b.elemAddr(base, idx, 4);
+    b.st(MemSpace::Global, DT::U32, addr, 7);
+    Kernel k = b.build();
+
+    Cfg cfg(k);
+    BackwardSlicer slicer(cfg);
+    // The store is the 5th instruction: param, ld, cvt, shl, add, st.
+    const auto pcs = k.insts();
+    size_t store_pc = 0;
+    for (size_t pc = 0; pc < k.size(); ++pc)
+        if (k.inst(pc).isStore())
+            store_pc = pc;
+    const auto slice = slicer.sliceAddress(store_pc);
+    EXPECT_TRUE(slice.dependsOnMemory());
+}
+
+TEST(BackwardSliceTest, CyclicDependencyTerminates)
+{
+    // i = i + 1 in a loop: the slice of a use of i must terminate and
+    // report the deterministic seed.
+    KernelBuilder b("k", 1);
+    Reg base = b.ldParam(0);
+    Reg i = b.mov(DT::U32, 0);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.place(loop);
+    Reg p = b.setp(CmpOp::Ge, DT::U32, i, 8);
+    b.braIf(p, done);
+    size_t load_pc = b.pc() + 3;  // elemAddr emits cvt, shl, add first
+    (void)b.ld(MemSpace::Global, DT::U32, b.elemAddr(base, i, 4));
+    b.assign(DT::U32, i, b.add(DT::U32, i, 1));
+    b.bra(loop);
+    b.place(done);
+    Kernel k = b.build();
+    ASSERT_TRUE(k.inst(load_pc).isGlobalLoad());
+
+    Cfg cfg(k);
+    BackwardSlicer slicer(cfg);
+    const auto slice = slicer.sliceAddress(load_pc);
+    EXPECT_FALSE(slice.dependsOnMemory());
+    EXPECT_TRUE(slice.sources.immediate);
+    EXPECT_TRUE(slice.sources.param);
+}
+
+TEST(BackwardSliceTest, DescribeNamesSources)
+{
+    KernelBuilder b("k", 1);
+    Reg base = b.ldParam(0);
+    (void)b.ld(MemSpace::Global, DT::U32, base);
+    Kernel k = b.build();
+    Cfg cfg(k);
+    BackwardSlicer slicer(cfg);
+    EXPECT_NE(slicer.sliceAddress(1).describe().find("param"),
+              std::string::npos);
+}
+
+} // namespace

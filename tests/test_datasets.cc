@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Dataset-generator tests: CSR validity, connectivity, determinism, weight
+ * symmetry, sparse-matrix shape and image properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "workloads/datasets/graph.hh"
+#include "workloads/datasets/matrix.hh"
+
+namespace
+{
+
+using namespace gcl::workloads;
+
+bool
+csrIsValid(const Graph &g)
+{
+    if (g.rowPtr.size() != g.numNodes + 1 || g.rowPtr[0] != 0)
+        return false;
+    for (uint32_t v = 0; v < g.numNodes; ++v)
+        if (g.rowPtr[v] > g.rowPtr[v + 1])
+            return false;
+    if (g.rowPtr[g.numNodes] != g.col.size() ||
+        g.col.size() != g.weight.size())
+        return false;
+    for (uint32_t dst : g.col)
+        if (dst >= g.numNodes)
+            return false;
+    return true;
+}
+
+uint32_t
+reachableFrom(const Graph &g, uint32_t source)
+{
+    std::vector<bool> seen(g.numNodes, false);
+    std::queue<uint32_t> frontier;
+    seen[source] = true;
+    frontier.push(source);
+    uint32_t count = 1;
+    while (!frontier.empty()) {
+        const uint32_t v = frontier.front();
+        frontier.pop();
+        for (uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            if (!seen[g.col[e]]) {
+                seen[g.col[e]] = true;
+                ++count;
+                frontier.push(g.col[e]);
+            }
+        }
+    }
+    return count;
+}
+
+class GraphGenerator
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t, bool>>
+{
+};
+
+TEST_P(GraphGenerator, ProducesValidConnectedCsr)
+{
+    const auto [nodes, degree, undirected] = GetParam();
+    const Graph g = makeRmatGraph(nodes, degree, undirected, 10, 42);
+    EXPECT_EQ(g.numNodes, nodes);
+    EXPECT_TRUE(csrIsValid(g));
+    EXPECT_EQ(reachableFrom(g, 0), nodes);   // fully reachable
+    EXPECT_GE(g.numEdges(), nodes);          // at least the backbone
+    for (uint32_t w : g.weight) {
+        EXPECT_GE(w, 1u);
+        EXPECT_LE(w, 10u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GraphGenerator,
+    ::testing::Values(std::make_tuple(64u, 2u, false),
+                      std::make_tuple(1024u, 8u, false),
+                      std::make_tuple(1000u, 4u, true),   // non-power-of-2
+                      std::make_tuple(4096u, 6u, true)));
+
+TEST(GraphGeneratorTest, Deterministic)
+{
+    const Graph a = makeRmatGraph(512, 4, false, 5, 7);
+    const Graph b = makeRmatGraph(512, 4, false, 5, 7);
+    EXPECT_EQ(a.rowPtr, b.rowPtr);
+    EXPECT_EQ(a.col, b.col);
+    EXPECT_EQ(a.weight, b.weight);
+    const Graph c = makeRmatGraph(512, 4, false, 5, 8);
+    EXPECT_NE(a.col, c.col);
+}
+
+TEST(GraphGeneratorTest, UndirectedGraphIsSymmetricWithEqualWeights)
+{
+    const Graph g = makeRmatGraph(256, 4, true, 9, 11);
+    for (uint32_t v = 0; v < g.numNodes; ++v) {
+        for (uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            const uint32_t u = g.col[e];
+            bool found = false;
+            for (uint32_t f = g.rowPtr[u]; f < g.rowPtr[u + 1]; ++f) {
+                if (g.col[f] == v) {
+                    found = true;
+                    EXPECT_EQ(g.weight[f], g.weight[e])
+                        << "asymmetric weight on " << v << "<->" << u;
+                }
+            }
+            EXPECT_TRUE(found) << "missing reverse edge " << u << "->"
+                               << v;
+        }
+    }
+}
+
+TEST(GraphGeneratorTest, SkewChangesDegreeConcentration)
+{
+    const Graph skewed = makeRmatGraph(4096, 8, false, 1, 3, 0.55);
+    const Graph uniform = makeRmatGraph(4096, 8, false, 1, 3, 0.25);
+    auto max_degree = [](const Graph &g) {
+        uint32_t best = 0;
+        for (uint32_t v = 0; v < g.numNodes; ++v)
+            best = std::max(best, g.degree(v));
+        return best;
+    };
+    EXPECT_GT(max_degree(skewed), 2 * max_degree(uniform));
+}
+
+TEST(MatrixGeneratorTest, RandomMatrixInRangeAndDeterministic)
+{
+    const auto a = makeRandomMatrix(16, 16, -2.0f, 3.0f, 99);
+    const auto b = makeRandomMatrix(16, 16, -2.0f, 3.0f, 99);
+    EXPECT_EQ(a, b);
+    for (float v : a) {
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LT(v, 3.0f);
+    }
+}
+
+TEST(MatrixGeneratorTest, DominantMatrixIsDiagonallyDominant)
+{
+    const uint32_t n = 24;
+    const auto m = makeDominantMatrix(n, 5);
+    for (uint32_t i = 0; i < n; ++i) {
+        float off = 0.0f;
+        for (uint32_t j = 0; j < n; ++j)
+            if (j != i)
+                off += std::fabs(m[i * n + j]);
+        EXPECT_GT(m[i * n + i], off);
+    }
+}
+
+TEST(MatrixGeneratorTest, CsrMatrixShape)
+{
+    const auto m = makeCsrMatrix(100, 200, 8, 17);
+    EXPECT_EQ(m.rows, 100u);
+    EXPECT_EQ(m.rowPtr.size(), 101u);
+    EXPECT_EQ(m.rowPtr.back(), m.colIdx.size());
+    EXPECT_EQ(m.colIdx.size(), m.values.size());
+    for (uint32_t r = 0; r < m.rows; ++r) {
+        EXPECT_GT(m.rowPtr[r + 1], m.rowPtr[r]);  // at least 1 nnz per row
+        // Columns sorted and unique within a row.
+        for (uint32_t i = m.rowPtr[r] + 1; i < m.rowPtr[r + 1]; ++i)
+            EXPECT_LT(m.colIdx[i - 1], m.colIdx[i]);
+    }
+    for (uint32_t c : m.colIdx)
+        EXPECT_LT(c, 200u);
+}
+
+TEST(MatrixGeneratorTest, ImageValuesInUnitRange)
+{
+    const auto img = makeImage(32, 48, 3);
+    EXPECT_EQ(img.size(), 32u * 48);
+    for (float v : img) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+    // Not constant.
+    EXPECT_NE(*std::min_element(img.begin(), img.end()),
+              *std::max_element(img.begin(), img.end()));
+}
+
+} // namespace

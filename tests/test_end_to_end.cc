@@ -1,0 +1,101 @@
+/**
+ * @file
+ * End-to-end integration tests: every Table I application runs on the
+ * simulator and its outputs are verified against a CPU reference. These
+ * are the strongest correctness anchors in the suite — they exercise the
+ * IR, the functional executor, SIMT divergence, barriers, the full memory
+ * timing path and the host API at once.
+ *
+ * Paper-shape checks (which class wins, by roughly what factor) live in
+ * test_paper_shapes.cc; this file asserts functional correctness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using gcl::sim::Gpu;
+using gcl::sim::GpuConfig;
+
+class WorkloadEndToEnd : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadEndToEnd, MatchesCpuReference)
+{
+    const auto &workload = gcl::workloads::byName(GetParam());
+    Gpu gpu;
+    EXPECT_TRUE(workload.run(gpu));
+    gpu.finalizeStats();
+
+    const auto &s = gpu.stats().set();
+    EXPECT_GT(s.get("cycles"), 0.0);
+    EXPECT_GT(s.get("warp_insts"), 0.0);
+    EXPECT_GT(s.get("gload.warps.det") + s.get("gload.warps.nondet"), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, WorkloadEndToEnd,
+    ::testing::Values("2mm", "gaus", "grm", "lu", "spmv", "htw", "mriq",
+                      "dwt", "bpr", "srad", "bfs", "sssp", "ccl", "mst",
+                      "mis"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+TEST(EndToEnd, BfsClassDisparity)
+{
+    Gpu gpu;
+    ASSERT_TRUE(gcl::workloads::byName("bfs").run(gpu));
+    gpu.finalizeStats();
+    const auto &s = gpu.stats().set();
+
+    // bfs executes both load classes dynamically (Fig 1 shape).
+    EXPECT_GT(s.get("gload.warps.det"), 0.0);
+    EXPECT_GT(s.get("gload.warps.nondet"), 0.0);
+
+    // Non-deterministic loads generate more requests per warp (Fig 2).
+    const double det_rpw = s.ratio("gload.reqs.det", "gload.warps.det");
+    const double nondet_rpw =
+        s.ratio("gload.reqs.nondet", "gload.warps.nondet");
+    EXPECT_GT(nondet_rpw, det_rpw);
+}
+
+TEST(EndToEnd, WorkloadsRunUnderClusteredCtaScheduling)
+{
+    GpuConfig config;
+    config.ctaSched = gcl::sim::CtaSchedPolicy::Clustered;
+    config.ctaClusterSize = 2;
+    Gpu gpu(config);
+    EXPECT_TRUE(gcl::workloads::byName("2mm").run(gpu));
+}
+
+TEST(EndToEnd, WorkloadsRunUnderSemiGlobalL2)
+{
+    GpuConfig config;
+    config.smsPerL2Cluster = 5;
+    Gpu gpu(config);
+    EXPECT_TRUE(gcl::workloads::byName("bfs").run(gpu));
+}
+
+TEST(EndToEnd, WorkloadsRunUnderWarpSplitting)
+{
+    GpuConfig config;
+    config.nondetSplitRequests = 4;
+    Gpu gpu(config);
+    EXPECT_TRUE(gcl::workloads::byName("spmv").run(gpu));
+}
+
+TEST(EndToEnd, WorkloadsRunUnderGtoScheduler)
+{
+    GpuConfig config;
+    config.warpSched = gcl::sim::WarpSchedPolicy::GreedyThenOldest;
+    Gpu gpu(config);
+    EXPECT_TRUE(gcl::workloads::byName("dwt").run(gpu));
+}
+
+} // namespace

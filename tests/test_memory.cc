@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Functional memory tests: paged global memory, block copies across page
+ * boundaries, the allocator, and shared-memory bounds checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "sim/memory.hh"
+
+namespace
+{
+
+using gcl::sim::GlobalMemory;
+using gcl::sim::SharedMemory;
+
+TEST(GlobalMemoryTest, UntouchedMemoryReadsZero)
+{
+    GlobalMemory mem;
+    EXPECT_EQ(mem.read(0x123456780, 8), 0u);
+    EXPECT_EQ(mem.numPages(), 0u);  // reads allocate nothing
+}
+
+TEST(GlobalMemoryTest, ScalarRoundTripAllSizes)
+{
+    GlobalMemory mem;
+    mem.write(0x1000, 0xab, 1);
+    mem.write(0x1002, 0xbeef, 2);
+    mem.write(0x1004, 0xdeadbeef, 4);
+    mem.write(0x1008, 0x0123456789abcdefull, 8);
+    EXPECT_EQ(mem.read(0x1000, 1), 0xabu);
+    EXPECT_EQ(mem.read(0x1002, 2), 0xbeefu);
+    EXPECT_EQ(mem.read(0x1004, 4), 0xdeadbeefu);
+    EXPECT_EQ(mem.read(0x1008, 8), 0x0123456789abcdefull);
+}
+
+TEST(GlobalMemoryTest, NarrowWritesDontClobberNeighbors)
+{
+    GlobalMemory mem;
+    mem.write(0x2000, 0xffffffffffffffffull, 8);
+    mem.write(0x2002, 0, 2);
+    EXPECT_EQ(mem.read(0x2000, 8), 0xffffffff0000ffffull);
+}
+
+TEST(GlobalMemoryTest, BlockCopySpansPages)
+{
+    GlobalMemory mem;
+    // 4096-byte pages: write 10000 bytes starting near a page end.
+    std::vector<uint8_t> src(10000);
+    for (size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<uint8_t>(i * 7);
+    const uint64_t addr = 4096 - 13;
+    mem.writeBlock(addr, src.data(), src.size());
+
+    std::vector<uint8_t> dst(src.size(), 0);
+    mem.readBlock(addr, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+    EXPECT_GE(mem.numPages(), 3u);
+}
+
+TEST(GlobalMemoryTest, ReadBlockOfUntouchedRangeIsZero)
+{
+    GlobalMemory mem;
+    std::vector<uint8_t> dst(100, 0xcc);
+    mem.readBlock(0x900000, dst.data(), dst.size());
+    for (uint8_t byte : dst)
+        EXPECT_EQ(byte, 0);
+}
+
+TEST(GlobalMemoryTest, AllocatorAlignsAndSeparates)
+{
+    GlobalMemory mem;
+    const uint64_t a = mem.allocate(100);
+    const uint64_t b = mem.allocate(1);
+    const uint64_t c = mem.allocate(5000);
+    EXPECT_EQ(a % 256, 0u);
+    EXPECT_EQ(b % 256, 0u);
+    EXPECT_EQ(c % 256, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(c, b + 1);
+}
+
+TEST(GlobalMemoryDeathTest, MisalignedAccessPanics)
+{
+    GlobalMemory mem;
+    EXPECT_DEATH(mem.read(0x1001, 4), "misaligned");
+    EXPECT_DEATH(mem.write(0x1002, 0, 8), "misaligned");
+}
+
+TEST(SharedMemoryTest, RoundTripAndZeroInit)
+{
+    SharedMemory smem(256);
+    EXPECT_EQ(smem.read(0, 4), 0u);
+    smem.write(128, 0x11223344, 4);
+    EXPECT_EQ(smem.read(128, 4), 0x11223344u);
+    EXPECT_EQ(smem.size(), 256u);
+}
+
+TEST(SharedMemoryDeathTest, OutOfBoundsPanics)
+{
+    SharedMemory smem(64);
+    EXPECT_DEATH(smem.read(64, 4), "out of bounds");
+    EXPECT_DEATH(smem.write(61, 0, 4), "out of bounds");
+}
+
+} // namespace

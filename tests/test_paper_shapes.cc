@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Paper-shape regression tests: the qualitative claims of the paper's
+ * evaluation must hold on representative applications. Absolute numbers
+ * differ from the paper (synthetic scaled inputs, simplified substrate) —
+ * these tests pin the *shapes*: who wins, in which direction, and roughly
+ * by how much. Each app is simulated once per test binary run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "sim/gpu.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using gcl::StatsSet;
+
+/** Lazily runs and caches a handful of representative apps. */
+class PaperShapes : public ::testing::Test
+{
+  protected:
+    static const StatsSet &
+    statsFor(const std::string &name)
+    {
+        static std::map<std::string, std::unique_ptr<StatsSet>> cache;
+        auto &entry = cache[name];
+        if (!entry) {
+            gcl::sim::Gpu gpu;
+            EXPECT_TRUE(gcl::workloads::byName(name).run(gpu))
+                << name << " failed verification";
+            gpu.finalizeStats();
+            entry = std::make_unique<StatsSet>(gpu.stats().set());
+        }
+        return *entry;
+    }
+
+    static double
+    reqsPerWarp(const StatsSet &s, bool non_det)
+    {
+        const char *sfx = non_det ? ".nondet" : ".det";
+        return s.ratio(std::string("gload.reqs") + sfx,
+                       std::string("gload.warps") + sfx);
+    }
+};
+
+// --- Fig 1: class mix per category ---
+
+TEST_F(PaperShapes, LinearAlgebraIsFullyDeterministicExceptSpmv)
+{
+    EXPECT_EQ(statsFor("2mm").get("gload.warps.nondet"), 0.0);
+    EXPECT_EQ(statsFor("lu").get("gload.warps.nondet"), 0.0);
+    EXPECT_GT(statsFor("spmv").get("gload.warps.nondet"), 0.0);
+}
+
+TEST_F(PaperShapes, ImageAppsAreDeterministic)
+{
+    EXPECT_EQ(statsFor("dwt").get("gload.warps.nondet"), 0.0);
+    EXPECT_EQ(statsFor("mriq").get("gload.warps.nondet"), 0.0);
+}
+
+TEST_F(PaperShapes, GraphAppsExecuteBothClasses)
+{
+    const auto &s = statsFor("bfs");
+    EXPECT_GT(s.get("gload.warps.det"), 0.0);
+    EXPECT_GT(s.get("gload.warps.nondet"), 0.0);
+}
+
+// --- Fig 2: request generation disparity ---
+
+TEST_F(PaperShapes, DeterministicLoadsCoalesceToFewRequests)
+{
+    // "Each deterministic load creates one or two memory requests."
+    EXPECT_LE(reqsPerWarp(statsFor("2mm"), false), 2.0);
+    EXPECT_LE(reqsPerWarp(statsFor("bfs"), false), 2.0);
+    EXPECT_LE(reqsPerWarp(statsFor("spmv"), false), 2.0);
+}
+
+TEST_F(PaperShapes, NonDeterministicLoadsGenerateManyMoreRequests)
+{
+    const auto &bfs = statsFor("bfs");
+    EXPECT_GT(reqsPerWarp(bfs, true), 2.0 * reqsPerWarp(bfs, false));
+    const auto &spmv = statsFor("spmv");
+    EXPECT_GT(reqsPerWarp(spmv, true), reqsPerWarp(spmv, false));
+}
+
+// --- Fig 3: reservation fails dominate L1 cycles in irregular apps ---
+
+TEST_F(PaperShapes, GraphAppsWasteMostL1CyclesOnReservationFails)
+{
+    const auto &s = statsFor("bfs");
+    double total = 0.0;
+    for (const char *o : {"hit", "hit_reserved", "miss", "fail_tag",
+                          "fail_mshr", "fail_icnt"})
+        total += s.get(std::string("l1.outcome.") + o);
+    const double fails = s.get("l1.outcome.fail_tag") +
+                         s.get("l1.outcome.fail_mshr") +
+                         s.get("l1.outcome.fail_icnt");
+    ASSERT_GT(total, 0.0);
+    EXPECT_GT(fails / total, 0.4);  // paper: ~70% on average overall
+}
+
+// --- Fig 4: the LD/ST unit is the busy one ---
+
+TEST_F(PaperShapes, LdStUnitBusierThanSpAndSfu)
+{
+    // The paper's large inputs make the LD/ST unit dominate everywhere;
+    // with our scaled inputs that holds for the memory-bound apps, while
+    // compute-dense 2mm keeps SP comparably busy (its working set caches
+    // far better at 128x128 than at the paper's 2048x2048).
+    for (const char *app : {"bfs", "spmv"}) {
+        const auto &s = statsFor(app);
+        EXPECT_GT(s.get("busy.ldst"), s.get("busy.sp")) << app;
+        EXPECT_GT(s.get("busy.ldst"), s.get("busy.sfu")) << app;
+    }
+    // Disproportionality still holds for 2mm: global loads are ~23% of
+    // instructions but the LD/ST stage is busy far beyond the SFU's share.
+    const auto &mm = statsFor("2mm");
+    EXPECT_GT(mm.get("busy.ldst"), mm.get("busy.sfu"));
+}
+
+// --- Fig 5: turnaround asymmetry ---
+
+TEST_F(PaperShapes, NonDeterministicTurnaroundExceedsDeterministic)
+{
+    const auto &s = statsFor("bfs");
+    const double det =
+        s.ratio("turn.sum.det", "turn.cnt.det");
+    const double nondet =
+        s.ratio("turn.sum.nondet", "turn.cnt.nondet");
+    EXPECT_GT(nondet, det);
+    // The gap is driven by reservation stalls, not the unloaded latency.
+    const double det_stall = s.ratio("turn.rsrv_prev.det", "turn.cnt.det") +
+                             s.ratio("turn.rsrv_cur.det", "turn.cnt.det");
+    const double nondet_stall =
+        s.ratio("turn.rsrv_prev.nondet", "turn.cnt.nondet") +
+        s.ratio("turn.rsrv_cur.nondet", "turn.cnt.nondet");
+    EXPECT_GT(nondet_stall, det_stall);
+}
+
+// --- Fig 8: L1 barely filters; det loads not meaningfully better ---
+
+TEST_F(PaperShapes, MissRatiosAreHighForBothClasses)
+{
+    const auto &s = statsFor("bfs");
+    EXPECT_GT(s.ratio("l1.miss.det", "l1.access.det"), 0.3);
+    EXPECT_GT(s.ratio("l1.miss.nondet", "l1.access.nondet"), 0.3);
+}
+
+// --- Fig 9: shared memory concentrates in the image category ---
+
+TEST_F(PaperShapes, ImageAppsUseSharedMemoryOthersBarely)
+{
+    auto ratio = [this](const char *name) {
+        const auto &s = statsFor(name);
+        const double gload = s.get("gload.warps.det") +
+                             s.get("gload.warps.nondet");
+        return gload ? s.get("sload.warps") / gload : 0.0;
+    };
+    EXPECT_GT(ratio("mriq"), 2.0);   // stages k-space tiles
+    EXPECT_GT(ratio("dwt"), 0.5);
+    EXPECT_EQ(ratio("2mm"), 0.0);
+    EXPECT_EQ(ratio("bfs"), 0.0);
+}
+
+// --- Fig 10: cold misses are rare outside the image category ---
+
+TEST_F(PaperShapes, ColdMissRatioLowForLinearHighForImage)
+{
+    auto cold = [this](const char *name) {
+        const auto &s = statsFor(name);
+        return s.ratio("blocks.count", "blocks.accesses");
+    };
+    EXPECT_LT(cold("2mm"), 0.05);    // blocks reused 100+ times
+    EXPECT_LT(cold("bfs"), 0.30);
+    EXPECT_GT(cold("dwt"), 0.25);    // single-touch streaming via smem
+}
+
+TEST_F(PaperShapes, LinearAlgebraBlocksAreReusedHeavily)
+{
+    const auto &s = statsFor("2mm");
+    EXPECT_GT(s.ratio("blocks.accesses", "blocks.count"), 50.0);
+}
+
+// --- Fig 11: shared blocks absorb a disproportionate access share ---
+
+TEST_F(PaperShapes, InterCtaSharingExistsAndConcentratesAccesses)
+{
+    for (const char *app : {"2mm", "bfs"}) {
+        const auto &s = statsFor(app);
+        const double block_ratio =
+            s.ratio("blocks.shared", "blocks.count");
+        const double access_ratio =
+            s.ratio("blocks.shared_accesses", "blocks.accesses");
+        // bfs's tid-indexed arrays are CTA-partitioned by construction, so
+        // only the gather targets (visited/cost) can be shared: the block
+        // ratio is a few percent, but those blocks soak up an outsized
+        // access share — the paper's Fig 11 asymmetry.
+        EXPECT_GT(block_ratio, 0.03) << app;
+        EXPECT_GE(access_ratio, block_ratio) << app;
+    }
+    // 2mm: every B-column block is read by every row of CTAs.
+    EXPECT_GT(statsFor("2mm").ratio("blocks.shared_cta_sum",
+                                    "blocks.shared"),
+              4.0);
+}
+
+// --- Fig 12: linear apps share at structured distances; graph disperses --
+
+TEST_F(PaperShapes, CtaDistanceStructuredForLinearDispersedForGraph)
+{
+    const auto &mm = statsFor("2mm").histOrEmpty("cta_distance");
+    const auto &bfs = statsFor("bfs").histOrEmpty("cta_distance");
+    ASSERT_FALSE(mm.empty());
+    ASSERT_FALSE(bfs.empty());
+    // Distance 1 (and the grid stride) dominate for 2mm.
+    const double mm_d1 = mm.weightAt(1) / mm.totalWeight();
+    EXPECT_GT(mm_d1, 0.10);
+    // Graph sharing spreads over far more distinct distances.
+    EXPECT_GT(bfs.numBuckets(), mm.numBuckets());
+}
+
+TEST_F(PaperShapes, GraphDispersionComesFromNonDeterministicLoads)
+{
+    const auto &s = statsFor("bfs");
+    const auto &det = s.histOrEmpty("cta_distance.det");
+    const auto &nondet = s.histOrEmpty("cta_distance.nondet");
+    ASSERT_FALSE(nondet.empty());
+    EXPECT_GE(nondet.numBuckets(), det.numBuckets());
+}
+
+} // namespace

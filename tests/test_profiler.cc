@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Profiler-counter (Table III) derivation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profiler/counters.hh"
+#include "sim/gpu.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using gcl::StatsSet;
+using gcl::profiler::Counters;
+
+TEST(Profiler, DerivesFromSyntheticStats)
+{
+    StatsSet s;
+    s.set("gload.warps.det", 100.0);
+    s.set("gload.warps.nondet", 50.0);
+    s.set("sload.warps", 70.0);
+    s.set("l1.access.det", 90.0);
+    s.set("l1.access.nondet", 60.0);
+    s.set("l1.miss.det", 30.0);
+    s.set("l1.miss.nondet", 40.0);
+    s.set("l2.queries.p0", 11.0);
+    s.set("l2.hits.p0", 4.0);
+    s.set("l2.queries.p1", 22.0);
+    s.set("l2.hits.p1", 8.0);
+
+    const Counters c = Counters::fromStats(s, 2);
+    EXPECT_EQ(c.gldRequest, 150.0);
+    EXPECT_EQ(c.sharedLoad, 70.0);
+    EXPECT_EQ(c.l1GlobalLoadHit, 80.0);
+    EXPECT_EQ(c.l1GlobalLoadMiss, 70.0);
+    ASSERT_EQ(c.l2ReadQueries.size(), 2u);
+    EXPECT_EQ(c.l2ReadQueries[0], 11.0);
+    EXPECT_EQ(c.l2ReadHits[1], 8.0);
+}
+
+TEST(Profiler, ReportNamesTableIIICounters)
+{
+    StatsSet s;
+    const Counters c = Counters::fromStats(s, 2);
+    const std::string report = c.report();
+    EXPECT_NE(report.find("gld_request"), std::string::npos);
+    EXPECT_NE(report.find("shared_load"), std::string::npos);
+    EXPECT_NE(report.find("l1_global_load_hit"), std::string::npos);
+    EXPECT_NE(report.find("l2_subp0_read_sector_queries"),
+              std::string::npos);
+    EXPECT_NE(report.find("l2_subp1_read_hit_sectors"), std::string::npos);
+}
+
+TEST(Profiler, CountersConsistentOnRealRun)
+{
+    gcl::sim::Gpu gpu;
+    ASSERT_TRUE(gcl::workloads::byName("dwt").run(gpu));
+    gpu.finalizeStats();
+    const Counters c = Counters::fromStats(gpu.stats().set(),
+                                           gpu.config().numPartitions);
+
+    EXPECT_GT(c.gldRequest, 0.0);
+    EXPECT_GT(c.sharedLoad, 0.0);          // dwt stages tiles in smem
+    EXPECT_GE(c.l1GlobalLoadHit, 0.0);
+    EXPECT_GT(c.l1GlobalLoadMiss, 0.0);
+    double queries = 0.0, hits = 0.0;
+    for (size_t p = 0; p < c.l2ReadQueries.size(); ++p) {
+        queries += c.l2ReadQueries[p];
+        hits += c.l2ReadHits[p];
+    }
+    EXPECT_GT(queries, 0.0);
+    EXPECT_LE(hits, queries);
+    // Every L1 miss becomes at most one L2 query (merges reduce it).
+    EXPECT_LE(queries, c.l1GlobalLoadMiss + 1);
+}
+
+} // namespace

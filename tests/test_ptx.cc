@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the PTX-like IR: builder, label resolution, verifier,
+ * disassembly and kernel introspection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ptx/builder.hh"
+#include "ptx/verifier.hh"
+
+namespace
+{
+
+using namespace gcl::ptx;
+
+TEST(Builder, EmitsInstructionsInOrder)
+{
+    KernelBuilder b("k", 1);
+    Reg p = b.ldParam(0);
+    Reg t = b.mov(DataType::U32, SpecialReg::TidX);
+    Reg a = b.add(DataType::U32, t, 5);
+    (void)b.ld(MemSpace::Global, DataType::U32, b.elemAddr(p, a, 4));
+    Kernel k = b.build();
+
+    ASSERT_GE(k.size(), 5u);
+    EXPECT_EQ(k.inst(0).op, Opcode::LdParam);
+    EXPECT_EQ(k.inst(1).op, Opcode::Mov);
+    EXPECT_EQ(k.inst(2).op, Opcode::Add);
+    // build() appends a trailing exit.
+    EXPECT_TRUE(k.insts().back().isExit());
+}
+
+TEST(Builder, FreshRegistersAreDistinct)
+{
+    KernelBuilder b("k", 0);
+    Reg r1 = b.mov(DataType::U32, 1);
+    Reg r2 = b.mov(DataType::U32, 2);
+    Reg r3 = b.add(DataType::U32, r1, r2);
+    EXPECT_NE(r1.id, r2.id);
+    EXPECT_NE(r2.id, r3.id);
+}
+
+TEST(Builder, LabelResolutionForwardAndBackward)
+{
+    KernelBuilder b("k", 0);
+    Label top = b.newLabel();
+    Label out = b.newLabel();
+    b.place(top);
+    Reg i = b.mov(DataType::U32, 0);
+    Reg p = b.setp(CmpOp::Ge, DataType::U32, i, 10);
+    b.braIf(p, out);        // forward branch
+    b.bra(top);             // backward branch
+    b.place(out);
+    Kernel k = b.build();
+
+    // The conditional branch targets the final exit; the unconditional
+    // branch targets pc 0.
+    const auto &insts = k.insts();
+    int cond = -1, uncond = -1;
+    for (size_t pc = 0; pc < insts.size(); ++pc) {
+        if (insts[pc].isBranch()) {
+            if (insts[pc].guarded)
+                cond = static_cast<int>(pc);
+            else
+                uncond = static_cast<int>(pc);
+        }
+    }
+    ASSERT_GE(cond, 0);
+    ASSERT_GE(uncond, 0);
+    EXPECT_EQ(insts[static_cast<size_t>(uncond)].branchTarget, 0);
+    EXPECT_TRUE(
+        insts[static_cast<size_t>(
+                  insts[static_cast<size_t>(cond)].branchTarget)]
+            .isExit());
+}
+
+TEST(Builder, GlobalTidXLowersToMad)
+{
+    KernelBuilder b("k", 0);
+    (void)b.globalTidX();
+    Kernel k = b.build();
+    EXPECT_EQ(k.inst(0).op, Opcode::Mad);
+    EXPECT_TRUE(k.inst(0).srcs[0].isSpecial());
+    EXPECT_EQ(k.inst(0).srcs[0].sreg, SpecialReg::CtaIdX);
+}
+
+TEST(Builder, ElemAddrScalesByPowerOfTwo)
+{
+    KernelBuilder b("k", 1);
+    Reg base = b.ldParam(0);
+    Reg idx = b.mov(DataType::U32, 3);
+    (void)b.elemAddr(base, idx, 8);
+    Kernel k = b.build();
+    // cvt, shl(3), add
+    bool saw_shl = false;
+    for (const auto &inst : k.insts())
+        if (inst.op == Opcode::Shl && inst.srcs[1].isImm() &&
+            inst.srcs[1].imm == 3)
+            saw_shl = true;
+    EXPECT_TRUE(saw_shl);
+}
+
+TEST(Builder, ElemAddrSizeOneSkipsShift)
+{
+    KernelBuilder b("k", 1);
+    Reg base = b.ldParam(0);
+    (void)b.elemAddr(base, b.mov(DataType::U32, 3), 1);
+    Kernel k = b.build();
+    for (const auto &inst : k.insts())
+        EXPECT_NE(inst.op, Opcode::Shl);
+}
+
+TEST(Builder, AccessSizeDefaultsFromType)
+{
+    KernelBuilder b("k", 1);
+    Reg p = b.ldParam(0);
+    (void)b.ld(MemSpace::Global, DataType::F64, p);
+    (void)b.ld(MemSpace::Global, DataType::U32, p);
+    (void)b.ld(MemSpace::Global, DataType::U32, p, 0, 1);  // byte load
+    Kernel k = b.build();
+    EXPECT_EQ(k.inst(1).accessSize, 8);
+    EXPECT_EQ(k.inst(2).accessSize, 4);
+    EXPECT_EQ(k.inst(3).accessSize, 1);
+}
+
+TEST(Builder, GlobalLoadPcsFindsOnlyGlobalLoads)
+{
+    KernelBuilder b("k", 1, 64);
+    Reg p = b.ldParam(0);
+    (void)b.ld(MemSpace::Global, DataType::U32, p);
+    (void)b.ld(MemSpace::Shared, DataType::U32, b.mov(DataType::U64, 0));
+    (void)b.ld(MemSpace::Global, DataType::U32, p, 4);
+    Kernel k = b.build();
+    const auto pcs = k.globalLoadPcs();
+    ASSERT_EQ(pcs.size(), 2u);
+    EXPECT_EQ(pcs[0], 1u);
+    EXPECT_EQ(pcs[1], 4u);
+}
+
+TEST(Builder, ImmediateFloatsCarryBitPatterns)
+{
+    const Src f = immF32(1.5f);
+    EXPECT_EQ(f.op.imm, 0x3fc00000u);
+    const Src d = immF64(1.0);
+    EXPECT_EQ(d.op.imm, 0x3ff0000000000000ull);
+}
+
+TEST(Disassembly, ReadableForms)
+{
+    KernelBuilder b("k", 1);
+    Reg p = b.ldParam(0);
+    Reg v = b.ld(MemSpace::Global, DataType::U32, p, 8);
+    b.st(MemSpace::Global, DataType::U32, p, v, 12);
+    Kernel k = b.build();
+
+    EXPECT_NE(k.inst(0).toString().find("ld.param"), std::string::npos);
+    EXPECT_NE(k.inst(1).toString().find("ld.global.b32"),
+              std::string::npos);
+    EXPECT_NE(k.inst(1).toString().find("+8"), std::string::npos);
+    EXPECT_NE(k.inst(2).toString().find("st.global.b32"),
+              std::string::npos);
+    EXPECT_NE(k.disassemble().find(".kernel k"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsWellFormedKernel)
+{
+    KernelBuilder b("k", 2);
+    Reg p = b.ldParam(1);
+    (void)b.ld(MemSpace::Global, DataType::U32, p);
+    Kernel k = b.build();
+    EXPECT_TRUE(check(k).empty());
+}
+
+TEST(Verifier, FlagsBadBranchTarget)
+{
+    std::vector<Instruction> insts(2);
+    insts[0].op = Opcode::Bra;
+    insts[0].branchTarget = 99;
+    insts[1].op = Opcode::Exit;
+    Kernel k("bad", std::move(insts), 4, 0, 0);
+    const auto problems = check(k);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("branch target"), std::string::npos);
+}
+
+TEST(Verifier, FlagsRegisterOutOfRange)
+{
+    std::vector<Instruction> insts(2);
+    insts[0].op = Opcode::Mov;
+    insts[0].type = DataType::U32;
+    insts[0].dst = 9;  // numRegs below is 4
+    insts[0].srcs[0] = Operand::makeImm(0);
+    insts[1].op = Opcode::Exit;
+    Kernel k("bad", std::move(insts), 4, 0, 0);
+    EXPECT_FALSE(check(k).empty());
+}
+
+TEST(Verifier, FlagsMissingTermination)
+{
+    std::vector<Instruction> insts(1);
+    insts[0].op = Opcode::Mov;
+    insts[0].type = DataType::U32;
+    insts[0].dst = 0;
+    insts[0].srcs[0] = Operand::makeImm(1);
+    Kernel k("bad", std::move(insts), 4, 0, 0);
+    const auto problems = check(k);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems.back().find("exit"), std::string::npos);
+}
+
+TEST(Verifier, FlagsBadAccessSize)
+{
+    std::vector<Instruction> insts(2);
+    insts[0].op = Opcode::Ld;
+    insts[0].space = MemSpace::Global;
+    insts[0].dst = 0;
+    insts[0].srcs[0] = Operand::makeReg(1);
+    insts[0].accessSize = 3;
+    insts[1].op = Opcode::Exit;
+    Kernel k("bad", std::move(insts), 4, 0, 0);
+    EXPECT_FALSE(check(k).empty());
+}
+
+TEST(InstructionPredicates, UnitRouting)
+{
+    Instruction i;
+    i.op = Opcode::Sqrt;
+    EXPECT_TRUE(i.isSfu());
+    i.op = Opcode::Add;
+    EXPECT_FALSE(i.isSfu());
+    i.op = Opcode::Ld;
+    i.space = MemSpace::Global;
+    EXPECT_TRUE(i.isMemory());
+    EXPECT_TRUE(i.isGlobalLoad());
+    i.space = MemSpace::Shared;
+    EXPECT_FALSE(i.isGlobalLoad());
+    EXPECT_TRUE(i.isSharedLoad());
+    i.op = Opcode::Bar;
+    EXPECT_TRUE(i.isMemory());
+    EXPECT_TRUE(i.isBarrier());
+}
+
+} // namespace

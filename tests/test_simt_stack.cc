@@ -1,0 +1,183 @@
+/**
+ * @file
+ * SIMT reconvergence-stack unit tests: uniform and divergent branches,
+ * nesting, loops, and lane exit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simt_stack.hh"
+
+namespace
+{
+
+using gcl::sim::LaneMask;
+using gcl::sim::SimtStack;
+
+constexpr LaneMask kFull = 0xffffffffu;
+
+TEST(SimtStackTest, FreshStackStartsAtZero)
+{
+    SimtStack s;
+    s.reset(kFull, 100);
+    EXPECT_FALSE(s.done());
+    EXPECT_EQ(s.pc(), 0u);
+    EXPECT_EQ(s.activeMask(), kFull);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStackTest, EmptyInitialMaskIsDone)
+{
+    SimtStack s;
+    s.reset(0, 100);
+    EXPECT_TRUE(s.done());
+}
+
+TEST(SimtStackTest, AdvanceWalksStraightLine)
+{
+    SimtStack s;
+    s.reset(kFull, 100);
+    s.advance();
+    s.advance();
+    EXPECT_EQ(s.pc(), 2u);
+    EXPECT_EQ(s.activeMask(), kFull);
+}
+
+TEST(SimtStackTest, UniformTakenBranchJumps)
+{
+    SimtStack s;
+    s.reset(kFull, 100);
+    s.branch(kFull, 42, 50);
+    EXPECT_EQ(s.pc(), 42u);
+    EXPECT_EQ(s.activeMask(), kFull);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStackTest, UniformNotTakenFallsThrough)
+{
+    SimtStack s;
+    s.reset(kFull, 100);
+    s.advance();           // pc 1
+    s.branch(0, 42, 50);   // nobody takes it
+    EXPECT_EQ(s.pc(), 2u);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStackTest, DivergenceRunsTakenSideFirstThenReconverges)
+{
+    SimtStack s;
+    s.reset(kFull, 100);
+    // Branch at pc 0 to pc 10, reconvergence at pc 20.
+    const LaneMask taken = 0x0000ffffu;
+    s.branch(taken, 10, 20);
+
+    // Taken side first.
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.activeMask(), taken);
+    EXPECT_EQ(s.depth(), 3u);
+    for (int i = 0; i < 10; ++i)
+        s.advance();  // 10 -> 20: pops the taken entry
+
+    // Fall-through side next, from pc 1.
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask(), ~taken);
+    for (int i = 0; i < 19; ++i)
+        s.advance();  // 1 -> 20: pops the not-taken entry
+
+    // Reconverged with the full mask.
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.activeMask(), kFull);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStackTest, NestedDivergence)
+{
+    SimtStack s;
+    s.reset(0xffu, 100);
+    s.branch(0x0fu, 10, 40);      // outer divergence
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.activeMask(), 0x0fu);
+    s.branch(0x03u, 20, 30);      // inner divergence on the taken side
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.activeMask(), 0x03u);
+    for (int i = 0; i < 10; ++i)
+        s.advance();              // 20 -> 30 pops inner-taken
+    EXPECT_EQ(s.pc(), 11u);       // inner fall-through
+    EXPECT_EQ(s.activeMask(), 0x0cu);
+    for (int i = 0; i < 19; ++i)
+        s.advance();              // 11 -> 30 pops inner-not-taken
+    EXPECT_EQ(s.pc(), 30u);
+    EXPECT_EQ(s.activeMask(), 0x0fu);  // inner reconverged
+    for (int i = 0; i < 10; ++i)
+        s.advance();              // 30 -> 40 pops outer-taken
+    EXPECT_EQ(s.pc(), 1u);        // outer fall-through
+    EXPECT_EQ(s.activeMask(), 0xf0u);
+    for (int i = 0; i < 39; ++i)
+        s.advance();
+    EXPECT_EQ(s.pc(), 40u);
+    EXPECT_EQ(s.activeMask(), 0xffu);
+}
+
+TEST(SimtStackTest, LoopBackEdgeKeepsMask)
+{
+    SimtStack s;
+    s.reset(0xfu, 100);
+    // Loop: head at pc 0 .. branch back at pc 5.
+    for (int iter = 0; iter < 3; ++iter) {
+        for (int i = 0; i < 5; ++i)
+            s.advance();
+        s.branch(0xfu, 0, 6);  // uniformly taken back edge
+        EXPECT_EQ(s.pc(), 0u);
+        EXPECT_EQ(s.activeMask(), 0xfu);
+    }
+}
+
+TEST(SimtStackTest, LoopExitDivergenceSerializes)
+{
+    SimtStack s;
+    s.reset(0x3u, 100);
+    // At pc 0: lane 0 exits the loop to pc 8; lane 1 continues at pc 1.
+    s.branch(0x1u, 8, 8);  // taken lanes go directly to the reconv point
+    // Taken entry pops instantly (pc == rpc), leaving the loop lanes.
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask(), 0x2u);
+    for (int i = 0; i < 7; ++i)
+        s.advance();
+    EXPECT_EQ(s.pc(), 8u);
+    EXPECT_EQ(s.activeMask(), 0x3u);
+}
+
+TEST(SimtStackTest, ExitLanesRetiresWholeWarp)
+{
+    SimtStack s;
+    s.reset(kFull, 100);
+    s.exitLanes(kFull);
+    EXPECT_TRUE(s.done());
+}
+
+TEST(SimtStackTest, PartialExitUnderDivergence)
+{
+    SimtStack s;
+    s.reset(0xffu, 100);
+    s.branch(0x0fu, 10, 20);      // taken lanes at pc 10
+    s.exitLanes(0x0fu);           // they exit inside the branch
+    // Control returns to the fall-through side.
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask(), 0xf0u);
+    for (int i = 0; i < 19; ++i)
+        s.advance();
+    // Reconverged entry only has the surviving lanes.
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.activeMask(), 0xf0u);
+    s.exitLanes(0xf0u);
+    EXPECT_TRUE(s.done());
+}
+
+TEST(SimtStackTest, BranchAssertsOnForeignLanes)
+{
+    SimtStack s;
+    s.reset(0x0fu, 100);
+    EXPECT_DEATH(s.branch(0xf0u, 10, 20), "inactive lanes");
+}
+
+} // namespace
