@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cta_sched.dir/ablation_cta_sched.cc.o"
+  "CMakeFiles/ablation_cta_sched.dir/ablation_cta_sched.cc.o.d"
+  "ablation_cta_sched"
+  "ablation_cta_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cta_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_cold_miss.cc" "bench/CMakeFiles/fig10_cold_miss.dir/fig10_cold_miss.cc.o" "gcc" "bench/CMakeFiles/fig10_cold_miss.dir/fig10_cold_miss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gcl_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gcl_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/gcl_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gcl_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/gcl_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cta_sharing.dir/fig11_cta_sharing.cc.o"
+  "CMakeFiles/fig11_cta_sharing.dir/fig11_cta_sharing.cc.o.d"
+  "fig11_cta_sharing"
+  "fig11_cta_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cta_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cta_distance.dir/fig12_cta_distance.cc.o"
+  "CMakeFiles/fig12_cta_distance.dir/fig12_cta_distance.cc.o.d"
+  "fig12_cta_distance"
+  "fig12_cta_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cta_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

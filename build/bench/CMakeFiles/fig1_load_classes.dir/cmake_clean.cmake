@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_load_classes.dir/fig1_load_classes.cc.o"
+  "CMakeFiles/fig1_load_classes.dir/fig1_load_classes.cc.o.d"
+  "fig1_load_classes"
+  "fig1_load_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_load_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_requests_per_warp.dir/fig2_requests_per_warp.cc.o"
+  "CMakeFiles/fig2_requests_per_warp.dir/fig2_requests_per_warp.cc.o.d"
+  "fig2_requests_per_warp"
+  "fig2_requests_per_warp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_requests_per_warp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_requests_per_warp.
+# This may be replaced when dependencies are built.

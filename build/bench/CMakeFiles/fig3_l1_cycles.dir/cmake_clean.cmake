@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_l1_cycles.dir/fig3_l1_cycles.cc.o"
+  "CMakeFiles/fig3_l1_cycles.dir/fig3_l1_cycles.cc.o.d"
+  "fig3_l1_cycles"
+  "fig3_l1_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_l1_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_unit_idle.dir/fig4_unit_idle.cc.o"
+  "CMakeFiles/fig4_unit_idle.dir/fig4_unit_idle.cc.o.d"
+  "fig4_unit_idle"
+  "fig4_unit_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_unit_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_turnaround.dir/fig5_turnaround.cc.o"
+  "CMakeFiles/fig5_turnaround.dir/fig5_turnaround.cc.o.d"
+  "fig5_turnaround"
+  "fig5_turnaround.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_turnaround.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

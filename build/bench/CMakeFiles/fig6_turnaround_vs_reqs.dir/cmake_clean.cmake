@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_turnaround_vs_reqs.dir/fig6_turnaround_vs_reqs.cc.o"
+  "CMakeFiles/fig6_turnaround_vs_reqs.dir/fig6_turnaround_vs_reqs.cc.o.d"
+  "fig6_turnaround_vs_reqs"
+  "fig6_turnaround_vs_reqs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_turnaround_vs_reqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

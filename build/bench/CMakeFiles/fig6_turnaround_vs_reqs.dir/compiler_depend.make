@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_turnaround_vs_reqs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_miss_ratio.dir/fig8_miss_ratio.cc.o"
+  "CMakeFiles/fig8_miss_ratio.dir/fig8_miss_ratio.cc.o.d"
+  "fig8_miss_ratio"
+  "fig8_miss_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_miss_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

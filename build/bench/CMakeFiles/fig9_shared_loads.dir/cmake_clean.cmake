@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_shared_loads.dir/fig9_shared_loads.cc.o"
+  "CMakeFiles/fig9_shared_loads.dir/fig9_shared_loads.cc.o.d"
+  "fig9_shared_loads"
+  "fig9_shared_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_shared_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

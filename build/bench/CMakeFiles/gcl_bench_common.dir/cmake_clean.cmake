@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libgcl_bench_common.a"
+  "../lib/libgcl_bench_common.pdb"
+  "CMakeFiles/gcl_bench_common.dir/common/figures.cc.o"
+  "CMakeFiles/gcl_bench_common.dir/common/figures.cc.o.d"
+  "CMakeFiles/gcl_bench_common.dir/common/runner.cc.o"
+  "CMakeFiles/gcl_bench_common.dir/common/runner.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

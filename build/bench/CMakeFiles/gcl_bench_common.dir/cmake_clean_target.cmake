@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libgcl_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_profiler.dir/table3_profiler.cc.o"
+  "CMakeFiles/table3_profiler.dir/table3_profiler.cc.o.d"
+  "table3_profiler"
+  "table3_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

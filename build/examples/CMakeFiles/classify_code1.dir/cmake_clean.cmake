@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_code1.dir/classify_code1.cpp.o"
+  "CMakeFiles/classify_code1.dir/classify_code1.cpp.o.d"
+  "classify_code1"
+  "classify_code1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_code1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

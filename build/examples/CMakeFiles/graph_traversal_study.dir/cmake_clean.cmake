@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_traversal_study.dir/graph_traversal_study.cpp.o"
+  "CMakeFiles/graph_traversal_study.dir/graph_traversal_study.cpp.o.d"
+  "graph_traversal_study"
+  "graph_traversal_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_traversal_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

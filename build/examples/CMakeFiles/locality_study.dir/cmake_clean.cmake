@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_study.dir/locality_study.cpp.o"
+  "CMakeFiles/locality_study.dir/locality_study.cpp.o.d"
+  "locality_study"
+  "locality_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/gcl_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/gcl_core.dir/classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/gcl_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/gcl_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcl_core.dir/classifier.cc.o"
+  "CMakeFiles/gcl_core.dir/classifier.cc.o.d"
+  "libgcl_core.a"
+  "libgcl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

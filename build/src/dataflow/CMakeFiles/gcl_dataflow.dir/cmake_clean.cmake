@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcl_dataflow.dir/backward_slice.cc.o"
+  "CMakeFiles/gcl_dataflow.dir/backward_slice.cc.o.d"
+  "CMakeFiles/gcl_dataflow.dir/reaching_defs.cc.o"
+  "CMakeFiles/gcl_dataflow.dir/reaching_defs.cc.o.d"
+  "libgcl_dataflow.a"
+  "libgcl_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcl_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcl_profiler.dir/counters.cc.o"
+  "CMakeFiles/gcl_profiler.dir/counters.cc.o.d"
+  "libgcl_profiler.a"
+  "libgcl_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcl_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptx/builder.cc" "src/ptx/CMakeFiles/gcl_ptx.dir/builder.cc.o" "gcc" "src/ptx/CMakeFiles/gcl_ptx.dir/builder.cc.o.d"
+  "/root/repo/src/ptx/cfg.cc" "src/ptx/CMakeFiles/gcl_ptx.dir/cfg.cc.o" "gcc" "src/ptx/CMakeFiles/gcl_ptx.dir/cfg.cc.o.d"
+  "/root/repo/src/ptx/instruction.cc" "src/ptx/CMakeFiles/gcl_ptx.dir/instruction.cc.o" "gcc" "src/ptx/CMakeFiles/gcl_ptx.dir/instruction.cc.o.d"
+  "/root/repo/src/ptx/kernel.cc" "src/ptx/CMakeFiles/gcl_ptx.dir/kernel.cc.o" "gcc" "src/ptx/CMakeFiles/gcl_ptx.dir/kernel.cc.o.d"
+  "/root/repo/src/ptx/types.cc" "src/ptx/CMakeFiles/gcl_ptx.dir/types.cc.o" "gcc" "src/ptx/CMakeFiles/gcl_ptx.dir/types.cc.o.d"
+  "/root/repo/src/ptx/verifier.cc" "src/ptx/CMakeFiles/gcl_ptx.dir/verifier.cc.o" "gcc" "src/ptx/CMakeFiles/gcl_ptx.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

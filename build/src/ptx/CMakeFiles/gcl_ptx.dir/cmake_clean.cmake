@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcl_ptx.dir/builder.cc.o"
+  "CMakeFiles/gcl_ptx.dir/builder.cc.o.d"
+  "CMakeFiles/gcl_ptx.dir/cfg.cc.o"
+  "CMakeFiles/gcl_ptx.dir/cfg.cc.o.d"
+  "CMakeFiles/gcl_ptx.dir/instruction.cc.o"
+  "CMakeFiles/gcl_ptx.dir/instruction.cc.o.d"
+  "CMakeFiles/gcl_ptx.dir/kernel.cc.o"
+  "CMakeFiles/gcl_ptx.dir/kernel.cc.o.d"
+  "CMakeFiles/gcl_ptx.dir/types.cc.o"
+  "CMakeFiles/gcl_ptx.dir/types.cc.o.d"
+  "CMakeFiles/gcl_ptx.dir/verifier.cc.o"
+  "CMakeFiles/gcl_ptx.dir/verifier.cc.o.d"
+  "libgcl_ptx.a"
+  "libgcl_ptx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcl_ptx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/gcl_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/gcl_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/coalescer.cc" "src/sim/CMakeFiles/gcl_sim.dir/coalescer.cc.o" "gcc" "src/sim/CMakeFiles/gcl_sim.dir/coalescer.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/gcl_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/gcl_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/sim/CMakeFiles/gcl_sim.dir/dram.cc.o" "gcc" "src/sim/CMakeFiles/gcl_sim.dir/dram.cc.o.d"
+  "/root/repo/src/sim/functional.cc" "src/sim/CMakeFiles/gcl_sim.dir/functional.cc.o" "gcc" "src/sim/CMakeFiles/gcl_sim.dir/functional.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/sim/CMakeFiles/gcl_sim.dir/gpu.cc.o" "gcc" "src/sim/CMakeFiles/gcl_sim.dir/gpu.cc.o.d"
+  "/root/repo/src/sim/interconnect.cc" "src/sim/CMakeFiles/gcl_sim.dir/interconnect.cc.o" "gcc" "src/sim/CMakeFiles/gcl_sim.dir/interconnect.cc.o.d"
+  "/root/repo/src/sim/mem_partition.cc" "src/sim/CMakeFiles/gcl_sim.dir/mem_partition.cc.o" "gcc" "src/sim/CMakeFiles/gcl_sim.dir/mem_partition.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/gcl_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/gcl_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/simt_stack.cc" "src/sim/CMakeFiles/gcl_sim.dir/simt_stack.cc.o" "gcc" "src/sim/CMakeFiles/gcl_sim.dir/simt_stack.cc.o.d"
+  "/root/repo/src/sim/sm.cc" "src/sim/CMakeFiles/gcl_sim.dir/sm.cc.o" "gcc" "src/sim/CMakeFiles/gcl_sim.dir/sm.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/gcl_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/gcl_sim.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/gcl_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gcl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gcl_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

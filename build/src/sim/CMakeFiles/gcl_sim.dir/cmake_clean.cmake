@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcl_sim.dir/cache.cc.o"
+  "CMakeFiles/gcl_sim.dir/cache.cc.o.d"
+  "CMakeFiles/gcl_sim.dir/coalescer.cc.o"
+  "CMakeFiles/gcl_sim.dir/coalescer.cc.o.d"
+  "CMakeFiles/gcl_sim.dir/config.cc.o"
+  "CMakeFiles/gcl_sim.dir/config.cc.o.d"
+  "CMakeFiles/gcl_sim.dir/dram.cc.o"
+  "CMakeFiles/gcl_sim.dir/dram.cc.o.d"
+  "CMakeFiles/gcl_sim.dir/functional.cc.o"
+  "CMakeFiles/gcl_sim.dir/functional.cc.o.d"
+  "CMakeFiles/gcl_sim.dir/gpu.cc.o"
+  "CMakeFiles/gcl_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/gcl_sim.dir/interconnect.cc.o"
+  "CMakeFiles/gcl_sim.dir/interconnect.cc.o.d"
+  "CMakeFiles/gcl_sim.dir/mem_partition.cc.o"
+  "CMakeFiles/gcl_sim.dir/mem_partition.cc.o.d"
+  "CMakeFiles/gcl_sim.dir/memory.cc.o"
+  "CMakeFiles/gcl_sim.dir/memory.cc.o.d"
+  "CMakeFiles/gcl_sim.dir/simt_stack.cc.o"
+  "CMakeFiles/gcl_sim.dir/simt_stack.cc.o.d"
+  "CMakeFiles/gcl_sim.dir/sm.cc.o"
+  "CMakeFiles/gcl_sim.dir/sm.cc.o.d"
+  "CMakeFiles/gcl_sim.dir/stats.cc.o"
+  "CMakeFiles/gcl_sim.dir/stats.cc.o.d"
+  "libgcl_sim.a"
+  "libgcl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

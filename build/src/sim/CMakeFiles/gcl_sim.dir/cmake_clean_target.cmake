@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgcl_sim.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcl_util.dir/histogram.cc.o"
+  "CMakeFiles/gcl_util.dir/histogram.cc.o.d"
+  "CMakeFiles/gcl_util.dir/logging.cc.o"
+  "CMakeFiles/gcl_util.dir/logging.cc.o.d"
+  "CMakeFiles/gcl_util.dir/rng.cc.o"
+  "CMakeFiles/gcl_util.dir/rng.cc.o.d"
+  "CMakeFiles/gcl_util.dir/stats.cc.o"
+  "CMakeFiles/gcl_util.dir/stats.cc.o.d"
+  "CMakeFiles/gcl_util.dir/table.cc.o"
+  "CMakeFiles/gcl_util.dir/table.cc.o.d"
+  "libgcl_util.a"
+  "libgcl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/datasets/graph.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/datasets/graph.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/datasets/graph.cc.o.d"
+  "/root/repo/src/workloads/datasets/matrix.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/datasets/matrix.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/datasets/matrix.cc.o.d"
+  "/root/repo/src/workloads/graph_bfs.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/graph_bfs.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/graph_bfs.cc.o.d"
+  "/root/repo/src/workloads/graph_ccl.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/graph_ccl.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/graph_ccl.cc.o.d"
+  "/root/repo/src/workloads/graph_mis.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/graph_mis.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/graph_mis.cc.o.d"
+  "/root/repo/src/workloads/graph_mst.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/graph_mst.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/graph_mst.cc.o.d"
+  "/root/repo/src/workloads/graph_sssp.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/graph_sssp.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/graph_sssp.cc.o.d"
+  "/root/repo/src/workloads/image_bpr.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/image_bpr.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/image_bpr.cc.o.d"
+  "/root/repo/src/workloads/image_dwt.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/image_dwt.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/image_dwt.cc.o.d"
+  "/root/repo/src/workloads/image_htw.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/image_htw.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/image_htw.cc.o.d"
+  "/root/repo/src/workloads/image_mriq.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/image_mriq.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/image_mriq.cc.o.d"
+  "/root/repo/src/workloads/image_srad.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/image_srad.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/image_srad.cc.o.d"
+  "/root/repo/src/workloads/linear_2mm.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/linear_2mm.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/linear_2mm.cc.o.d"
+  "/root/repo/src/workloads/linear_gaus.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/linear_gaus.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/linear_gaus.cc.o.d"
+  "/root/repo/src/workloads/linear_grm.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/linear_grm.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/linear_grm.cc.o.d"
+  "/root/repo/src/workloads/linear_lu.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/linear_lu.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/linear_lu.cc.o.d"
+  "/root/repo/src/workloads/linear_spmv.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/linear_spmv.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/linear_spmv.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/gcl_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/gcl_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/gcl_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gcl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gcl_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bench_helpers.cc" "tests/CMakeFiles/gcl_tests.dir/test_bench_helpers.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_bench_helpers.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/gcl_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cfg.cc" "tests/CMakeFiles/gcl_tests.dir/test_cfg.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_cfg.cc.o.d"
+  "/root/repo/tests/test_classifier.cc" "tests/CMakeFiles/gcl_tests.dir/test_classifier.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_classifier.cc.o.d"
+  "/root/repo/tests/test_coalescer.cc" "tests/CMakeFiles/gcl_tests.dir/test_coalescer.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_coalescer.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/gcl_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_dataflow.cc" "tests/CMakeFiles/gcl_tests.dir/test_dataflow.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_dataflow.cc.o.d"
+  "/root/repo/tests/test_datasets.cc" "tests/CMakeFiles/gcl_tests.dir/test_datasets.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_datasets.cc.o.d"
+  "/root/repo/tests/test_dram_icnt.cc" "tests/CMakeFiles/gcl_tests.dir/test_dram_icnt.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_dram_icnt.cc.o.d"
+  "/root/repo/tests/test_end_to_end.cc" "tests/CMakeFiles/gcl_tests.dir/test_end_to_end.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_end_to_end.cc.o.d"
+  "/root/repo/tests/test_functional.cc" "tests/CMakeFiles/gcl_tests.dir/test_functional.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_functional.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/gcl_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_paper_shapes.cc" "tests/CMakeFiles/gcl_tests.dir/test_paper_shapes.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_paper_shapes.cc.o.d"
+  "/root/repo/tests/test_profiler.cc" "tests/CMakeFiles/gcl_tests.dir/test_profiler.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_profiler.cc.o.d"
+  "/root/repo/tests/test_ptx.cc" "tests/CMakeFiles/gcl_tests.dir/test_ptx.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_ptx.cc.o.d"
+  "/root/repo/tests/test_sim_pipeline.cc" "tests/CMakeFiles/gcl_tests.dir/test_sim_pipeline.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_sim_pipeline.cc.o.d"
+  "/root/repo/tests/test_simt_stack.cc" "tests/CMakeFiles/gcl_tests.dir/test_simt_stack.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_simt_stack.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/gcl_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/gcl_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/gcl_tests.dir/test_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gcl_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gcl_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/gcl_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gcl_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/gcl_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
