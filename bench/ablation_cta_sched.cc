@@ -16,9 +16,10 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gcl;
+    bench::initBench(argc, argv);
     auto base = bench::defaultConfig();
     auto clustered = base;
     clustered.ctaSched = sim::CtaSchedPolicy::Clustered;

@@ -15,9 +15,10 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gcl;
+    bench::initBench(argc, argv);
     const auto base = bench::defaultConfig();
     bench::printHeader("Ablation: L1D capacity sweep (8KB / 16KB / 32KB / "
                        "64KB)",

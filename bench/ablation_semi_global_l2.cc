@@ -15,9 +15,10 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gcl;
+    bench::initBench(argc, argv);
     auto base = bench::defaultConfig();
     auto semi = base;
     semi.smsPerL2Cluster = 5;   // 3 clusters x 2 partitions each

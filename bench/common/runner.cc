@@ -1,12 +1,20 @@
 #include "runner.hh"
 
+#include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "sim/gpu.hh"
+#include "trace/chrome_writer.hh"
+#include "trace/export.hh"
+#include "trace/json.hh"
+#include "trace/trace.hh"
 #include "util/logging.hh"
 #include "workloads/workload.hh"
 
@@ -27,9 +35,105 @@ cacheDir()
     return "bench_results";
 }
 
+Options g_options;
+
+/** Trace/export state living for the whole process (all runApp calls). */
+struct ExportState
+{
+    std::ofstream traceStream;
+    std::unique_ptr<trace::ChromeTraceWriter> writer;
+    trace::TraceSink sink;
+    int nextPid = 1;
+
+    struct Record
+    {
+        std::string name;
+        std::string category;
+        bool verified = false;
+        uint64_t fingerprint = 0;
+        StatsSet stats;
+    };
+    std::vector<Record> records;
+};
+
+ExportState *g_export = nullptr;
+
+bool
+tracing()
+{
+    return g_export && g_export->writer;
+}
+
+void
+writeStatsJson(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        gcl_warn("cannot write stats JSON to '", path, "'");
+        return;
+    }
+    out << "{\n\"apps\": [";
+    bool first = true;
+    for (const auto &rec : g_export->records) {
+        char fp[32];
+        std::snprintf(fp, sizeof(fp), "%016" PRIx64, rec.fingerprint);
+        out << (first ? "\n" : ",\n") << "{\"name\": "
+            << trace::jsonQuote(rec.name) << ", \"category\": "
+            << trace::jsonQuote(rec.category) << ", \"verified\": "
+            << (rec.verified ? "true" : "false")
+            << ", \"fingerprint\": \"" << fp << "\", \"stats\": ";
+        trace::exportStatsJson(rec.stats, out);
+        out << "}";
+        first = false;
+    }
+    out << "\n]\n}\n";
+}
+
+void
+writeStatsCsv(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        gcl_warn("cannot write stats CSV to '", path, "'");
+        return;
+    }
+    out << "app,kind,key,bucket,value\n";
+    for (const auto &rec : g_export->records) {
+        std::ostringstream rows;
+        trace::exportStatsCsv(rec.stats, rows);
+        std::istringstream lines(rows.str());
+        std::string line;
+        std::getline(lines, line); // per-set header, replaced above
+        while (std::getline(lines, line))
+            out << rec.name << ',' << line << '\n';
+    }
+}
+
+/** atexit hook: close the trace array, write the stats artifacts. */
+void
+finishExports()
+{
+    if (!g_export)
+        return;
+    if (g_export->writer) {
+        g_export->sink.flush();
+        g_export->writer->close();
+        std::fprintf(stderr, "[bench] trace: %" PRIu64
+                     " events -> %s\n",
+                     g_export->writer->eventsWritten(),
+                     g_options.traceOut.c_str());
+    }
+    if (!g_options.statsJson.empty())
+        writeStatsJson(g_options.statsJson);
+    if (!g_options.statsCsv.empty())
+        writeStatsCsv(g_options.statsCsv);
+}
+
 bool
 cacheDisabled()
 {
+    if (g_options.fresh)
+        return true;
     const char *env = std::getenv("GCL_BENCH_FRESH");
     return env && env[0] == '1';
 }
@@ -78,7 +182,100 @@ storeCached(const std::filesystem::path &path, const AppResult &result)
     out << result.stats.serialize();
 }
 
+/** Remember a finished run for the end-of-process stats artifacts. */
+void
+recordResult(const AppResult &result, const sim::GpuConfig &config)
+{
+    if (!g_export ||
+        (g_options.statsJson.empty() && g_options.statsCsv.empty()))
+        return;
+    g_export->records.push_back({result.name, result.category,
+                                 result.verified, config.fingerprint(),
+                                 result.stats});
+}
+
 } // namespace
+
+const Options &
+options()
+{
+    return g_options;
+}
+
+void
+initBench(int argc, char **argv)
+{
+    auto value = [](const char *arg, const char *flag) -> const char * {
+        const size_t n = std::strlen(flag);
+        if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=')
+            return arg + n + 1;
+        return nullptr;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (const char *v = value(arg, "--trace-out")) {
+            g_options.traceOut = v;
+        } else if (const char *v = value(arg, "--timeline-interval")) {
+            g_options.timelineInterval = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value(arg, "--stats-json")) {
+            g_options.statsJson = v;
+        } else if (const char *v = value(arg, "--stats-csv")) {
+            g_options.statsCsv = v;
+        } else if (const char *v = value(arg, "--apps")) {
+            std::istringstream list(v);
+            std::string app;
+            while (std::getline(list, app, ','))
+                if (!app.empty())
+                    g_options.apps.push_back(app);
+            for (const auto &name : g_options.apps)
+                workloads::byName(name); // fatal on a typo
+        } else if (std::strcmp(arg, "--fresh") == 0) {
+            g_options.fresh = true;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            std::printf(
+                "usage: %s [options]\n"
+                "  --trace-out=FILE         Chrome trace-event JSON "
+                "(load in Perfetto)\n"
+                "  --timeline-interval=N    sample occupancy counters "
+                "every N cycles\n"
+                "  --stats-json=FILE        finalized stats of every run, "
+                "as JSON\n"
+                "  --stats-csv=FILE         same, flat CSV "
+                "(app,kind,key,bucket,value)\n"
+                "  --apps=a,b,c             restrict the suite to these "
+                "applications\n"
+                "  --fresh                  ignore the on-disk run cache\n",
+                argv[0]);
+            std::exit(0);
+        } else {
+            gcl_fatal("unknown argument '", arg, "' (try --help)");
+        }
+    }
+
+    if (g_options.traceOut.empty() && g_options.statsJson.empty() &&
+        g_options.statsCsv.empty())
+        return;
+
+    static ExportState state;
+    g_export = &state;
+    if (!g_options.traceOut.empty()) {
+        state.traceStream.open(g_options.traceOut);
+        if (!state.traceStream)
+            gcl_fatal("cannot open trace output '", g_options.traceOut,
+                      "'");
+        state.writer =
+            std::make_unique<trace::ChromeTraceWriter>(state.traceStream);
+        state.sink.setDrain(state.writer->drain());
+        state.sink.setEnabled(true);
+        // A trace without the occupancy timeline is half blind; default
+        // to a sane sampling period unless the user chose one.
+        if (g_options.timelineInterval == 0)
+            g_options.timelineInterval = 1000;
+    }
+    std::atexit(finishExports);
+}
 
 sim::GpuConfig
 defaultConfig()
@@ -95,18 +292,34 @@ runApp(const std::string &name, const sim::GpuConfig &config)
     result.name = name;
     result.category = workloads::toString(workload.category);
 
+    // A cached stats file has no events in it: tracing forces a fresh
+    // simulation (the stats it produces are identical, so re-caching is
+    // still valid).
     const auto path = cachePath(name, config);
-    if (!cacheDisabled() && loadCached(path, result))
+    if (!tracing() && !cacheDisabled() && loadCached(path, result)) {
+        recordResult(result, config);
         return result;
+    }
 
     sim::Gpu gpu(config);
+    if (tracing()) {
+        g_export->writer->beginProcess(g_export->nextPid++, name);
+        gpu.attachTrace(&g_export->sink, g_options.timelineInterval);
+    }
     result.verified = workload.run(gpu);
     gpu.finalizeStats();
     result.stats = gpu.stats().set();
+    if (tracing()) {
+        // Drain now so buffered events land under this app's pid before
+        // the next beginProcess() switches the writer over.
+        gpu.attachTrace(nullptr);
+        g_export->sink.flush();
+    }
     if (!result.verified)
         gcl_warn("workload '", name, "' failed its reference check");
 
     storeCached(path, result);
+    recordResult(result, config);
     return result;
 }
 
@@ -116,6 +329,10 @@ runSuite(const sim::GpuConfig &config)
     std::vector<AppResult> results;
     results.reserve(workloads::all().size());
     for (const auto &workload : workloads::all()) {
+        if (!g_options.apps.empty() &&
+            std::find(g_options.apps.begin(), g_options.apps.end(),
+                      workload.name) == g_options.apps.end())
+            continue;
         std::fprintf(stderr, "[bench] %s ...\n", workload.name.c_str());
         results.push_back(runApp(workload.name, config));
     }

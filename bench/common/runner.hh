@@ -9,11 +9,22 @@
  * therefore simulates each configuration once and replays it everywhere
  * else. Set GCL_BENCH_FRESH=1 to ignore the cache, GCL_BENCH_CACHE to move
  * it (default: ./bench_results).
+ *
+ * Observability (gcl::trace) is wired in behind flags, parsed by
+ * initBench():
+ *   --trace-out=FILE          stream a Chrome trace-event JSON (Perfetto)
+ *   --timeline-interval=N     sample occupancy counters every N cycles
+ *   --stats-json=FILE         dump every app's finalized stats as JSON
+ *   --stats-csv=FILE          same, as a flat CSV table
+ *   --apps=a,b,c              restrict runSuite() to these applications
+ *   --fresh                   ignore the on-disk run cache (= GCL_BENCH_FRESH)
+ * Tracing always simulates fresh: a cached stats file has no events.
  */
 
 #ifndef GCL_BENCH_COMMON_RUNNER_HH
 #define GCL_BENCH_COMMON_RUNNER_HH
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +43,27 @@ struct AppResult
     bool verified = false;   //!< CPU reference check passed
     StatsSet stats;          //!< finalized simulator stats
 };
+
+/** Observability options shared by every bench binary. */
+struct Options
+{
+    std::string traceOut;          //!< Chrome trace-event JSON path
+    std::string statsJson;         //!< stats JSON path
+    std::string statsCsv;          //!< stats CSV path
+    uint64_t timelineInterval = 0; //!< counter sampling period (cycles)
+    bool fresh = false;            //!< bypass the run cache
+    std::vector<std::string> apps; //!< runSuite() filter (empty = all)
+};
+
+/**
+ * Parse the shared observability flags; call first thing in main().
+ * Unknown flags are fatal; `--help` prints usage and exits. Artifact
+ * files (trace/stats) are finalized automatically at process exit.
+ */
+void initBench(int argc, char **argv);
+
+/** The options parsed by initBench() (defaults before it runs). */
+const Options &options();
 
 /** Run (or load) one application under @p config. */
 AppResult runApp(const std::string &name, const sim::GpuConfig &config);

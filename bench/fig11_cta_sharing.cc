@@ -15,9 +15,10 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gcl;
+    bench::initBench(argc, argv);
     const auto config = bench::defaultConfig();
     bench::printHeader("Figure 11: data blocks shared across CTAs", config);
 

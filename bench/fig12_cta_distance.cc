@@ -18,9 +18,10 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gcl;
+    bench::initBench(argc, argv);
     const auto config = bench::defaultConfig();
     bench::printHeader("Figure 12: CTA-distance frequency for shared "
                        "blocks",

@@ -42,9 +42,10 @@ row(const gcl::bench::AppResult &app, bool non_det)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gcl;
+    bench::initBench(argc, argv);
     const auto config = bench::defaultConfig();
     bench::printHeader("Figure 5: global-load turnaround decomposition "
                        "(cycles)",

@@ -16,9 +16,10 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gcl;
+    bench::initBench(argc, argv);
     const auto config = bench::defaultConfig();
     bench::printHeader("Figure 7: per-request-count gap breakdown (bfs, "
                        "hottest non-deterministic load)",

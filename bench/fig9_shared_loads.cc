@@ -13,9 +13,10 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gcl;
+    bench::initBench(argc, argv);
     const auto config = bench::defaultConfig();
     bench::printHeader("Figure 9: shared loads per global load", config);
 

@@ -2,7 +2,8 @@
  * @file
  * google-benchmark microbenchmarks of the core primitives: backward
  * dataflow classification, CFG/postdominator construction, the coalescer,
- * the L1 cache access path, the SIMT stack and the RNG.
+ * the L1 cache access path, the SIMT stack, the RNG and the gcl::trace
+ * emission path (enabled, disabled and null-sink).
  */
 
 #include <benchmark/benchmark.h>
@@ -13,6 +14,7 @@
 #include "sim/cache.hh"
 #include "sim/coalescer.hh"
 #include "sim/simt_stack.hh"
+#include "trace/trace.hh"
 #include "util/rng.hh"
 
 namespace
@@ -139,6 +141,53 @@ BM_RngNext(benchmark::State &state)
         benchmark::DoNotOptimize(rng.next());
 }
 BENCHMARK(BM_RngNext);
+
+// ---- gcl::trace overhead (EXPERIMENTS.md "Tracing overhead") ----
+
+/** Full emission cost: ring store, with a drain swallowing overflows. */
+void
+BM_TraceEmitEnabled(benchmark::State &state)
+{
+    trace::TraceSink sink(1 << 16);
+    sink.setEnabled(true);
+    sink.setDrain([](const trace::TraceEvent *, size_t) {});
+    uint64_t cycle = 0;
+    for (auto _ : state) {
+        GCL_TRACE(&sink, trace::EventKind::ReqInject, ++cycle, cycle,
+                  cycle * 128, 7, 3, trace::kFlagNonDet);
+        benchmark::DoNotOptimize(sink.size());
+    }
+}
+BENCHMARK(BM_TraceEmitEnabled);
+
+/** The untraced hot path: a sink exists but is switched off. */
+void
+BM_TraceEmitDisabledSink(benchmark::State &state)
+{
+    trace::TraceSink sink(1 << 10);
+    uint64_t cycle = 0;
+    for (auto _ : state) {
+        GCL_TRACE(&sink, trace::EventKind::ReqInject, ++cycle, cycle,
+                  cycle * 128, 7, 3, trace::kFlagNonDet);
+        benchmark::DoNotOptimize(sink.size());
+    }
+}
+BENCHMARK(BM_TraceEmitDisabledSink);
+
+/** The default production path: no sink attached at all. */
+void
+BM_TraceEmitNullSink(benchmark::State &state)
+{
+    trace::TraceSink *sink = nullptr;
+    benchmark::DoNotOptimize(sink);
+    uint64_t cycle = 0;
+    for (auto _ : state) {
+        GCL_TRACE(sink, trace::EventKind::ReqInject, ++cycle, cycle,
+                  cycle * 128, 7, 3, trace::kFlagNonDet);
+        benchmark::DoNotOptimize(cycle);
+    }
+}
+BENCHMARK(BM_TraceEmitNullSink);
 
 } // namespace
 

@@ -11,9 +11,10 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gcl;
+    bench::initBench(argc, argv);
     const auto config = bench::defaultConfig();
     bench::printHeader("Table I: application characteristics", config);
 

@@ -9,8 +9,9 @@
 #include "common/runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gcl::bench::initBench(argc, argv);
     const auto config = gcl::bench::defaultConfig();
     gcl::bench::printHeader("Table II: experiment environment", config);
     std::printf("%s", config.describe().c_str());

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full repository check: configure, build, run the test suite, then smoke
+# the observability path end-to-end — a traced bench run whose Chrome-JSON
+# trace and stats JSON are validated by tools/trace_check.
+#
+# Usage: scripts/check.sh            (from anywhere; builds into ./build)
+#        BUILD_DIR=out scripts/check.sh
+# Also available as the CMake target `check`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=$(nproc 2> /dev/null || echo 4)
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+# Traced smoke run: one real workload through a figure bench, with the
+# lifecycle trace, occupancy timeline and stats artifacts all enabled.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+GCL_BENCH_CACHE="$tmp/cache" "$BUILD_DIR/bench/fig5_turnaround" \
+    --apps=bfs --fresh \
+    --trace-out="$tmp/trace.json" \
+    --timeline-interval=200 \
+    --stats-json="$tmp/stats.json" \
+    --stats-csv="$tmp/stats.csv" > /dev/null
+"$BUILD_DIR/tools/trace_check" \
+    --trace="$tmp/trace.json" --stats="$tmp/stats.json"
+
+echo "check: all green"

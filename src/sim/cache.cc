@@ -208,6 +208,16 @@ Cache::installValid(uint64_t line_addr)
     line.lru = ++lruClock_;
 }
 
+size_t
+Cache::reservedLines() const
+{
+    size_t reserved = 0;
+    for (const Line &line : lines_)
+        if (line.reserved)
+            ++reserved;
+    return reserved;
+}
+
 bool
 Cache::isHit(uint64_t line_addr) const
 {

@@ -116,6 +116,12 @@ class Cache
     const std::string &name() const { return name_; }
     const CacheConfig &config() const { return config_; }
 
+    /** Allocated MSHR entries (timeline sampling, gcl::trace). */
+    size_t mshrOccupancy() const { return mshr_.size(); }
+
+    /** Lines currently reserved for in-flight fills (timeline sampling). */
+    size_t reservedLines() const;
+
   private:
     struct Line
     {

@@ -29,4 +29,17 @@ coalesce(const std::vector<std::pair<unsigned, uint64_t>> &addrs,
     return lines;
 }
 
+std::vector<uint64_t>
+coalesce(const std::vector<std::pair<unsigned, uint64_t>> &addrs,
+         unsigned access_size, unsigned line_bytes, trace::TraceSink *sink,
+         Cycle now, uint32_t pc, int sm_id, bool non_det)
+{
+    std::vector<uint64_t> lines = coalesce(addrs, access_size, line_bytes);
+    GCL_TRACE(sink, trace::EventKind::Coalesce, now, 0,
+              (uint64_t{addrs.size()} << 32) | lines.size(), pc,
+              static_cast<int16_t>(sm_id),
+              non_det ? trace::kFlagNonDet : 0);
+    return lines;
+}
+
 } // namespace gcl::sim

@@ -14,6 +14,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "config.hh"
+#include "trace/trace.hh"
+
 namespace gcl::sim
 {
 
@@ -28,6 +31,17 @@ namespace gcl::sim
 std::vector<uint64_t>
 coalesce(const std::vector<std::pair<unsigned, uint64_t>> &addrs,
          unsigned access_size, unsigned line_bytes);
+
+/**
+ * Traced variant: coalesce and emit one gcl::trace::Coalesce event
+ * summarizing the fold (active lanes and produced lines packed into the
+ * event's addr field). @p sink may be null or disabled — the event is
+ * skipped and the result is identical to coalesce().
+ */
+std::vector<uint64_t>
+coalesce(const std::vector<std::pair<unsigned, uint64_t>> &addrs,
+         unsigned access_size, unsigned line_bytes, trace::TraceSink *sink,
+         Cycle now, uint32_t pc, int sm_id, bool non_det);
 
 } // namespace gcl::sim
 

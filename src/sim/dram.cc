@@ -15,6 +15,8 @@ DramChannel::push(const MemRequestPtr &req, Cycle now)
     // access latency after its burst starts.
     const Cycle start = std::max(channelFreeAt_, now);
     channelFreeAt_ = start + config_.dramBurstCycles;
+    GCL_TRACE(traceSink, trace::EventKind::ReqDramEnqueue, now, req->id,
+              req->lineAddr, tracePc(*req), traceUnit, traceFlags(*req));
     queue_.push_back({req, start + config_.dramLatency});
 }
 

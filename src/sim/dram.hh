@@ -16,6 +16,7 @@
 
 #include "config.hh"
 #include "mem_request.hh"
+#include "trace/trace.hh"
 
 namespace gcl::sim
 {
@@ -43,6 +44,10 @@ class DramChannel
 
     /** Total requests serviced (bandwidth accounting). */
     uint64_t serviced() const { return serviced_; }
+
+    /** Event sink + owning partition id, installed by the Gpu. */
+    trace::TraceSink *traceSink = nullptr;
+    int16_t traceUnit = -1;
 
   private:
     struct Entry

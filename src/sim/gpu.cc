@@ -22,6 +22,51 @@ Gpu::Gpu(GpuConfig config)
             static_cast<int>(p), config_, stats_));
 }
 
+void
+Gpu::attachTrace(trace::TraceSink *sink, Cycle timeline_interval)
+{
+    traceSink_ = sink;
+    timelineInterval_ = sink ? timeline_interval : 0;
+    icnt_.traceSink = sink;
+    for (auto &sm : sms_)
+        sm->traceSink = sink;
+    for (auto &part : partitions_)
+        part->setTrace(sink);
+}
+
+void
+Gpu::sampleTimeline(Cycle now) const
+{
+    using trace::CounterId;
+    using trace::EventKind;
+
+    uint64_t ctas = 0, warps = 0, ldst = 0, mshr = 0;
+    for (const auto &sm : sms_) {
+        ctas += sm->numResidentCtas();
+        warps += sm->activeWarps();
+        ldst += sm->ldstQueued();
+        mshr += sm->l1().mshrOccupancy();
+    }
+    uint64_t rop = 0, dram = 0;
+    for (const auto &part : partitions_) {
+        rop += part->ropQueued();
+        dram += part->dramQueued();
+    }
+
+    auto counter = [&](CounterId id, uint64_t value) {
+        traceSink_->emit(EventKind::Counter, now,
+                         static_cast<uint64_t>(id), value, 0, 0, 0);
+    };
+    counter(CounterId::ResidentCtas, ctas);
+    counter(CounterId::ActiveWarps, warps);
+    counter(CounterId::LdstQueued, ldst);
+    counter(CounterId::L1MshrOccupancy, mshr);
+    counter(CounterId::IcntReqQueued, icnt_.reqQueued());
+    counter(CounterId::IcntRespQueued, icnt_.respQueued());
+    counter(CounterId::RopQueued, rop);
+    counter(CounterId::DramQueued, dram);
+}
+
 uint64_t
 Gpu::deviceMalloc(size_t bytes)
 {
@@ -163,6 +208,9 @@ Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
     stats_.set().inc("ctas_launched", static_cast<double>(grid.count()));
     stats_.set().set("threads_per_cta", static_cast<double>(cta.count()));
 
+    GCL_DEBUG("gpu", "launch '", kernel.name(), "': ", grid.count(),
+              " CTAs x ", cta.count(), " threads");
+
     // Cycle 0 is reserved as the "unset timestamp" sentinel; the clock is
     // global and monotonic across launches.
     const Cycle start = clock_ + 1;
@@ -188,6 +236,10 @@ Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
             while (icnt_.hasResponse(sm->id(), now))
                 sm->receiveResponse(icnt_.popResponse(sm->id(), now), now);
 
+        if (timelineInterval_ != 0 && GCL_TRACE_ACTIVE(traceSink_) &&
+            (now - start) % timelineInterval_ == 0)
+            sampleTimeline(now);
+
         if (dispatch.next == dispatch.total && allIdle())
             break;
     }
@@ -195,6 +247,8 @@ Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
     clock_ = now;
     lastLaunchCycles_ = now - start + 1;
     stats_.set().inc("cycles", static_cast<double>(lastLaunchCycles_));
+    GCL_DEBUG("gpu", "launch '", kernel.name(), "' retired after ",
+              lastLaunchCycles_, " cycles");
 }
 
 } // namespace gcl::sim

@@ -61,6 +61,14 @@ class Gpu
     /** Fold locality maps into the stats set; call once, after all launches. */
     void finalizeStats() { stats_.finalize(); }
 
+    /**
+     * Install an event sink (gcl::trace) on every unit. When
+     * @p timeline_interval is nonzero, occupancy/queue-depth counters are
+     * additionally sampled every that many cycles during launches. Pass
+     * nullptr to detach.
+     */
+    void attachTrace(trace::TraceSink *sink, Cycle timeline_interval = 0);
+
     /** Default line-address to memory-partition mapping. */
     static int mapPartition(uint64_t line_addr, int sm_id,
                             const GpuConfig &config);
@@ -76,6 +84,7 @@ class Gpu
 
     void dispatchCtas(DispatchState &dispatch);
     bool allIdle() const;
+    void sampleTimeline(Cycle now) const;
 
     GpuConfig config_;
     GlobalMemory gmem_;
@@ -90,6 +99,9 @@ class Gpu
      */
     Cycle clock_ = 0;
     Cycle lastLaunchCycles_ = 0;
+
+    trace::TraceSink *traceSink_ = nullptr;
+    Cycle timelineInterval_ = 0;
 };
 
 } // namespace gcl::sim

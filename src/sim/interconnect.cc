@@ -26,6 +26,9 @@ Interconnect::inject(const MemRequestPtr &req, Cycle now)
 {
     gcl_assert(canInject(req->smId), "inject into a full queue");
     req->tInjected = now;
+    GCL_TRACE(traceSink, trace::EventKind::ReqInject, now, req->id,
+              req->lineAddr, tracePc(*req),
+              static_cast<int16_t>(req->smId), traceFlags(*req));
     injectQ_[static_cast<size_t>(req->smId)].push_back(req);
 }
 
@@ -54,6 +57,9 @@ Interconnect::respond(const MemRequestPtr &req, Cycle now)
 {
     gcl_assert(canRespond(req->partition), "respond into a full queue");
     req->tRespDepart = now;
+    GCL_TRACE(traceSink, trace::EventKind::ReqRespDepart, now, req->id,
+              req->lineAddr, tracePc(*req),
+              static_cast<int16_t>(req->partition), traceFlags(*req));
     respQ_[static_cast<size_t>(req->partition)].push_back(req);
 }
 
@@ -120,6 +126,28 @@ Interconnect::cycle(Cycle now)
         q.pop_front();
     }
     respRrPart_ = (respRrPart_ + 1) % num_parts;
+}
+
+size_t
+Interconnect::reqQueued() const
+{
+    size_t total = 0;
+    for (const auto &q : injectQ_)
+        total += q.size();
+    for (const auto &q : toPart_)
+        total += q.size();
+    return total;
+}
+
+size_t
+Interconnect::respQueued() const
+{
+    size_t total = 0;
+    for (const auto &q : respQ_)
+        total += q.size();
+    for (const auto &q : toSm_)
+        total += q.size();
+    return total;
 }
 
 bool

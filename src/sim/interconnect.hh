@@ -18,6 +18,7 @@
 #include "config.hh"
 #include "delay_queue.hh"
 #include "mem_request.hh"
+#include "trace/trace.hh"
 
 namespace gcl::sim
 {
@@ -62,6 +63,15 @@ class Interconnect
 
     /** All queues drained (used by the GPU's termination check). */
     bool idle() const;
+
+    /** Requests anywhere in the request network (timeline sampling). */
+    size_t reqQueued() const;
+
+    /** Responses anywhere in the response network (timeline sampling). */
+    size_t respQueued() const;
+
+    /** Event sink installed by the Gpu; null when untraced. */
+    trace::TraceSink *traceSink = nullptr;
 
   private:
     const GpuConfig &config_;

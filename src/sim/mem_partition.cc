@@ -12,6 +12,14 @@ MemPartition::MemPartition(int id, const GpuConfig &config, SimStats &stats)
 {
 }
 
+void
+MemPartition::setTrace(trace::TraceSink *sink)
+{
+    traceSink_ = sink;
+    dram_.traceSink = sink;
+    dram_.traceUnit = static_cast<int16_t>(id_);
+}
+
 bool
 MemPartition::serviceHead(Cycle now)
 {
@@ -42,6 +50,9 @@ MemPartition::serviceHead(Cycle now)
         req->tL2Done = now;
         req->level = ServiceLevel::L2;
         ++stats_.hot.l2Atomics;
+        GCL_TRACE(traceSink_, trace::EventKind::ReqL2Done, now, req->id,
+                  req->lineAddr, tracePc(*req), static_cast<int16_t>(id_),
+                  traceFlags(*req));
         respPending_.push_back(req);
         ropQ_.pop();
         return true;
@@ -49,6 +60,18 @@ MemPartition::serviceHead(Cycle now)
 
     // Read access to the L2 slice.
     const AccessOutcome outcome = l2_.access(req, dram_.canAccept());
+    // A stalled head retries every cycle; dedupe identical fails so trace
+    // volume scales with outcome changes, not stall lengths.
+    if (GCL_TRACE_ACTIVE(traceSink_) &&
+        req->traceLastFail != static_cast<uint8_t>(outcome)) {
+        req->traceLastFail = static_cast<uint8_t>(outcome);
+        traceSink_->emit(trace::EventKind::ReqL2Access, now, req->id,
+                         req->lineAddr, tracePc(*req),
+                         static_cast<int16_t>(id_),
+                         traceFlags(*req) |
+                             trace::packOutcome(
+                                 static_cast<unsigned>(outcome)));
+    }
     switch (outcome) {
       case AccessOutcome::Hit:
         req->tArriveL2 = now;
@@ -89,8 +112,13 @@ MemPartition::cycle(Cycle now, Interconnect &icnt)
     //    interconnect, whose finite buffers push the congestion back to
     //    the L1s as reservation fails.
     if (ropQ_.size() < config_.ropLatency + config_.partQueueDepth &&
-        icnt.hasRequest(id_, now))
-        ropQ_.push(icnt.popRequest(id_, now), now + config_.ropLatency);
+        icnt.hasRequest(id_, now)) {
+        MemRequestPtr req = icnt.popRequest(id_, now);
+        GCL_TRACE(traceSink_, trace::EventKind::ReqRopEnqueue, now, req->id,
+                  req->lineAddr, tracePc(*req), static_cast<int16_t>(id_),
+                  traceFlags(*req));
+        ropQ_.push(std::move(req), now + config_.ropLatency);
+    }
 
     // 2. Service the ROP head. On a resource stall the request stays at
     //    the head and the cycle is wasted (Fig 5's "wasted cycles in L2
@@ -106,6 +134,9 @@ MemPartition::cycle(Cycle now, Interconnect &icnt)
         for (auto &waiting : l2_.fill(req->lineAddr)) {
             waiting->tL2Done = now;
             waiting->level = ServiceLevel::Dram;
+            GCL_TRACE(traceSink_, trace::EventKind::ReqL2Done, now,
+                      waiting->id, waiting->lineAddr, tracePc(*waiting),
+                      static_cast<int16_t>(id_), traceFlags(*waiting));
             respPending_.push_back(std::move(waiting));
         }
     }

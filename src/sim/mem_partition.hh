@@ -39,7 +39,16 @@ class MemPartition
     const Cache &l2() const { return l2_; }
     const DramChannel &dram() const { return dram_; }
 
+    /** Install the event sink on the partition and its DRAM channel. */
+    void setTrace(trace::TraceSink *sink);
+
+    // ---- Timeline sampling (gcl::trace) ----
+    size_t ropQueued() const { return ropQ_.size(); }
+    size_t dramQueued() const { return dram_.size(); }
+    size_t respQueued() const { return respPending_.size(); }
+
   private:
+    trace::TraceSink *traceSink_ = nullptr;
     /** Try to service the head of the ROP queue; false on a stall. */
     bool serviceHead(Cycle now);
 

@@ -20,6 +20,7 @@
 
 #include "config.hh"
 #include "ptx/types.hh"
+#include "trace/trace.hh"
 
 namespace gcl::sim
 {
@@ -40,6 +41,16 @@ struct MemRequest
     uint64_t lineAddr = 0;        //!< line-aligned byte address
     bool isWrite = false;
     bool isAtomic = false;
+
+    /** Trace identity (gcl::trace); 0 when the run is untraced. */
+    uint64_t id = 0;
+    /**
+     * Last reservation-fail outcome emitted to the trace sink for this
+     * request (0xff = none). A stalled request retries every cycle;
+     * deduping consecutive identical fails keeps trace volume
+     * proportional to outcome *changes*, not stall lengths.
+     */
+    uint8_t traceLastFail = 0xff;
 
     int smId = -1;
     int partition = -1;           //!< filled in by the address decoder
@@ -67,6 +78,9 @@ using MemRequestPtr = std::shared_ptr<MemRequest>;
 /** One warp-level memory instruction in flight. */
 struct WarpMemOp
 {
+    /** Trace identity (gcl::trace); 0 when the run is untraced. */
+    uint64_t id = 0;
+
     int smId = -1;
     int warpSlot = -1;
     size_t pc = 0;
@@ -107,6 +121,27 @@ struct WarpMemOp
 };
 
 using WarpMemOpPtr = std::shared_ptr<WarpMemOp>;
+
+/** Class/type bits of @p req for trace-event flags. */
+inline uint8_t
+traceFlags(const MemRequest &req)
+{
+    uint8_t flags = 0;
+    if (req.nonDet)
+        flags |= trace::kFlagNonDet;
+    if (req.isWrite)
+        flags |= trace::kFlagWrite;
+    if (req.isAtomic)
+        flags |= trace::kFlagAtomic;
+    return flags;
+}
+
+/** The owning op's pc, or 0 for requests nothing waits on (stores). */
+inline uint32_t
+tracePc(const MemRequest &req)
+{
+    return req.op ? static_cast<uint32_t>(req.op->pc) : 0;
+}
 
 } // namespace gcl::sim
 

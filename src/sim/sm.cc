@@ -67,6 +67,7 @@ Sm::launchCta(uint32_t linear_id, uint32_t cx, uint32_t cy, uint32_t cz)
     }
     gcl_assert(slot >= 0, "no free CTA slot");
     issueDirty_ = true;
+    GCL_DEBUG("sm", "sm", id_, ": cta ", linear_id, " -> slot ", slot);
 
     CtaContext &cta = ctas_[static_cast<size_t>(slot)];
     cta.active = true;
@@ -105,6 +106,16 @@ Sm::launchCta(uint32_t linear_id, uint32_t cx, uint32_t cy, uint32_t cz)
             ageCounter_++;
     }
     ++residentCtas_;
+}
+
+unsigned
+Sm::activeWarps() const
+{
+    unsigned n = 0;
+    for (const auto &warp : warps_)
+        if (warp.active)
+            ++n;
+    return n;
 }
 
 bool
@@ -355,7 +366,9 @@ Sm::startMemOp(int slot, size_t pc, const Instruction &inst,
         op->dst = writes_reg ? inst.dst : ptx::kNoReg;
 
         const auto lines =
-            coalesce(info.addrs, info.accessSize, config_.l1.lineBytes);
+            coalesce(info.addrs, info.accessSize, config_.l1.lineBytes,
+                     traceSink, now, static_cast<uint32_t>(pc), id_,
+                     op->nonDet);
         op->requests.reserve(lines.size());
         for (uint64_t line : lines) {
             auto req = std::make_shared<MemRequest>();
@@ -372,6 +385,20 @@ Sm::startMemOp(int slot, size_t pc, const Instruction &inst,
         op->outstanding = (info.isLoad || info.isAtomic)
             ? static_cast<unsigned>(op->requests.size())
             : 0;
+
+        if (GCL_TRACE_ACTIVE(traceSink) && !op->requests.empty()) {
+            for (auto &req : op->requests)
+                req->id = traceSink->newId();
+            if (op->isGlobalLoad) {
+                op->id = traceSink->newId();
+                traceSink->emit(trace::EventKind::OpIssue, now, op->id,
+                                static_cast<uint64_t>(slot),
+                                static_cast<uint32_t>(pc),
+                                static_cast<int16_t>(id_),
+                                op->nonDet ? trace::kFlagNonDet
+                                           : uint8_t{0});
+            }
+        }
 
         if (info.isStore)
             ++stats_.hot.gstoreWarps;
@@ -398,6 +425,9 @@ void
 Sm::completeRequest(const MemRequestPtr &req, Cycle now)
 {
     req->tComplete = now;
+    GCL_TRACE(traceSink, trace::EventKind::ReqComplete, now, req->id,
+              req->lineAddr, tracePc(*req), static_cast<int16_t>(id_),
+              traceFlags(*req));
     WarpMemOp *op = req->op;
     if (!op)
         return;  // store: nothing waits for it
@@ -428,8 +458,13 @@ void
 Sm::finishMemOp(const WarpMemOpPtr &op, Cycle now)
 {
     op->tDone = now;
-    if (op->isGlobalLoad)
+    if (op->isGlobalLoad) {
         stats_.gloadDone(*op, kernelId_);
+        GCL_TRACE(traceSink, trace::EventKind::OpDone, now, op->id,
+                  static_cast<uint64_t>(op->warpSlot),
+                  static_cast<uint32_t>(op->pc), static_cast<int16_t>(id_),
+                  op->nonDet ? trace::kFlagNonDet : uint8_t{0});
+    }
     if (op->dst != ptx::kNoReg)
         scheduleWriteback(now, op->warpSlot, op->dst);
 }
@@ -462,19 +497,37 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
     const MemRequestPtr &req = op->requests[op->nextToIssue];
     bool accepted = false;
 
+    // Lifecycle emit, deduped: a stalled op retries the same request every
+    // cycle, so repeated identical fails would dominate the trace.
+    auto trace_l1 = [&](AccessOutcome outcome) {
+        if (GCL_TRACE_ACTIVE(traceSink) &&
+            req->traceLastFail != static_cast<uint8_t>(outcome)) {
+            req->traceLastFail = static_cast<uint8_t>(outcome);
+            traceSink->emit(trace::EventKind::ReqL1Access, now, req->id,
+                            req->lineAddr, tracePc(*req),
+                            static_cast<int16_t>(id_),
+                            traceFlags(*req) |
+                                trace::packOutcome(
+                                    static_cast<unsigned>(outcome)));
+        }
+    };
+
     if (req->isWrite || req->isAtomic) {
         // Write-through stores and atomics bypass the L1 tags; they only
         // need interconnect injection space.
         if (icnt.canInject(id_)) {
             req->tAccepted = now;
+            trace_l1(AccessOutcome::Miss);
             icnt.inject(req, now);
             stats_.l1AccessCycle(AccessOutcome::Miss);
             accepted = true;
         } else {
+            trace_l1(AccessOutcome::FailIcnt);
             stats_.l1AccessCycle(AccessOutcome::FailIcnt);
         }
     } else {
         const AccessOutcome outcome = l1_.access(req, icnt.canInject(id_));
+        trace_l1(outcome);
         stats_.l1AccessCycle(outcome);
         switch (outcome) {
           case AccessOutcome::Hit:
@@ -509,6 +562,11 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
 
     if (!accepted)
         return;  // retry next cycle; the stage stays occupied
+
+    // Once accepted, the L1-side fail history is irrelevant — reset so the
+    // L2-side dedupe (which reuses the field) starts fresh.
+    if (GCL_TRACE_ACTIVE(traceSink))
+        req->traceLastFail = 0xff;
 
     if (op->tFirstAccept == 0 && op->nextToIssue == 0)
         op->tFirstAccept = now;

@@ -66,6 +66,10 @@ class Sm
 
     const Cache &l1() const { return l1_; }
 
+    // ---- Timeline sampling (gcl::trace) ----
+    unsigned activeWarps() const;
+    size_t ldstQueued() const { return ldstQ_.size() + pendingOps_.size(); }
+
   private:
     // --- Issue stage ---
     void issueCycle(Cycle now);
@@ -141,6 +145,9 @@ class Sm
   public:
     /** Partition mapping hook installed by the Gpu. */
     PartitionMap partitionMap = nullptr;
+
+    /** Event sink (gcl::trace), installed by the Gpu; null when untraced. */
+    trace::TraceSink *traceSink = nullptr;
 };
 
 } // namespace gcl::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Machine-readable exporters for the simulator's StatsSet, plus a
+ * validator for the Chrome-JSON traces — the offline half of gcl::trace.
+ *
+ * JSON schema for one stats set:
+ *   {
+ *     "scalars":    { "<key>": <number>, ... },
+ *     "histograms": { "<key>": { "buckets": { "<int key>": <weight> },
+ *                                "total_weight": <number>,
+ *                                "mean": <number> }, ... }
+ *   }
+ *
+ * CSV schema (one flat table for scalars and histogram buckets alike):
+ *   kind,key,bucket,value
+ *   scalar,cycles,,123
+ *   hist,cta_distance,1,42
+ */
+
+#ifndef GCL_TRACE_EXPORT_HH
+#define GCL_TRACE_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "util/stats.hh"
+
+namespace gcl::trace
+{
+
+/** Serialize @p stats as a JSON object (schema above). */
+void exportStatsJson(const StatsSet &stats, std::ostream &out);
+
+/**
+ * Parse JSON produced by exportStatsJson() back into @p stats.
+ * @retval true on success (round-trip tested against finalize() keys)
+ */
+bool importStatsJson(const std::string &text, StatsSet &stats,
+                     std::string *error = nullptr);
+
+/** Serialize @p stats as a flat CSV table (schema above). */
+void exportStatsCsv(const StatsSet &stats, std::ostream &out);
+
+/** Result of validating a Chrome trace-event JSON file. */
+struct TraceValidation
+{
+    bool ok = false;
+    std::string error;          //!< first problem found (when !ok)
+    size_t events = 0;          //!< total trace events
+    size_t asyncBegins = 0;     //!< "b" events
+    size_t asyncEnds = 0;       //!< "e" events
+    size_t counters = 0;        //!< "C" events
+    size_t instants = 0;        //!< "i" events
+    size_t unmatchedAsyncs = 0; //!< "b" without a matching "e" (id+cat)
+};
+
+/**
+ * Parse @p text as a Chrome trace-event JSON array and check structural
+ * invariants: every event has a "ph"; ts/pid present on non-metadata
+ * events; async begin/end events pair up by (cat, id, name).
+ */
+TraceValidation validateChromeTrace(const std::string &text);
+
+} // namespace gcl::trace
+
+#endif // GCL_TRACE_EXPORT_HH

@@ -1,0 +1,342 @@
+#include "json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gcl::trace
+{
+
+namespace
+{
+
+const JsonValue kNullValue;
+
+/** Recursive-descent parser over a raw character range. */
+class Parser
+{
+  public:
+    Parser(const char *cur, const char *end) : cur_(cur), end_(end) {}
+
+    bool
+    parse(JsonValue &out, std::string *error)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return fail(error);
+        skipWs();
+        if (cur_ != end_) {
+            err_ = "trailing characters";
+            return fail(error);
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(std::string *error)
+    {
+        if (err_.empty())
+            return true;
+        if (error)
+            *error = err_ + " at offset " + std::to_string(offset_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (cur_ != end_ && (*cur_ == ' ' || *cur_ == '\t' ||
+                                *cur_ == '\n' || *cur_ == '\r'))
+            advance();
+    }
+
+    void
+    advance()
+    {
+        ++cur_;
+        ++offset_;
+    }
+
+    bool
+    literal(const char *word, size_t len)
+    {
+        if (static_cast<size_t>(end_ - cur_) < len)
+            return false;
+        for (size_t i = 0; i < len; ++i)
+            if (cur_[i] != word[i])
+                return false;
+        cur_ += len;
+        offset_ += len;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (cur_ == end_) {
+            err_ = "unexpected end of input";
+            return false;
+        }
+        switch (*cur_) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.type = JsonValue::Type::String;
+            return parseString(out.string);
+          case 't':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            if (literal("true", 4))
+                return true;
+            err_ = "bad literal";
+            return false;
+          case 'f':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = false;
+            if (literal("false", 5))
+                return true;
+            err_ = "bad literal";
+            return false;
+          case 'n':
+            out.type = JsonValue::Type::Null;
+            if (literal("null", 4))
+                return true;
+            err_ = "bad literal";
+            return false;
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Object;
+        advance();  // '{'
+        skipWs();
+        if (cur_ != end_ && *cur_ == '}') {
+            advance();
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (cur_ == end_ || *cur_ != '"') {
+                err_ = "expected object key";
+                return false;
+            }
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (cur_ == end_ || *cur_ != ':') {
+                err_ = "expected ':'";
+                return false;
+            }
+            advance();
+            skipWs();
+            if (!parseValue(out.object[key]))
+                return false;
+            skipWs();
+            if (cur_ != end_ && *cur_ == ',') {
+                advance();
+                continue;
+            }
+            if (cur_ != end_ && *cur_ == '}') {
+                advance();
+                return true;
+            }
+            err_ = "expected ',' or '}'";
+            return false;
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Array;
+        advance();  // '['
+        skipWs();
+        if (cur_ != end_ && *cur_ == ']') {
+            advance();
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            out.array.emplace_back();
+            if (!parseValue(out.array.back()))
+                return false;
+            skipWs();
+            if (cur_ != end_ && *cur_ == ',') {
+                advance();
+                continue;
+            }
+            if (cur_ != end_ && *cur_ == ']') {
+                advance();
+                return true;
+            }
+            err_ = "expected ',' or ']'";
+            return false;
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        advance();  // opening quote
+        out.clear();
+        while (cur_ != end_ && *cur_ != '"') {
+            char c = *cur_;
+            if (c == '\\') {
+                advance();
+                if (cur_ == end_)
+                    break;
+                switch (*cur_) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/': out.push_back('/'); break;
+                  case 'b': out.push_back('\b'); break;
+                  case 'f': out.push_back('\f'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 'r': out.push_back('\r'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'u': {
+                    if (end_ - cur_ < 5) {
+                        err_ = "truncated \\u escape";
+                        return false;
+                    }
+                    unsigned code = 0;
+                    for (int i = 1; i <= 4; ++i) {
+                        const char h = cur_[i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else {
+                            err_ = "bad \\u escape";
+                            return false;
+                        }
+                    }
+                    // Latin-1 subset is enough for our own output.
+                    out.push_back(static_cast<char>(code & 0xff));
+                    cur_ += 4;
+                    offset_ += 4;
+                    break;
+                  }
+                  default:
+                    err_ = "bad escape";
+                    return false;
+                }
+                advance();
+            } else {
+                out.push_back(c);
+                advance();
+            }
+        }
+        if (cur_ == end_) {
+            err_ = "unterminated string";
+            return false;
+        }
+        advance();  // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *start = cur_;
+        while (cur_ != end_ &&
+               (*cur_ == '-' || *cur_ == '+' || *cur_ == '.' ||
+                *cur_ == 'e' || *cur_ == 'E' ||
+                (*cur_ >= '0' && *cur_ <= '9')))
+            advance();
+        if (cur_ == start) {
+            err_ = "expected value";
+            return false;
+        }
+        std::string text(start, cur_);
+        char *parse_end = nullptr;
+        out.type = JsonValue::Type::Number;
+        out.number = std::strtod(text.c_str(), &parse_end);
+        if (parse_end != text.c_str() + text.size()) {
+            err_ = "bad number";
+            return false;
+        }
+        return true;
+    }
+
+    const char *cur_;
+    const char *end_;
+    size_t offset_ = 0;
+    std::string err_;
+};
+
+} // namespace
+
+const JsonValue &
+JsonValue::operator[](const std::string &key) const
+{
+    if (type == Type::Object) {
+        auto it = object.find(key);
+        if (it != object.end())
+            return it->second;
+    }
+    return kNullValue;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return type == Type::Object && object.count(key) > 0;
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *error)
+{
+    out = JsonValue{};
+    Parser parser(text.data(), text.data() + text.size());
+    return parser.parse(out, error);
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace gcl::trace

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal JSON value + recursive-descent parser.
+ *
+ * Exists so the trace/stats exporters can be validated by parsing their
+ * own output back (tests, tools/trace_check) without an external
+ * dependency. Supports the full JSON grammar except \u escapes beyond
+ * Latin-1; numbers parse as double.
+ */
+
+#ifndef GCL_TRACE_JSON_HH
+#define GCL_TRACE_JSON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gcl::trace
+{
+
+/** A parsed JSON value (tree-owning). */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Object member lookup; null value when absent or not an object. */
+    const JsonValue &operator[](const std::string &key) const;
+
+    /** True when the object has @p key. */
+    bool has(const std::string &key) const;
+};
+
+/**
+ * Parse @p text into @p out.
+ * @retval true on success; on failure @p error describes the position.
+ */
+bool parseJson(const std::string &text, JsonValue &out, std::string *error);
+
+/** Serialize @p s with JSON string escaping, including the quotes. */
+std::string jsonQuote(const std::string &s);
+
+/** Round-trippable JSON number formatting ("%.17g", inf/nan -> null). */
+std::string jsonNumber(double v);
+
+} // namespace gcl::trace
+
+#endif // GCL_TRACE_JSON_HH

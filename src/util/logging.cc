@@ -34,6 +34,12 @@ informImpl(const std::string &msg)
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
+void
+debugImpl(const char *component, const std::string &msg)
+{
+    std::fprintf(stderr, "debug[%s]: %s\n", component, msg.c_str());
+}
+
 } // namespace detail
 
 } // namespace gcl

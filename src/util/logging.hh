@@ -6,6 +6,8 @@
  * fatal()  — the user asked for something unsupported (bad config); exits.
  * warn()   — something suspicious happened but simulation can continue.
  * inform() — plain status output.
+ * debug()  — per-component developer output, compiled in only for the
+ *            components named in GCL_DEBUG_COMPONENTS.
  */
 
 #ifndef GCL_UTIL_LOGGING_HH
@@ -15,6 +17,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace gcl
 {
@@ -36,6 +39,32 @@ composeMessage(Args &&...args)
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const char *file, int line, const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const char *component, const std::string &msg);
+
+/**
+ * True when @p component appears in the comma-separated @p enabled_list
+ * ("all" enables everything). Evaluated at compile time, so disabled
+ * GCL_DEBUG statements vanish entirely.
+ */
+constexpr bool
+debugComponentEnabled(std::string_view enabled_list,
+                      std::string_view component)
+{
+    if (enabled_list == "all")
+        return true;
+    size_t pos = 0;
+    while (pos <= enabled_list.size()) {
+        const size_t comma = enabled_list.find(',', pos);
+        const size_t end =
+            comma == std::string_view::npos ? enabled_list.size() : comma;
+        if (enabled_list.substr(pos, end - pos) == component)
+            return true;
+        if (comma == std::string_view::npos)
+            break;
+        pos = comma + 1;
+    }
+    return false;
+}
 
 } // namespace detail
 
@@ -59,6 +88,26 @@ void informImpl(const std::string &msg);
 /** Emit a status message. */
 #define gcl_inform(...) \
     ::gcl::detail::informImpl(::gcl::detail::composeMessage(__VA_ARGS__))
+
+/**
+ * Per-component debug output. The component is a plain token ("gpu", "sm",
+ * "l2", ...); a statement only compiles to code when its component is
+ * listed in the GCL_DEBUG_COMPONENTS compile definition (comma-separated;
+ * "all" is a wildcard). With the default empty list the whole statement is
+ * a constant-false branch the optimizer deletes.
+ */
+#ifndef GCL_DEBUG_COMPONENTS
+#define GCL_DEBUG_COMPONENTS ""
+#endif
+
+#define GCL_DEBUG(component, ...) \
+    do { \
+        if constexpr (::gcl::detail::debugComponentEnabled( \
+                          GCL_DEBUG_COMPONENTS, component)) { \
+            ::gcl::detail::debugImpl( \
+                component, ::gcl::detail::composeMessage(__VA_ARGS__)); \
+        } \
+    } while (0)
 
 /** Internal invariant check that is active in all build types. */
 #define gcl_assert(cond, ...) \
