@@ -1,6 +1,9 @@
 #include "runner.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -10,12 +13,14 @@
 #include <memory>
 #include <sstream>
 
+#include "exec/scheduler.hh"
 #include "sim/gpu.hh"
 #include "trace/chrome_writer.hh"
 #include "trace/export.hh"
 #include "trace/json.hh"
 #include "trace/trace.hh"
 #include "util/logging.hh"
+#include "workloads/sim_context.hh"
 #include "workloads/workload.hh"
 
 namespace gcl::bench
@@ -37,12 +42,15 @@ cacheDir()
 
 Options g_options;
 
-/** Trace/export state living for the whole process (all runApp calls). */
+/**
+ * Trace/export state living for the whole process (all runApp calls).
+ * Touched only from the main thread: parallel jobs write into private
+ * per-run fragments that the main thread merges in canonical order.
+ */
 struct ExportState
 {
     std::ofstream traceStream;
     std::unique_ptr<trace::ChromeTraceWriter> writer;
-    trace::TraceSink sink;
     int nextPid = 1;
 
     struct Record
@@ -62,6 +70,17 @@ bool
 tracing()
 {
     return g_export && g_export->writer;
+}
+
+/**
+ * Disjoint per-run trace-id range. Chrome async slices pair by (cat, id)
+ * across the whole file, so every run (= every pid) gets 2^40 ids of its
+ * own; one run emits far fewer.
+ */
+uint64_t
+traceIdBase(int pid)
+{
+    return static_cast<uint64_t>(pid) << 40;
 }
 
 void
@@ -116,7 +135,6 @@ finishExports()
     if (!g_export)
         return;
     if (g_export->writer) {
-        g_export->sink.flush();
         g_export->writer->close();
         std::fprintf(stderr, "[bench] trace: %" PRIu64
                      " events -> %s\n",
@@ -148,6 +166,11 @@ cachePath(const std::string &name, const sim::GpuConfig &config)
     return cacheDir() / buf;
 }
 
+/**
+ * Load one cache entry. Any malformed or truncated file — e.g. left by a
+ * pre-atomic-write bench that was killed mid-store — is simply a miss;
+ * the run is re-simulated and the entry rewritten.
+ */
 bool
 loadCached(const std::filesystem::path &path, AppResult &result)
 {
@@ -170,16 +193,42 @@ loadCached(const std::filesystem::path &path, AppResult &result)
     return true;
 }
 
+/**
+ * Store one cache entry atomically: write a uniquely-named temp file in
+ * the cache directory, then rename() it over the final path. A killed
+ * bench can never leave a truncated entry, and concurrent bench binaries
+ * (or sweep jobs) racing on the same key each publish a complete file —
+ * last writer wins with identical bytes.
+ */
 void
 storeCached(const std::filesystem::path &path, const AppResult &result)
 {
+    static std::atomic<unsigned> seq{0};
+
     std::error_code ec;
     std::filesystem::create_directories(path.parent_path(), ec);
-    std::ofstream out(path);
-    if (!out)
-        return;
-    out << "gclbench " << (result.verified ? 1 : 0) << '\n';
-    out << result.stats.serialize();
+
+    std::filesystem::path tmp = path;
+    tmp += ".tmp." + std::to_string(getpid()) + "." +
+           std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return;
+        out << "gclbench " << (result.verified ? 1 : 0) << '\n';
+        out << result.stats.serialize();
+        out.close();
+        if (!out) {
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        gcl_warn("cannot publish cache entry '", path.string(), "': ",
+                 ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
 }
 
 /** Remember a finished run for the end-of-process stats artifacts. */
@@ -194,12 +243,31 @@ recordResult(const AppResult &result, const sim::GpuConfig &config)
                                  result.stats});
 }
 
+/** Simulate one app in @p ctx and package the result (no cache access). */
+AppResult
+simulate(workloads::SimContext &ctx)
+{
+    AppResult result;
+    result.name = ctx.workload().name;
+    result.category = workloads::toString(ctx.workload().category);
+    ctx.run();
+    result.verified = ctx.verified();
+    result.stats = ctx.stats();
+    return result;
+}
+
 } // namespace
 
 const Options &
 options()
 {
     return g_options;
+}
+
+unsigned
+effectiveJobs()
+{
+    return exec::resolveJobs(g_options.jobs, "GCL_BENCH_JOBS", 1);
 }
 
 void
@@ -228,8 +296,19 @@ initBench(int argc, char **argv)
             while (std::getline(list, app, ','))
                 if (!app.empty())
                     g_options.apps.push_back(app);
+            // A typo must not silently shrink the suite: unknown names
+            // are a usage error, reported with the valid vocabulary.
             for (const auto &name : g_options.apps)
-                workloads::byName(name); // fatal on a typo
+                if (workloads::findByName(name) == nullptr)
+                    gcl_fatal("--apps: unknown application '", name,
+                              "' (known: ", workloads::knownNames(), ")");
+        } else if (const char *v = value(arg, "--jobs")) {
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(v, &end, 10);
+            if (end == v || *end != '\0')
+                gcl_fatal("--jobs=", v, " is not a job count");
+            g_options.jobs = n == 0 ? exec::hardwareThreads()
+                                    : static_cast<unsigned>(n);
         } else if (std::strcmp(arg, "--fresh") == 0) {
             g_options.fresh = true;
         } else if (std::strcmp(arg, "--help") == 0 ||
@@ -246,7 +325,11 @@ initBench(int argc, char **argv)
                 "(app,kind,key,bucket,value)\n"
                 "  --apps=a,b,c             restrict the suite to these "
                 "applications\n"
-                "  --fresh                  ignore the on-disk run cache\n",
+                "  --fresh                  ignore the on-disk run cache\n"
+                "  --jobs=N                 simulate up to N apps "
+                "concurrently (0 = #cores;\n"
+                "                           default GCL_BENCH_JOBS, "
+                "else 1)\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -267,8 +350,6 @@ initBench(int argc, char **argv)
                       "'");
         state.writer =
             std::make_unique<trace::ChromeTraceWriter>(state.traceStream);
-        state.sink.setDrain(state.writer->drain());
-        state.sink.setEnabled(true);
         // A trace without the occupancy timeline is half blind; default
         // to a sane sampling period unless the user chose one.
         if (g_options.timelineInterval == 0)
@@ -301,22 +382,14 @@ runApp(const std::string &name, const sim::GpuConfig &config)
         return result;
     }
 
-    sim::Gpu gpu(config);
+    workloads::SimContext ctx(workload, config);
     if (tracing()) {
-        g_export->writer->beginProcess(g_export->nextPid++, name);
-        gpu.attachTrace(&g_export->sink, g_options.timelineInterval);
+        const int pid = g_export->nextPid++;
+        g_export->writer->beginProcess(pid, name);
+        ctx.enableTrace(g_options.timelineInterval,
+                        g_export->writer->drain(), traceIdBase(pid));
     }
-    result.verified = workload.run(gpu);
-    gpu.finalizeStats();
-    result.stats = gpu.stats().set();
-    if (tracing()) {
-        // Drain now so buffered events land under this app's pid before
-        // the next beginProcess() switches the writer over.
-        gpu.attachTrace(nullptr);
-        g_export->sink.flush();
-    }
-    if (!result.verified)
-        gcl_warn("workload '", name, "' failed its reference check");
+    result = simulate(ctx);
 
     storeCached(path, result);
     recordResult(result, config);
@@ -326,16 +399,101 @@ runApp(const std::string &name, const sim::GpuConfig &config)
 std::vector<AppResult>
 runSuite(const sim::GpuConfig &config)
 {
-    std::vector<AppResult> results;
-    results.reserve(workloads::all().size());
+    // Select in Table I order; force the (lazily-built) registry before
+    // any worker thread can race on its initialization.
+    std::vector<const workloads::Workload *> selected;
     for (const auto &workload : workloads::all()) {
         if (!g_options.apps.empty() &&
             std::find(g_options.apps.begin(), g_options.apps.end(),
                       workload.name) == g_options.apps.end())
             continue;
-        std::fprintf(stderr, "[bench] %s ...\n", workload.name.c_str());
-        results.push_back(runApp(workload.name, config));
+        selected.push_back(&workload);
     }
+
+    const unsigned jobs = effectiveJobs();
+    if (jobs <= 1 || selected.size() <= 1) {
+        // Serial path: the historical loop, byte for byte.
+        std::vector<AppResult> results;
+        results.reserve(selected.size());
+        for (const auto *workload : selected) {
+            std::fprintf(stderr, "[bench] %s ...\n",
+                         workload->name.c_str());
+            results.push_back(runApp(workload->name, config));
+        }
+        return results;
+    }
+
+    // Parallel path. Result slots are pre-sized so every job writes only
+    // its own element and the output order is canonical regardless of
+    // completion order.
+    std::vector<AppResult> results(selected.size());
+
+    // 1) Satisfy what we can from the cache (cheap, so done inline).
+    std::vector<char> done(selected.size(), 0);
+    if (!tracing() && !cacheDisabled()) {
+        for (size_t i = 0; i < selected.size(); ++i) {
+            AppResult &r = results[i];
+            r.name = selected[i]->name;
+            r.category = workloads::toString(selected[i]->category);
+            done[i] = loadCached(cachePath(r.name, config), r) ? 1 : 0;
+            if (done[i])
+                std::fprintf(stderr, "[bench] %s ...\n", r.name.c_str());
+        }
+    }
+
+    // 2) Schedule the misses. Each job owns a SimContext and (when
+    //    tracing) a private sink draining into a private fragment; pids
+    //    are assigned here, in canonical order, so the merged trace is
+    //    numbered exactly like a serial one.
+    struct RunJob
+    {
+        size_t slot = 0;
+        std::unique_ptr<workloads::SimContext> ctx;
+        // Heap-allocated: the fragment writer keeps a reference to the
+        // stream, which must stay put when RunJobs move around the vector.
+        std::unique_ptr<std::ostringstream> fragmentBody;
+        std::unique_ptr<trace::ChromeTraceWriter> fragment;
+    };
+    std::vector<RunJob> pending;
+    for (size_t i = 0; i < selected.size(); ++i) {
+        if (done[i])
+            continue;
+        RunJob job;
+        job.slot = i;
+        job.ctx = std::make_unique<workloads::SimContext>(*selected[i],
+                                                          config);
+        if (tracing()) {
+            const int pid = g_export->nextPid++;
+            job.fragmentBody = std::make_unique<std::ostringstream>();
+            job.fragment = std::make_unique<trace::ChromeTraceWriter>(
+                *job.fragmentBody, /*fragment=*/true);
+            job.fragment->beginProcess(pid, selected[i]->name);
+            job.ctx->enableTrace(g_options.timelineInterval,
+                                 job.fragment->drain(), traceIdBase(pid));
+        }
+        pending.push_back(std::move(job));
+    }
+
+    exec::parallelFor(jobs, pending.size(), [&](size_t j) {
+        RunJob &job = pending[j];
+        std::fprintf(stderr, "[bench] %s ...\n",
+                     job.ctx->workload().name.c_str());
+        results[job.slot] = simulate(*job.ctx);
+    });
+
+    // 3) Publish — cache entries, trace fragments, export records — on
+    //    the calling thread, in canonical order.
+    for (RunJob &job : pending) {
+        if (job.fragment) {
+            job.fragment->close();
+            g_export->writer->appendFragment(job.fragmentBody->str(),
+                                             job.fragment->eventsWritten());
+        }
+        storeCached(cachePath(results[job.slot].name, config),
+                    results[job.slot]);
+    }
+    for (const AppResult &result : results)
+        recordResult(result, config);
     return results;
 }
 

@@ -18,7 +18,16 @@
  *   --stats-csv=FILE          same, as a flat CSV table
  *   --apps=a,b,c              restrict runSuite() to these applications
  *   --fresh                   ignore the on-disk run cache (= GCL_BENCH_FRESH)
+ *   --jobs=N                  simulate up to N applications concurrently
+ *                             (0 = one per hardware thread; default
+ *                             GCL_BENCH_JOBS, else 1)
  * Tracing always simulates fresh: a cached stats file has no events.
+ *
+ * Parallelism is *across* applications, never within one simulation: each
+ * run is a thread-confined workloads::SimContext scheduled on a gcl::exec
+ * pool, results land in canonical (Table I) order, and per-run trace
+ * sinks are merged into one well-formed Chrome trace — so every artifact
+ * is bit-identical to a --jobs=1 sweep.
  */
 
 #ifndef GCL_BENCH_COMMON_RUNNER_HH
@@ -53,6 +62,7 @@ struct Options
     uint64_t timelineInterval = 0; //!< counter sampling period (cycles)
     bool fresh = false;            //!< bypass the run cache
     std::vector<std::string> apps; //!< runSuite() filter (empty = all)
+    unsigned jobs = 0;             //!< --jobs value (0 = unset/env/serial)
 };
 
 /**
@@ -68,8 +78,16 @@ const Options &options();
 /** Run (or load) one application under @p config. */
 AppResult runApp(const std::string &name, const sim::GpuConfig &config);
 
-/** Run (or load) the full Table I suite in order. */
+/**
+ * Run (or load) the full Table I suite; results are always in Table I
+ * order. With an effective job count > 1 the uncached applications are
+ * simulated concurrently (one SimContext per job on a gcl::exec pool);
+ * stats, cache entries, records and traces are identical to a serial run.
+ */
 std::vector<AppResult> runSuite(const sim::GpuConfig &config);
+
+/** The job count runSuite() will use: --jobs, else GCL_BENCH_JOBS, else 1. */
+unsigned effectiveJobs();
 
 /** Default Table II configuration. */
 sim::GpuConfig defaultConfig();

@@ -153,7 +153,8 @@ BM_TraceEmitEnabled(benchmark::State &state)
     sink.setDrain([](const trace::TraceEvent *, size_t) {});
     uint64_t cycle = 0;
     for (auto _ : state) {
-        GCL_TRACE(&sink, trace::EventKind::ReqInject, ++cycle, cycle,
+        ++cycle;
+        GCL_TRACE(&sink, trace::EventKind::ReqInject, cycle, cycle,
                   cycle * 128, 7, 3, trace::kFlagNonDet);
         benchmark::DoNotOptimize(sink.size());
     }
@@ -167,7 +168,8 @@ BM_TraceEmitDisabledSink(benchmark::State &state)
     trace::TraceSink sink(1 << 10);
     uint64_t cycle = 0;
     for (auto _ : state) {
-        GCL_TRACE(&sink, trace::EventKind::ReqInject, ++cycle, cycle,
+        ++cycle;
+        GCL_TRACE(&sink, trace::EventKind::ReqInject, cycle, cycle,
                   cycle * 128, 7, 3, trace::kFlagNonDet);
         benchmark::DoNotOptimize(sink.size());
     }
@@ -182,7 +184,8 @@ BM_TraceEmitNullSink(benchmark::State &state)
     benchmark::DoNotOptimize(sink);
     uint64_t cycle = 0;
     for (auto _ : state) {
-        GCL_TRACE(sink, trace::EventKind::ReqInject, ++cycle, cycle,
+        ++cycle;
+        GCL_TRACE(sink, trace::EventKind::ReqInject, cycle, cycle,
                   cycle * 128, 7, 3, trace::kFlagNonDet);
         benchmark::DoNotOptimize(cycle);
     }

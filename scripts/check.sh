@@ -1,13 +1,27 @@
 #!/usr/bin/env bash
 # Full repository check: configure, build, run the test suite, then smoke
 # the observability path end-to-end — a traced bench run whose Chrome-JSON
-# trace and stats JSON are validated by tools/trace_check.
+# trace and stats JSON are validated by tools/trace_check — and verify the
+# parallel sweep (--jobs) produces byte-identical cache entries to serial.
 #
 # Usage: scripts/check.sh            (from anywhere; builds into ./build)
+#        scripts/check.sh --tsan     additionally build with
+#                                    ThreadSanitizer (into ./build-tsan)
+#                                    and run the exec + parallel-sweep
+#                                    tests under it
 #        BUILD_DIR=out scripts/check.sh
 # Also available as the CMake target `check`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+TSAN=0
+for arg in "$@"; do
+    case "$arg" in
+      --tsan) TSAN=1 ;;
+      *) echo "check.sh: unknown argument '$arg' (only --tsan)" >&2
+         exit 2 ;;
+    esac
+done
 
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=$(nproc 2> /dev/null || echo 4)
@@ -16,10 +30,11 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
-# Traced smoke run: one real workload through a figure bench, with the
-# lifecycle trace, occupancy timeline and stats artifacts all enabled.
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
+
+# Traced smoke run: one real workload through a figure bench, with the
+# lifecycle trace, occupancy timeline and stats artifacts all enabled.
 GCL_BENCH_CACHE="$tmp/cache" "$BUILD_DIR/bench/fig5_turnaround" \
     --apps=bfs --fresh \
     --trace-out="$tmp/trace.json" \
@@ -28,5 +43,30 @@ GCL_BENCH_CACHE="$tmp/cache" "$BUILD_DIR/bench/fig5_turnaround" \
     --stats-csv="$tmp/stats.csv" > /dev/null
 "$BUILD_DIR/tools/trace_check" \
     --trace="$tmp/trace.json" --stats="$tmp/stats.json"
+
+# Parallel-sweep determinism: a --jobs=3 fresh sweep over the three
+# smallest apps must leave byte-identical cache entries (same keys, same
+# stats) as a --jobs=1 sweep, and a parallel *traced* sweep must still
+# produce a well-formed merged Chrome trace.
+SMALL_APPS=gaus,bpr,dwt
+GCL_BENCH_CACHE="$tmp/cache-j1" "$BUILD_DIR/bench/fig1_load_classes" \
+    --apps=$SMALL_APPS --fresh --jobs=1 > /dev/null 2> /dev/null
+GCL_BENCH_CACHE="$tmp/cache-j3" "$BUILD_DIR/bench/fig1_load_classes" \
+    --apps=$SMALL_APPS --fresh --jobs=3 > /dev/null 2> /dev/null
+diff -r "$tmp/cache-j1" "$tmp/cache-j3" \
+    || { echo "check: parallel sweep diverged from serial" >&2; exit 1; }
+GCL_BENCH_CACHE="$tmp/cache-j3t" "$BUILD_DIR/bench/fig1_load_classes" \
+    --apps=$SMALL_APPS --jobs=3 \
+    --trace-out="$tmp/trace-par.json" \
+    --stats-json="$tmp/stats-par.json" > /dev/null 2> /dev/null
+"$BUILD_DIR/tools/trace_check" \
+    --trace="$tmp/trace-par.json" --stats="$tmp/stats-par.json"
+
+if [ "$TSAN" = 1 ]; then
+    TSAN_DIR=${TSAN_BUILD_DIR:-build-tsan}
+    cmake -B "$TSAN_DIR" -S . -DGCL_TSAN=ON
+    cmake --build "$TSAN_DIR" -j"$JOBS" --target gcl_tests
+    "$TSAN_DIR/tests/gcl_tests" --gtest_filter='Exec*:ParallelSweep*'
+fi
 
 echo "check: all green"

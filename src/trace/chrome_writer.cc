@@ -34,9 +34,16 @@ eventHeader(const char *ph, const char *cat, uint64_t ts, int pid,
 
 } // namespace
 
-ChromeTraceWriter::ChromeTraceWriter(std::ostream &out) : out_(out)
+ChromeTraceWriter::ChromeTraceWriter(std::ostream &out)
+    : ChromeTraceWriter(out, false)
 {
-    out_ << "[\n";
+}
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream &out, bool fragment)
+    : out_(out), fragment_(fragment)
+{
+    if (!fragment_)
+        out_ << "[\n";
 }
 
 ChromeTraceWriter::~ChromeTraceWriter()
@@ -69,8 +76,21 @@ ChromeTraceWriter::close()
     if (closed_)
         return;
     closed_ = true;
-    out_ << "\n]\n";
+    if (!fragment_)
+        out_ << "\n]\n";
     out_.flush();
+}
+
+void
+ChromeTraceWriter::appendFragment(const std::string &body, uint64_t events)
+{
+    if (body.empty())
+        return;
+    if (!first_)
+        out_ << ",\n";
+    first_ = false;
+    out_ << body;
+    written_ += events;
 }
 
 void

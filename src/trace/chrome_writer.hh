@@ -39,6 +39,16 @@ class ChromeTraceWriter
   public:
     /** Starts the JSON array on @p out (which must outlive the writer). */
     explicit ChromeTraceWriter(std::ostream &out);
+
+    /**
+     * Fragment mode (@p fragment true): write *bare* comma-separated
+     * event objects with no surrounding JSON array, for later inclusion
+     * in another writer's stream via appendFragment(). The parallel sweep
+     * gives every concurrent run a fragment writer on a private buffer
+     * and splices the bodies into the real trace in canonical app order.
+     */
+    ChromeTraceWriter(std::ostream &out, bool fragment);
+
     ~ChromeTraceWriter();
 
     ChromeTraceWriter(const ChromeTraceWriter &) = delete;
@@ -64,6 +74,13 @@ class ChromeTraceWriter
 
     /** Close the JSON array; no further writes allowed. Idempotent. */
     void close();
+
+    /**
+     * Splice the body produced by a closed fragment-mode writer into this
+     * writer's stream (adding the separating comma if needed). The writer
+     * stays usable afterwards; @p events is the fragment's event count.
+     */
+    void appendFragment(const std::string &body, uint64_t events);
 
     uint64_t eventsWritten() const { return written_; }
 
@@ -94,6 +111,7 @@ class ChromeTraceWriter
     int pid_ = 0;
     bool first_ = true;
     bool closed_ = false;
+    bool fragment_ = false;
 };
 
 } // namespace gcl::trace

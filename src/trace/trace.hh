@@ -115,8 +115,11 @@ static_assert(sizeof(TraceEvent) == 32, "TraceEvent is sized for the ring");
 /**
  * Preallocated ring buffer of trace events.
  *
- * Not thread-safe: the simulator is single-threaded and every component
- * shares the one sink attached to the Gpu.
+ * Not thread-safe by design: one simulation is single-threaded, and under
+ * the parallel sweep every run owns a *private* sink (see
+ * workloads::SimContext), so a sink is only ever touched by the thread
+ * confining its run. Use setNextId() to give concurrent runs disjoint id
+ * ranges so their events stay distinguishable after merging.
  */
 class TraceSink
 {
@@ -159,6 +162,13 @@ class TraceSink
 
     /** Monotonic ids for traced ops and requests (0 is "untraced"). */
     uint64_t newId() { return ++lastId_; }
+
+    /**
+     * Start id allocation at @p base + 1. Chrome trace-event async slices
+     * are paired by (cat, id) *across* processes, so per-run sinks that
+     * feed one merged trace must carve out disjoint id ranges.
+     */
+    void setIdBase(uint64_t base) { lastId_ = base; }
 
     size_t capacity() const { return buf_.size(); }
     size_t size() const { return count_; }

@@ -5,39 +5,84 @@
 namespace gcl
 {
 
+namespace
+{
+
+thread_local std::string t_log_tag;
+
+/**
+ * Emit one fully-composed line with a single locked stdio call. stdio
+ * serializes individual fwrite()s between threads, so as long as a line
+ * is handed over whole it can never interleave with another thread's —
+ * the property the parallel sweep relies on.
+ */
+void
+writeLine(std::FILE *to, const std::string &line)
+{
+    std::fwrite(line.data(), 1, line.size(), to);
+    std::fflush(to);
+}
+
+std::string
+tagged(const std::string &msg)
+{
+    if (t_log_tag.empty())
+        return msg;
+    return "[" + t_log_tag + "] " + msg;
+}
+
+} // namespace
+
+void
+setLogThreadTag(std::string tag)
+{
+    t_log_tag = std::move(tag);
+}
+
+const std::string &
+logThreadTag()
+{
+    return t_log_tag;
+}
+
 namespace detail
 {
 
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    writeLine(stderr, "panic: " + tagged(msg) + " (" + file + ":" +
+                          std::to_string(line) + ")\n");
     std::abort();
 }
 
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    writeLine(stderr, "fatal: " + tagged(msg) + " (" + file + ":" +
+                          std::to_string(line) + ")\n");
     std::exit(1);
 }
 
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+    writeLine(stderr, "warn: " + tagged(msg) + " (" + file + ":" +
+                          std::to_string(line) + ")\n");
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    writeLine(stdout, "info: " + tagged(msg) + "\n");
 }
 
 void
 debugImpl(const char *component, const std::string &msg)
 {
-    std::fprintf(stderr, "debug[%s]: %s\n", component, msg.c_str());
+    writeLine(stderr,
+              "debug[" + std::string(component) + "]: " + tagged(msg) +
+                  "\n");
 }
 
 } // namespace detail

@@ -22,6 +22,33 @@
 namespace gcl
 {
 
+/**
+ * Tag prepended (as "[tag] ") to every log line the *calling thread*
+ * emits; empty disables it. The parallel sweep tags each worker with the
+ * application it is simulating so interleaved output stays attributable.
+ * Thread-local, so concurrent jobs never see each other's tag.
+ */
+void setLogThreadTag(std::string tag);
+
+/** The calling thread's current log tag ("" when unset). */
+const std::string &logThreadTag();
+
+/** RAII helper: install a log tag for a scope, restore the previous one. */
+class LogTagScope
+{
+  public:
+    explicit LogTagScope(std::string tag) : prev_(logThreadTag())
+    {
+        setLogThreadTag(std::move(tag));
+    }
+    ~LogTagScope() { setLogThreadTag(std::move(prev_)); }
+    LogTagScope(const LogTagScope &) = delete;
+    LogTagScope &operator=(const LogTagScope &) = delete;
+
+  private:
+    std::string prev_;
+};
+
 namespace detail
 {
 

@@ -1,0 +1,56 @@
+#include "sim_context.hh"
+
+#include "sim/gpu.hh"
+#include "util/logging.hh"
+
+namespace gcl::workloads
+{
+
+SimContext::SimContext(const Workload &workload,
+                       const sim::GpuConfig &config)
+    : workload_(workload), config_(config)
+{
+}
+
+SimContext::~SimContext() = default;
+
+void
+SimContext::enableTrace(sim::Cycle timeline_interval,
+                        trace::TraceSink::DrainFn drain, uint64_t id_base,
+                        size_t capacity)
+{
+    gcl_assert(!ran_, "enableTrace after run");
+    sink_ = std::make_unique<trace::TraceSink>(capacity);
+    sink_->setIdBase(id_base);
+    sink_->setDrain(std::move(drain));
+    sink_->setEnabled(true);
+    timelineInterval_ = timeline_interval;
+}
+
+void
+SimContext::run()
+{
+    gcl_assert(!ran_, "SimContext::run called twice");
+    ran_ = true;
+
+    // Every log line this run emits — from any layer of the simulator —
+    // carries the application's name, so interleaved sweep output stays
+    // attributable.
+    LogTagScope tag(workload_.name);
+
+    sim::Gpu gpu(config_);
+    if (sink_)
+        gpu.attachTrace(sink_.get(), timelineInterval_);
+    verified_ = workload_.run(gpu);
+    gpu.finalizeStats();
+    stats_ = gpu.stats().set();
+    if (sink_) {
+        gpu.attachTrace(nullptr);
+        sink_->flush();
+    }
+    if (!verified_)
+        gcl_warn("workload '", workload_.name,
+                 "' failed its reference check");
+}
+
+} // namespace gcl::workloads

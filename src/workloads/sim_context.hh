@@ -1,0 +1,89 @@
+/**
+ * @file
+ * SimContext — one simulated application as a thread-confined unit of work.
+ *
+ * The simulator core (`sim::Gpu` and everything below it) keeps all its
+ * mutable state in instance members; the pieces that used to live *around*
+ * a run — the config, the workload binding, the finalized stats, the trace
+ * sink — are bundled here so a run owns every byte it mutates. Two
+ * SimContexts may therefore execute concurrently on different threads with
+ * zero synchronization, which is exactly how gcl::exec parallelizes the
+ * bench sweep (see DESIGN.md, "Thread confinement").
+ *
+ * The contract a unit of work must honor:
+ *  - MAY touch: its own Gpu, its own TraceSink, its own StatsSet, its own
+ *    datasets (every generator seeds a local Rng).
+ *  - MAY read: the shared Workload registry (immutable after first use),
+ *    the config it was given (copied in), environment variables.
+ *  - MUST NOT touch: another run's context, process-global mutable state,
+ *    or unsynchronized streams — logging goes through gcl::logging which
+ *    writes whole lines and tags them with the run's name.
+ */
+
+#ifndef GCL_WORKLOADS_SIM_CONTEXT_HH
+#define GCL_WORKLOADS_SIM_CONTEXT_HH
+
+#include <memory>
+
+#include "sim/config.hh"
+#include "trace/trace.hh"
+#include "util/stats.hh"
+#include "workload.hh"
+
+namespace gcl::workloads
+{
+
+/** Owns everything one application simulation mutates. */
+class SimContext
+{
+  public:
+    /** Binds @p workload (borrowed; registry-owned) to a config copy. */
+    SimContext(const Workload &workload, const sim::GpuConfig &config);
+    ~SimContext();
+
+    SimContext(const SimContext &) = delete;
+    SimContext &operator=(const SimContext &) = delete;
+
+    /**
+     * Create this run's private TraceSink before run(). Events drain to
+     * @p drain whenever the ring fills and on completion; @p id_base
+     * carves out this run's id range so merged traces stay well-formed
+     * (TraceSink::setIdBase). @p timeline_interval as in Gpu::attachTrace.
+     */
+    void enableTrace(sim::Cycle timeline_interval,
+                     trace::TraceSink::DrainFn drain, uint64_t id_base,
+                     size_t capacity = trace::TraceSink::kDefaultCapacity);
+
+    /**
+     * Simulate the application to completion: dataset generation, all
+     * launches, verification, stats finalization. The device model is
+     * created here and destroyed before returning (a finished context
+     * holds stats, not a GPU). Call at most once.
+     */
+    void run();
+
+    /** CPU reference check outcome (valid after run()). */
+    bool verified() const { return verified_; }
+
+    /** Finalized simulator stats (valid after run()). */
+    const StatsSet &stats() const { return stats_; }
+
+    const Workload &workload() const { return workload_; }
+    const sim::GpuConfig &config() const { return config_; }
+
+    /** This run's sink, or nullptr when tracing is off. */
+    trace::TraceSink *sink() { return sink_.get(); }
+
+  private:
+    const Workload &workload_;
+    sim::GpuConfig config_;
+    std::unique_ptr<trace::TraceSink> sink_;
+    sim::Cycle timelineInterval_ = 0;
+    StatsSet stats_;
+    bool verified_ = false;
+    bool ran_ = false;
+};
+
+} // namespace gcl::workloads
+
+#endif // GCL_WORKLOADS_SIM_CONTEXT_HH

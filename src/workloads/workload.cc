@@ -42,13 +42,33 @@ all()
     return workloads;
 }
 
-const Workload &
-byName(const std::string &name)
+const Workload *
+findByName(const std::string &name)
 {
     for (const auto &w : all())
         if (w.name == name)
-            return w;
+            return &w;
+    return nullptr;
+}
+
+const Workload &
+byName(const std::string &name)
+{
+    if (const Workload *w = findByName(name))
+        return *w;
     gcl_panic("unknown workload '", name, "'");
+}
+
+std::string
+knownNames()
+{
+    std::string names;
+    for (const auto &w : all()) {
+        if (!names.empty())
+            names += ", ";
+        names += w.name;
+    }
+    return names;
 }
 
 } // namespace gcl::workloads

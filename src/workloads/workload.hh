@@ -52,11 +52,20 @@ struct Workload
     std::function<std::vector<ptx::Kernel>()> kernels;
 };
 
-/** All 15 workloads in Table I order. */
+/**
+ * All 15 workloads in Table I order. The registry is built on first use;
+ * call once before spawning sweep threads so workers only ever read it.
+ */
 const std::vector<Workload> &all();
 
 /** Lookup by Table I name; panics on unknown names. */
 const Workload &byName(const std::string &name);
+
+/** Lookup by Table I name; nullptr when unknown (user-input validation). */
+const Workload *findByName(const std::string &name);
+
+/** Comma-separated list of every known name (for error messages). */
+std::string knownNames();
 
 // Per-application factories (defined in their own translation units).
 Workload make2mm();

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the gcl::exec job scheduler: slot ordering, the N=1 inline
+ * guarantee, exception capture/propagation, pool reuse, and the job-count
+ * policy. These are also the tests scripts/check.sh runs under
+ * ThreadSanitizer (`--tsan`).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/scheduler.hh"
+
+namespace
+{
+
+using gcl::exec::ThreadPool;
+using gcl::exec::hardwareThreads;
+using gcl::exec::parallelFor;
+using gcl::exec::parallelMap;
+using gcl::exec::resolveJobs;
+
+TEST(Exec, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(hardwareThreads(), 1u);
+}
+
+TEST(Exec, ResolveJobsPrecedence)
+{
+    unsetenv("GCL_TEST_JOBS");
+    EXPECT_EQ(resolveJobs(5, "GCL_TEST_JOBS"), 5u);     // explicit wins
+    EXPECT_EQ(resolveJobs(0, "GCL_TEST_JOBS"), 1u);     // fallback
+    EXPECT_EQ(resolveJobs(0, "GCL_TEST_JOBS", 7), 7u);  // custom fallback
+
+    setenv("GCL_TEST_JOBS", "3", 1);
+    EXPECT_EQ(resolveJobs(0, "GCL_TEST_JOBS"), 3u);     // env fills in
+    EXPECT_EQ(resolveJobs(5, "GCL_TEST_JOBS"), 5u);     // explicit beats env
+
+    setenv("GCL_TEST_JOBS", "0", 1);
+    EXPECT_EQ(resolveJobs(0, "GCL_TEST_JOBS"), hardwareThreads());
+    unsetenv("GCL_TEST_JOBS");
+
+    // fallback 0 = one job per hardware thread
+    EXPECT_EQ(resolveJobs(0, nullptr, 0), hardwareThreads());
+}
+
+TEST(Exec, InlineWhenSingleJobPreservesOrder)
+{
+    std::vector<size_t> order;
+    parallelFor(1, 6, [&](size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Exec, InlineExceptionStopsLaterIndices)
+{
+    // jobs=1 must behave exactly like the plain serial loop: the throw at
+    // index 2 propagates immediately and indices 3+ never run.
+    std::vector<size_t> ran;
+    EXPECT_THROW(parallelFor(1, 6,
+                             [&](size_t i) {
+                                 if (i == 2)
+                                     throw std::runtime_error("job 2");
+                                 ran.push_back(i);
+                             }),
+                 std::runtime_error);
+    EXPECT_EQ(ran, (std::vector<size_t>{0, 1}));
+}
+
+TEST(Exec, ParallelFillsEverySlot)
+{
+    constexpr size_t kCount = 100;
+    const auto squares = parallelMap<size_t>(
+        4, kCount, [](size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), kCount);
+    for (size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(squares[i], i * i) << "slot " << i;
+}
+
+TEST(Exec, ParallelResultsIndependentOfJobCount)
+{
+    const auto serial = parallelMap<int>(
+        1, 31, [](size_t i) { return static_cast<int>(3 * i + 1); });
+    for (unsigned jobs : {2u, 3u, 8u, 64u}) {
+        const auto parallel = parallelMap<int>(
+            jobs, 31, [](size_t i) { return static_cast<int>(3 * i + 1); });
+        EXPECT_EQ(parallel, serial) << "jobs=" << jobs;
+    }
+}
+
+TEST(Exec, LowestIndexExceptionWins)
+{
+    // Several jobs throw; regardless of which thread finishes first, the
+    // rethrown exception is the lowest-index one, so failures are
+    // reported deterministically.
+    for (int repeat = 0; repeat < 10; ++repeat) {
+        try {
+            parallelFor(4, 16, [](size_t i) {
+                if (i == 3 || i == 7 || i == 12)
+                    throw std::runtime_error("job " + std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "job 3");
+        }
+    }
+}
+
+TEST(Exec, AllJobsRunDespiteExceptions)
+{
+    std::atomic<int> ran{0};
+    EXPECT_THROW(parallelFor(4, 20,
+                             [&](size_t i) {
+                                 ran.fetch_add(1);
+                                 if (i == 0)
+                                     throw std::runtime_error("job 0");
+                             }),
+                 std::runtime_error);
+    EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(Exec, MoreJobsThanWorkIsFine)
+{
+    std::atomic<int> sum{0};
+    parallelFor(16, 3, [&](size_t i) {
+        sum.fetch_add(static_cast<int>(i) + 1);
+    });
+    EXPECT_EQ(sum.load(), 6);
+}
+
+TEST(Exec, ZeroCountIsANoop)
+{
+    parallelFor(4, 0, [](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(Exec, PoolDrainsQueueAndIsReusable)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.numThreads(), 3u);
+
+    std::atomic<int> count{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(count.load(), (round + 1) * 50);
+    }
+}
+
+TEST(Exec, WaitOnIdlePoolReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    pool.wait();
+}
+
+TEST(Exec, DestructorDrainsPendingJobs)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+        // No wait(): the destructor must finish the queue before joining.
+    }
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Exec, ResultSlotsSeeNoTornWrites)
+{
+    // Each job writes a multi-word value into its own slot; after wait()
+    // the main thread must observe every write fully (the scheduler's
+    // happens-before contract).
+    struct Wide
+    {
+        uint64_t a = 0, b = 0, c = 0;
+    };
+    const auto out = parallelMap<Wide>(8, 200, [](size_t i) {
+        Wide w;
+        w.a = i;
+        w.b = i * 2;
+        w.c = i * 3;
+        return w;
+    });
+    for (size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i].a, i);
+        EXPECT_EQ(out[i].b, i * 2);
+        EXPECT_EQ(out[i].c, i * 3);
+    }
+}
+
+} // namespace
