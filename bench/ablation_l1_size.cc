@@ -54,5 +54,5 @@ main(int argc, char **argv)
     std::cout << "\n(paper/Xu et al.: cache size is not correlated with "
                  "graph-app performance)\n\nCSV:\n";
     table.printCsv(std::cout);
-    return 0;
+    return bench::finishBench();
 }

@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "exec/scheduler.hh"
+#include "guard/fault.hh"
 #include "sim/gpu.hh"
 #include "trace/chrome_writer.hh"
 #include "trace/export.hh"
@@ -32,6 +33,14 @@ namespace
 /** Bump when any workload's dataset or kernel changes shape. */
 constexpr unsigned kDatasetVersion = 5;
 
+/**
+ * Cache entry format version, written into every entry's header line and
+ * required to match on load. Bump whenever the header or body layout
+ * changes so stale entries become clean misses instead of parse errors.
+ *   v2: header gained this schema field ("gclbench <schema> <verified>").
+ */
+constexpr unsigned kCacheSchemaVersion = 2;
+
 std::filesystem::path
 cacheDir()
 {
@@ -41,6 +50,12 @@ cacheDir()
 }
 
 Options g_options;
+
+/** Parsed --fault-plan / GCL_FAULT_PLAN (validated in initBench). */
+guard::FaultPlan g_faultPlan;
+
+/** Failed runs seen by this process, for finishBench()'s summary. */
+std::vector<std::pair<std::string, SimFailure>> g_failures;
 
 /**
  * Trace/export state living for the whole process (all runApp calls).
@@ -60,6 +75,7 @@ struct ExportState
         bool verified = false;
         uint64_t fingerprint = 0;
         StatsSet stats;
+        SimFailure failure;
     };
     std::vector<Record> records;
 };
@@ -100,7 +116,21 @@ writeStatsJson(const std::string &path)
             << trace::jsonQuote(rec.name) << ", \"category\": "
             << trace::jsonQuote(rec.category) << ", \"verified\": "
             << (rec.verified ? "true" : "false")
-            << ", \"fingerprint\": \"" << fp << "\", \"stats\": ";
+            << ", \"fingerprint\": \"" << fp << "\"";
+        if (rec.failure.failed) {
+            out << ", \"failure\": {\"kind\": "
+                << trace::jsonQuote(rec.failure.kind)
+                << ", \"component\": "
+                << trace::jsonQuote(rec.failure.component)
+                << ", \"cycle\": " << rec.failure.cycle
+                << ", \"message\": "
+                << trace::jsonQuote(rec.failure.message);
+            if (!rec.failure.detail.empty())
+                out << ", \"detail\": "
+                    << trace::jsonQuote(rec.failure.detail);
+            out << "}";
+        }
+        out << ", \"stats\": ";
         trace::exportStatsJson(rec.stats, out);
         out << "}";
         first = false;
@@ -118,6 +148,10 @@ writeStatsCsv(const std::string &path)
     }
     out << "app,kind,key,bucket,value\n";
     for (const auto &rec : g_export->records) {
+        if (rec.failure.failed)
+            out << rec.name << ",failure," << rec.failure.kind << ','
+                << rec.failure.component << ',' << rec.failure.cycle
+                << '\n';
         std::ostringstream rows;
         trace::exportStatsCsv(rec.stats, rows);
         std::istringstream lines(rows.str());
@@ -182,8 +216,12 @@ loadCached(const std::filesystem::path &path, AppResult &result)
         return false;
     std::istringstream hs(header);
     std::string tag;
+    unsigned schema = 0;
     int verified = 0;
-    if (!(hs >> tag >> verified) || tag != "gclbench")
+    // Pre-v2 headers ("gclbench <verified>") run out of tokens here and
+    // land in the miss path, as intended.
+    if (!(hs >> tag >> schema >> verified) || tag != "gclbench" ||
+        schema != kCacheSchemaVersion)
         return false;
     std::stringstream body;
     body << in.rdbuf();
@@ -205,6 +243,11 @@ storeCached(const std::filesystem::path &path, const AppResult &result)
 {
     static std::atomic<unsigned> seq{0};
 
+    // A failed run has no (complete) stats; caching it would poison every
+    // later sweep with the failure's residue.
+    if (result.failure.failed)
+        return;
+
     std::error_code ec;
     std::filesystem::create_directories(path.parent_path(), ec);
 
@@ -215,7 +258,8 @@ storeCached(const std::filesystem::path &path, const AppResult &result)
         std::ofstream out(tmp);
         if (!out)
             return;
-        out << "gclbench " << (result.verified ? 1 : 0) << '\n';
+        out << "gclbench " << kCacheSchemaVersion << ' '
+            << (result.verified ? 1 : 0) << '\n';
         out << result.stats.serialize();
         out.close();
         if (!out) {
@@ -240,7 +284,7 @@ recordResult(const AppResult &result, const sim::GpuConfig &config)
         return;
     g_export->records.push_back({result.name, result.category,
                                  result.verified, config.fingerprint(),
-                                 result.stats});
+                                 result.stats, result.failure});
 }
 
 /** Simulate one app in @p ctx and package the result (no cache access). */
@@ -253,7 +297,35 @@ simulate(workloads::SimContext &ctx)
     ctx.run();
     result.verified = ctx.verified();
     result.stats = ctx.stats();
+    result.failure = ctx.failure();
     return result;
+}
+
+/** Note a finished run's failure (called on the publishing thread). */
+void
+noteFailure(const AppResult &result)
+{
+    if (result.failure.failed)
+        g_failures.emplace_back(result.name, result.failure);
+}
+
+/**
+ * The config one app actually runs under: base + --sim-config overrides +
+ * --max-cycles, plus the fault plan — but only for runs the plan targets.
+ * A non-targeted sibling keeps the clean fingerprint, so its cache entry
+ * and stats are byte-identical to a fault-free sweep.
+ */
+sim::GpuConfig
+appConfig(const std::string &name, const sim::GpuConfig &base)
+{
+    sim::GpuConfig config = base;
+    if (!g_options.simConfig.empty())
+        config.applyOverrides(g_options.simConfig);
+    if (g_options.maxCycles != 0)
+        config.maxCycles = g_options.maxCycles;
+    if (!g_options.faultPlan.empty() && g_faultPlan.appliesTo(name))
+        config.faultPlan = g_options.faultPlan;
+    return config;
 }
 
 } // namespace
@@ -309,6 +381,16 @@ initBench(int argc, char **argv)
                 gcl_fatal("--jobs=", v, " is not a job count");
             g_options.jobs = n == 0 ? exec::hardwareThreads()
                                     : static_cast<unsigned>(n);
+        } else if (const char *v = value(arg, "--max-cycles")) {
+            char *end = nullptr;
+            const unsigned long long n = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0' || n == 0)
+                gcl_fatal("--max-cycles=", v, " is not a cycle count");
+            g_options.maxCycles = n;
+        } else if (const char *v = value(arg, "--sim-config")) {
+            g_options.simConfig = v;
+        } else if (const char *v = value(arg, "--fault-plan")) {
+            g_options.faultPlan = v;
         } else if (std::strcmp(arg, "--fresh") == 0) {
             g_options.fresh = true;
         } else if (std::strcmp(arg, "--help") == 0 ||
@@ -329,11 +411,60 @@ initBench(int argc, char **argv)
                 "  --jobs=N                 simulate up to N apps "
                 "concurrently (0 = #cores;\n"
                 "                           default GCL_BENCH_JOBS, "
-                "else 1)\n",
+                "else 1)\n"
+                "  --max-cycles=N           per-run cycle budget; an "
+                "exceeding run is\n"
+                "                           reported as a 'timeout' "
+                "failure record\n"
+                "                           (= GCL_MAX_CYCLES)\n"
+                "  --sim-config=K=V,...     override simulator config "
+                "fields by name\n"
+                "                           (= GCL_SIM_CONFIG)\n"
+                "  --fault-plan=SPEC        deterministic fault injection, "
+                "e.g.\n"
+                "                           'app=bpr;stop@20000' "
+                "(= GCL_FAULT_PLAN;\n"
+                "                           grammar in src/guard/fault.hh)"
+                "\n",
                 argv[0]);
             std::exit(0);
         } else {
             gcl_fatal("unknown argument '", arg, "' (try --help)");
+        }
+    }
+
+    // Environment fallbacks (flags win).
+    if (g_options.maxCycles == 0) {
+        if (const char *env = std::getenv("GCL_MAX_CYCLES")) {
+            char *end = nullptr;
+            const unsigned long long n = std::strtoull(env, &end, 10);
+            if (end == env || *end != '\0' || n == 0)
+                gcl_fatal("GCL_MAX_CYCLES=", env,
+                          " is not a cycle count");
+            g_options.maxCycles = n;
+        }
+    }
+    if (g_options.simConfig.empty())
+        if (const char *env = std::getenv("GCL_SIM_CONFIG"))
+            g_options.simConfig = env;
+    if (g_options.faultPlan.empty())
+        if (const char *env = std::getenv("GCL_FAULT_PLAN"))
+            g_options.faultPlan = env;
+
+    // Validate eagerly: a bad override or fault spec is a usage error at
+    // startup, not a per-run failure half an hour into a sweep.
+    if (!g_options.simConfig.empty()) {
+        try {
+            sim::GpuConfig{}.applyOverrides(g_options.simConfig);
+        } catch (const SimError &error) {
+            gcl_fatal("--sim-config: ", error.message());
+        }
+    }
+    if (!g_options.faultPlan.empty()) {
+        try {
+            g_faultPlan = guard::FaultPlan::parse(g_options.faultPlan);
+        } catch (const SimError &error) {
+            gcl_fatal("--fault-plan: ", error.message());
         }
     }
 
@@ -368,6 +499,7 @@ AppResult
 runApp(const std::string &name, const sim::GpuConfig &config)
 {
     const auto &workload = workloads::byName(name);
+    const sim::GpuConfig run_config = appConfig(name, config);
 
     AppResult result;
     result.name = name;
@@ -376,13 +508,13 @@ runApp(const std::string &name, const sim::GpuConfig &config)
     // A cached stats file has no events in it: tracing forces a fresh
     // simulation (the stats it produces are identical, so re-caching is
     // still valid).
-    const auto path = cachePath(name, config);
+    const auto path = cachePath(name, run_config);
     if (!tracing() && !cacheDisabled() && loadCached(path, result)) {
-        recordResult(result, config);
+        recordResult(result, run_config);
         return result;
     }
 
-    workloads::SimContext ctx(workload, config);
+    workloads::SimContext ctx(workload, run_config);
     if (tracing()) {
         const int pid = g_export->nextPid++;
         g_export->writer->beginProcess(pid, name);
@@ -391,8 +523,9 @@ runApp(const std::string &name, const sim::GpuConfig &config)
     }
     result = simulate(ctx);
 
+    noteFailure(result);
     storeCached(path, result);
-    recordResult(result, config);
+    recordResult(result, run_config);
     return result;
 }
 
@@ -409,6 +542,11 @@ runSuite(const sim::GpuConfig &config)
             continue;
         selected.push_back(&workload);
     }
+
+    std::vector<sim::GpuConfig> configs;
+    configs.reserve(selected.size());
+    for (const auto *workload : selected)
+        configs.push_back(appConfig(workload->name, config));
 
     const unsigned jobs = effectiveJobs();
     if (jobs <= 1 || selected.size() <= 1) {
@@ -435,7 +573,7 @@ runSuite(const sim::GpuConfig &config)
             AppResult &r = results[i];
             r.name = selected[i]->name;
             r.category = workloads::toString(selected[i]->category);
-            done[i] = loadCached(cachePath(r.name, config), r) ? 1 : 0;
+            done[i] = loadCached(cachePath(r.name, configs[i]), r) ? 1 : 0;
             if (done[i])
                 std::fprintf(stderr, "[bench] %s ...\n", r.name.c_str());
         }
@@ -461,7 +599,7 @@ runSuite(const sim::GpuConfig &config)
         RunJob job;
         job.slot = i;
         job.ctx = std::make_unique<workloads::SimContext>(*selected[i],
-                                                          config);
+                                                          configs[i]);
         if (tracing()) {
             const int pid = g_export->nextPid++;
             job.fragmentBody = std::make_unique<std::ostringstream>();
@@ -489,11 +627,12 @@ runSuite(const sim::GpuConfig &config)
             g_export->writer->appendFragment(job.fragmentBody->str(),
                                              job.fragment->eventsWritten());
         }
-        storeCached(cachePath(results[job.slot].name, config),
+        noteFailure(results[job.slot]);
+        storeCached(cachePath(results[job.slot].name, configs[job.slot]),
                     results[job.slot]);
     }
-    for (const AppResult &result : results)
-        recordResult(result, config);
+    for (size_t i = 0; i < results.size(); ++i)
+        recordResult(results[i], configs[i]);
     return results;
 }
 
@@ -501,9 +640,31 @@ void
 printHeader(const std::string &title, const sim::GpuConfig &config)
 {
     std::printf("== %s ==\n", title.c_str());
-    std::printf("config fingerprint %016llx, cache %s\n\n",
+    std::printf("config fingerprint %016llx, cache %s\n",
                 static_cast<unsigned long long>(config.fingerprint()),
                 cacheDisabled() ? "disabled" : cacheDir().string().c_str());
+    if (!g_options.simConfig.empty())
+        std::printf("sim-config overrides: %s\n",
+                    g_options.simConfig.c_str());
+    if (!g_options.faultPlan.empty())
+        std::printf("fault plan: %s\n", g_options.faultPlan.c_str());
+    std::printf("\n");
+}
+
+int
+finishBench()
+{
+    if (g_failures.empty())
+        return 0;
+    std::fprintf(stderr, "[bench] %zu run(s) failed:\n",
+                 g_failures.size());
+    for (const auto &[name, failure] : g_failures)
+        std::fprintf(stderr, "[bench]   %s: [%s] %s@%llu: %s\n",
+                     name.c_str(), failure.kind.c_str(),
+                     failure.component.c_str(),
+                     static_cast<unsigned long long>(failure.cycle),
+                     failure.message.c_str());
+    return 3;
 }
 
 } // namespace gcl::bench

@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "guard/sim_error.hh"
 #include "sim/config.hh"
 #include "util/stats.hh"
 
@@ -51,6 +52,8 @@ struct AppResult
     std::string category;    //!< "linear" / "image" / "graph"
     bool verified = false;   //!< CPU reference check passed
     StatsSet stats;          //!< finalized simulator stats
+    SimFailure failure;      //!< structured failure record (failed=false
+                             //!< on a clean run)
 };
 
 /** Observability options shared by every bench binary. */
@@ -63,6 +66,9 @@ struct Options
     bool fresh = false;            //!< bypass the run cache
     std::vector<std::string> apps; //!< runSuite() filter (empty = all)
     unsigned jobs = 0;             //!< --jobs value (0 = unset/env/serial)
+    uint64_t maxCycles = 0;        //!< per-run cycle budget (0 = default)
+    std::string simConfig;         //!< key=value config overrides
+    std::string faultPlan;         //!< guard::FaultPlan spec
 };
 
 /**
@@ -94,6 +100,14 @@ sim::GpuConfig defaultConfig();
 
 /** Print the standard bench header (config fingerprint + cache status). */
 void printHeader(const std::string &title, const sim::GpuConfig &config);
+
+/**
+ * End-of-main hook: print a summary of failed runs and return the process
+ * exit code (0 = all clean, 3 = at least one run produced a failure
+ * record). Every bench main ends with `return bench::finishBench();` so a
+ * sweep degrades gracefully — failed runs are reported, not fatal.
+ */
+int finishBench();
 
 } // namespace gcl::bench
 

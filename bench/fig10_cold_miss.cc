@@ -48,5 +48,5 @@ main(int argc, char **argv)
                   << Table::fmtPct(acc.first / acc.second) << '\n';
     std::cout << "(paper: 16% overall, image ~38.8%)\n\nCSV:\n";
     table.printCsv(std::cout);
-    return 0;
+    return bench::finishBench();
 }

@@ -47,5 +47,5 @@ main(int argc, char **argv)
               << Table::fmtPct(access_ratio_sum / 15)
               << " (paper: 28.7% / 50.9%)\n\nCSV:\n";
     table.printCsv(std::cout);
-    return 0;
+    return bench::finishBench();
 }

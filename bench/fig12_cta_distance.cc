@@ -83,5 +83,5 @@ main(int argc, char **argv)
                   << hist.numBuckets() << " distinct distances\n";
     std::cout << "(paper: non-deterministic loads disperse sharing across "
                  "a wide CTA-distance range)\n";
-    return 0;
+    return bench::finishBench();
 }

@@ -50,5 +50,5 @@ main(int argc, char **argv)
               << Table::fmtPct(napps ? wasted_sum / napps : 0.0)
               << " (paper: ~70%)\n\nCSV:\n";
     table.printCsv(std::cout);
-    return 0;
+    return bench::finishBench();
 }

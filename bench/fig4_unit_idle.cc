@@ -45,5 +45,5 @@ main(int argc, char **argv)
               << Table::fmtPct(busy_sum[2] / 15)
               << " (paper: 9.3% / 11.5% / 54.4%)\n\nCSV:\n";
     table.printCsv(std::cout);
-    return 0;
+    return bench::finishBench();
 }

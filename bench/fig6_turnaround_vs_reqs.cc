@@ -55,5 +55,5 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\nCSV:\n";
     table.printCsv(std::cout);
-    return 0;
+    return bench::finishBench();
 }

@@ -45,5 +45,5 @@ main(int argc, char **argv)
                   << Table::fmt(acc.first / acc.second, 2) << '\n';
     std::cout << "(paper: image apps average ~2.5x)\n\nCSV:\n";
     table.printCsv(std::cout);
-    return 0;
+    return bench::finishBench();
 }

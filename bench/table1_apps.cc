@@ -45,5 +45,5 @@ main(int argc, char **argv)
               << Table::fmtPct(total_fraction / 15.0)
               << " (paper: 6.43% on its inputs)\n\nCSV:\n";
     table.printCsv(std::cout);
-    return 0;
+    return bench::finishBench();
 }

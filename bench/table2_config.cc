@@ -19,5 +19,5 @@ main(int argc, char **argv)
                 "DRAM %u cycles\n",
                 config.l1HitLatency, config.unloadedL2Latency(),
                 config.unloadedDramLatency());
-    return 0;
+    return gcl::bench::finishBench();
 }

@@ -51,5 +51,5 @@ main(int argc, char **argv)
     std::cout << "\nbfs per-slice profiler output:\n"
               << counters.report() << "\nCSV:\n";
     table.printCsv(std::cout);
-    return 0;
+    return bench::finishBench();
 }

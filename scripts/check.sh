@@ -9,16 +9,22 @@
 #                                    ThreadSanitizer (into ./build-tsan)
 #                                    and run the exec + parallel-sweep
 #                                    tests under it
+#        scripts/check.sh --asan     additionally build with
+#                                    AddressSanitizer (into ./build-asan)
+#                                    and run the guard / error-unwind
+#                                    tests under it
 #        BUILD_DIR=out scripts/check.sh
 # Also available as the CMake target `check`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TSAN=0
+ASAN=0
 for arg in "$@"; do
     case "$arg" in
       --tsan) TSAN=1 ;;
-      *) echo "check.sh: unknown argument '$arg' (only --tsan)" >&2
+      --asan) ASAN=1 ;;
+      *) echo "check.sh: unknown argument '$arg' (--tsan, --asan)" >&2
          exit 2 ;;
     esac
 done
@@ -62,11 +68,75 @@ GCL_BENCH_CACHE="$tmp/cache-j3t" "$BUILD_DIR/bench/fig1_load_classes" \
 "$BUILD_DIR/tools/trace_check" \
     --trace="$tmp/trace-par.json" --stats="$tmp/stats-par.json"
 
+# Fault injection (gcl::guard): a seeded plan aimed at one app of a
+# parallel sweep must (a) fail that run with exit code 3 and a structured
+# failure record in the stats JSON, (b) cache nothing for the faulted run,
+# and (c) leave the sibling runs' cache entries byte-identical to the
+# clean serial sweep's (cache-j1 from above — same apps, same config).
+status=0
+GCL_BENCH_CACHE="$tmp/cache-fault" "$BUILD_DIR/bench/fig1_load_classes" \
+    --apps=$SMALL_APPS --fresh --jobs=3 \
+    --fault-plan='app=bpr;stop@2000' \
+    --stats-json="$tmp/stats-fault.json" > /dev/null 2> /dev/null \
+    || status=$?
+[ "$status" = 3 ] \
+    || { echo "check: faulted sweep exited $status, want 3" >&2; exit 1; }
+grep -q '"failure"' "$tmp/stats-fault.json" \
+    && grep -q '"fault_injected"' "$tmp/stats-fault.json" \
+    || { echo "check: no structured failure record in stats JSON" >&2
+         exit 1; }
+ls "$tmp/cache-fault"/bpr.* > /dev/null 2>&1 \
+    && { echo "check: failed run must not be cached" >&2; exit 1; }
+for app in gaus dwt; do
+    diff "$tmp/cache-j1/$app".* "$tmp/cache-fault/$app".* \
+        || { echo "check: $app diverged beside a faulted sibling" >&2
+             exit 1; }
+done
+
+# Survivable seeded degradation: auto windows (MSHR/ICNT/DRAM/dropfill
+# pressure from seed 42) slow the run down but must not kill it — and two
+# identical invocations must export byte-identical stats.
+for i in 1 2; do
+    GCL_BENCH_CACHE="$tmp/cache-auto$i" "$BUILD_DIR/bench/fig1_load_classes" \
+        --apps=gaus --fresh \
+        --fault-plan='seed=42;auto=3' \
+        --stats-json="$tmp/stats-auto$i.json" > /dev/null 2> /dev/null \
+        || { echo "check: seeded degradation run failed" >&2; exit 1; }
+done
+grep -q '"fault.injected.' "$tmp/stats-auto1.json" \
+    || { echo "check: no fault.injected stats exported" >&2; exit 1; }
+cmp "$tmp/stats-auto1.json" "$tmp/stats-auto2.json" \
+    || { echo "check: seeded fault plan is not deterministic" >&2; exit 1; }
+
+# Watchdog: an injected livelock (every fill dropped) must be caught as a
+# structured hang report instead of burning the 200M-cycle budget.
+status=0
+GCL_BENCH_CACHE="$tmp/cache-hang" "$BUILD_DIR/bench/fig1_load_classes" \
+    --apps=gaus --fresh \
+    --fault-plan='dropfill@0+1000000000' \
+    --sim-config=watchdog_interval=1024,watchdog_budget=100000 \
+    --stats-json="$tmp/stats-hang.json" > /dev/null 2> /dev/null \
+    || status=$?
+[ "$status" = 3 ] \
+    || { echo "check: hung sweep exited $status, want 3" >&2; exit 1; }
+grep -q '"hang"' "$tmp/stats-hang.json" \
+    || { echo "check: livelock not reported as a hang" >&2; exit 1; }
+
 if [ "$TSAN" = 1 ]; then
     TSAN_DIR=${TSAN_BUILD_DIR:-build-tsan}
     cmake -B "$TSAN_DIR" -S . -DGCL_TSAN=ON
     cmake --build "$TSAN_DIR" -j"$JOBS" --target gcl_tests
     "$TSAN_DIR/tests/gcl_tests" --gtest_filter='Exec*:ParallelSweep*'
+fi
+
+if [ "$ASAN" = 1 ]; then
+    ASAN_DIR=${ASAN_BUILD_DIR:-build-asan}
+    cmake -B "$ASAN_DIR" -S . -DGCL_ASAN=ON
+    cmake --build "$ASAN_DIR" -j"$JOBS" --target gcl_tests
+    # The guard tests unwind SimErrors out of half-advanced device models;
+    # ASan verifies nothing in flight leaks across the recovery.
+    "$ASAN_DIR/tests/gcl_tests" \
+        --gtest_filter='FaultPlan*:ConfigOverride*:WatchdogUnit*:Guard*'
 fi
 
 echo "check: all green"

@@ -1,5 +1,6 @@
 #include "cache.hh"
 
+#include "guard/sim_error.hh"
 #include "util/bitutil.hh"
 #include "util/logging.hh"
 
@@ -36,8 +37,9 @@ Mshr::canMerge(uint64_t line_addr) const
 void
 Mshr::allocate(uint64_t line_addr, MemRequestPtr req)
 {
-    gcl_assert(!full(), "MSHR allocate when full");
-    gcl_assert(!hasEntry(line_addr), "MSHR double allocate");
+    gcl_sim_check(!full(), "mshr", 0, "allocate when full");
+    gcl_sim_check(!hasEntry(line_addr), "mshr", 0,
+                  "double allocate for line ", line_addr);
     entries_[line_addr].push_back(std::move(req));
 }
 
@@ -45,8 +47,10 @@ void
 Mshr::merge(uint64_t line_addr, MemRequestPtr req)
 {
     auto it = entries_.find(line_addr);
-    gcl_assert(it != entries_.end(), "MSHR merge without an entry");
-    gcl_assert(it->second.size() < maxMerge_, "MSHR merge list overflow");
+    gcl_sim_check(it != entries_.end(), "mshr", 0,
+                  "merge without an entry for line ", line_addr);
+    gcl_sim_check(it->second.size() < maxMerge_, "mshr", 0,
+                  "merge list overflow for line ", line_addr);
     it->second.push_back(std::move(req));
 }
 
@@ -54,7 +58,8 @@ std::vector<MemRequestPtr>
 Mshr::release(uint64_t line_addr)
 {
     auto it = entries_.find(line_addr);
-    gcl_assert(it != entries_.end(), "MSHR release without an entry");
+    gcl_sim_check(it != entries_.end(), "mshr", 0,
+                  "release without an entry for line ", line_addr);
     std::vector<MemRequestPtr> waiting = std::move(it->second);
     entries_.erase(it);
     return waiting;
@@ -64,9 +69,15 @@ Cache::Cache(std::string name, const CacheConfig &config)
     : name_(std::move(name)), config_(config),
       mshr_(config.mshrEntries, config.mshrMaxMerge)
 {
-    gcl_assert(isPowerOf2(config_.lineBytes), "line size must be 2^k");
-    gcl_assert(config_.numSets() > 0 && isPowerOf2(config_.numSets()),
-               "cache geometry must give a power-of-two set count");
+    // Reachable through config overrides (l1_line=..., l1_size=...), so a
+    // bad geometry is a recoverable config error, not a process abort.
+    gcl_sim_check(isPowerOf2(config_.lineBytes), name_, 0,
+                  "line size must be a power of two, got ",
+                  config_.lineBytes);
+    gcl_sim_check(config_.numSets() > 0 && isPowerOf2(config_.numSets()),
+                  name_, 0,
+                  "cache geometry must give a power-of-two set count, got ",
+                  config_.numSets());
     lines_.assign(static_cast<size_t>(config_.numSets()) * config_.assoc,
                   Line{});
 }
@@ -155,7 +166,8 @@ Cache::fill(uint64_t line_addr)
             return mshr_.release(line_addr);
         }
     }
-    gcl_panic(name_, ": fill for a line that is not reserved: ", line_addr);
+    gcl_sim_error(SimError::Kind::Invariant, name_, 0,
+                  "fill for a line that is not reserved: ", line_addr);
 }
 
 bool

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/bitutil.hh"
+#include "guard/sim_error.hh"
 #include "util/logging.hh"
 
 namespace gcl::sim
@@ -12,7 +13,8 @@ std::vector<uint64_t>
 coalesce(const std::vector<std::pair<unsigned, uint64_t>> &addrs,
          unsigned access_size, unsigned line_bytes)
 {
-    gcl_assert(isPowerOf2(line_bytes), "line size must be a power of two");
+    gcl_sim_check(isPowerOf2(line_bytes), "coalescer", 0,
+                  "line size must be a power of two, got ", line_bytes);
 
     std::vector<uint64_t> lines;
     lines.reserve(4);

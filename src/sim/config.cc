@@ -1,8 +1,12 @@
 #include "config.hh"
 
 #include <algorithm>
+#include <functional>
 #include <sstream>
+#include <vector>
 
+#include "guard/fault.hh"
+#include "guard/sim_error.hh"
 #include "util/bitutil.hh"
 #include "util/logging.hh"
 
@@ -13,16 +17,207 @@ unsigned
 GpuConfig::ctasPerSm(unsigned threads_per_cta,
                      uint32_t shared_bytes_per_cta) const
 {
-    gcl_assert(threads_per_cta > 0 && threads_per_cta <= maxThreadsPerSm,
-               "CTA size ", threads_per_cta, " unsupported");
+    if (threads_per_cta == 0 || threads_per_cta > maxThreadsPerSm)
+        gcl_sim_error(SimError::Kind::Workload, "config", 0, "CTA size ",
+                      threads_per_cta, " unsupported (max ",
+                      maxThreadsPerSm, " threads/SM)");
     unsigned limit = std::min(maxCtasPerSm,
                               maxThreadsPerSm / threads_per_cta);
     if (shared_bytes_per_cta > 0) {
-        gcl_assert(shared_bytes_per_cta <= sharedMemPerSm,
-                   "CTA shared memory exceeds the SM's capacity");
+        if (shared_bytes_per_cta > sharedMemPerSm)
+            gcl_sim_error(SimError::Kind::Workload, "config", 0,
+                          "CTA shared memory (", shared_bytes_per_cta,
+                          "B) exceeds the SM's capacity (", sharedMemPerSm,
+                          "B)");
         limit = std::min(limit, sharedMemPerSm / shared_bytes_per_cta);
     }
     return std::max(1u, limit);
+}
+
+// ---------------------------------------------------------------------
+// key=value overrides
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** One overridable config field: name + value applier. */
+struct OverrideKey
+{
+    const char *name;
+    std::function<void(GpuConfig &, const std::string &)> apply;
+};
+
+[[noreturn]] void
+badValue(const std::string &key, const std::string &value,
+         const std::string &expected)
+{
+    gcl_sim_error(SimError::Kind::Config, "config", 0, "config key '", key,
+                  "': '", value, "' is not ", expected);
+}
+
+uint64_t
+parseUnsigned(const std::string &key, const std::string &value)
+{
+    if (value.empty())
+        badValue(key, value, "a non-negative integer");
+    uint64_t out = 0;
+    for (char c : value) {
+        if (c < '0' || c > '9')
+            badValue(key, value, "a non-negative integer");
+        out = out * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return out;
+}
+
+template <typename T>
+OverrideKey
+numericKey(const char *name, T GpuConfig::*field)
+{
+    return {name, [name, field](GpuConfig &config, const std::string &v) {
+                config.*field = static_cast<T>(parseUnsigned(name, v));
+            }};
+}
+
+template <typename T>
+OverrideKey
+cacheKey(const char *name, CacheConfig GpuConfig::*cache,
+         T CacheConfig::*field)
+{
+    return {name,
+            [name, cache, field](GpuConfig &config, const std::string &v) {
+                config.*cache.*field = static_cast<T>(parseUnsigned(name, v));
+            }};
+}
+
+const std::vector<OverrideKey> &
+overrideKeys()
+{
+    static const std::vector<OverrideKey> keys = {
+        // Core organization
+        numericKey("num_sms", &GpuConfig::numSms),
+        numericKey("warp_size", &GpuConfig::warpSize),
+        numericKey("max_threads_per_sm", &GpuConfig::maxThreadsPerSm),
+        numericKey("max_ctas_per_sm", &GpuConfig::maxCtasPerSm),
+        numericKey("shared_mem_per_sm", &GpuConfig::sharedMemPerSm),
+        numericKey("num_schedulers", &GpuConfig::numSchedulers),
+        {"warp_sched",
+         [](GpuConfig &config, const std::string &v) {
+             if (v == "lrr")
+                 config.warpSched = WarpSchedPolicy::LooseRoundRobin;
+             else if (v == "gto")
+                 config.warpSched = WarpSchedPolicy::GreedyThenOldest;
+             else
+                 badValue("warp_sched", v, "one of lrr, gto");
+         }},
+        // Latencies
+        numericKey("sp_latency", &GpuConfig::spLatency),
+        numericKey("sfu_latency", &GpuConfig::sfuLatency),
+        numericKey("sfu_initiation_interval",
+                   &GpuConfig::sfuInitiationInterval),
+        numericKey("shared_mem_latency", &GpuConfig::sharedMemLatency),
+        numericKey("l1_hit_latency", &GpuConfig::l1HitLatency),
+        numericKey("ldst_queue_depth", &GpuConfig::ldstQueueDepth),
+        // L1
+        cacheKey("l1_size", &GpuConfig::l1, &CacheConfig::sizeBytes),
+        cacheKey("l1_line", &GpuConfig::l1, &CacheConfig::lineBytes),
+        cacheKey("l1_assoc", &GpuConfig::l1, &CacheConfig::assoc),
+        cacheKey("l1_mshr", &GpuConfig::l1, &CacheConfig::mshrEntries),
+        cacheKey("l1_mshr_merge", &GpuConfig::l1,
+                 &CacheConfig::mshrMaxMerge),
+        // Partitions / L2
+        numericKey("num_partitions", &GpuConfig::numPartitions),
+        cacheKey("l2_size", &GpuConfig::l2, &CacheConfig::sizeBytes),
+        cacheKey("l2_line", &GpuConfig::l2, &CacheConfig::lineBytes),
+        cacheKey("l2_assoc", &GpuConfig::l2, &CacheConfig::assoc),
+        cacheKey("l2_mshr", &GpuConfig::l2, &CacheConfig::mshrEntries),
+        cacheKey("l2_mshr_merge", &GpuConfig::l2,
+                 &CacheConfig::mshrMaxMerge),
+        numericKey("rop_latency", &GpuConfig::ropLatency),
+        // Interconnect
+        numericKey("icnt_latency", &GpuConfig::icntLatency),
+        numericKey("icnt_inject_queue", &GpuConfig::icntInjectQueueDepth),
+        numericKey("icnt_resp_queue", &GpuConfig::icntRespQueueDepth),
+        numericKey("part_queue", &GpuConfig::partQueueDepth),
+        // DRAM
+        numericKey("dram_latency", &GpuConfig::dramLatency),
+        numericKey("dram_burst", &GpuConfig::dramBurstCycles),
+        numericKey("dram_queue", &GpuConfig::dramQueueDepth),
+        // Ablations
+        {"cta_sched",
+         [](GpuConfig &config, const std::string &v) {
+             if (v == "rr")
+                 config.ctaSched = CtaSchedPolicy::RoundRobin;
+             else if (v == "clustered")
+                 config.ctaSched = CtaSchedPolicy::Clustered;
+             else
+                 badValue("cta_sched", v, "one of rr, clustered");
+         }},
+        numericKey("cta_cluster_size", &GpuConfig::ctaClusterSize),
+        numericKey("sms_per_l2_cluster", &GpuConfig::smsPerL2Cluster),
+        numericKey("nondet_split_requests",
+                   &GpuConfig::nondetSplitRequests),
+        // Run control / robustness
+        numericKey("max_cycles", &GpuConfig::maxCycles),
+        numericKey("watchdog_interval", &GpuConfig::watchdogInterval),
+        numericKey("watchdog_budget", &GpuConfig::watchdogBudget),
+        {"fault_plan",
+         [](GpuConfig &config, const std::string &v) {
+             // Validate eagerly so a bad plan is a config error at parse
+             // time, not a per-run failure mid-sweep.
+             guard::FaultPlan::parse(v);
+             config.faultPlan = v;
+         }},
+    };
+    return keys;
+}
+
+} // namespace
+
+std::string
+GpuConfig::knownOverrideKeys()
+{
+    std::string out;
+    for (const auto &key : overrideKeys()) {
+        if (!out.empty())
+            out += ", ";
+        out += key.name;
+    }
+    return out;
+}
+
+void
+GpuConfig::applyOverride(const std::string &key, const std::string &value)
+{
+    for (const auto &entry : overrideKeys()) {
+        if (key == entry.name) {
+            entry.apply(*this, value);
+            return;
+        }
+    }
+    // Mirrors the --apps typo guard: an unknown key must not silently run
+    // a different experiment than the user asked for.
+    gcl_sim_error(SimError::Kind::Config, "config", 0,
+                  "unknown config key '", key, "' (known: ",
+                  knownOverrideKeys(), ")");
+}
+
+void
+GpuConfig::applyOverrides(const std::string &spec)
+{
+    std::istringstream items(spec);
+    std::string item;
+    while (std::getline(items, item, ',')) {
+        if (item.empty())
+            continue;
+        const size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            gcl_sim_error(SimError::Kind::Config, "config", 0,
+                          "config override '", item,
+                          "' is not key=value (known keys: ",
+                          knownOverrideKeys(), ")");
+        applyOverride(item.substr(0, eq), item.substr(eq + 1));
+    }
 }
 
 std::string
@@ -63,6 +258,11 @@ GpuConfig::describe() const
     if (nondetSplitRequests)
         oss << "WarpSplit  " << nondetSplitRequests
             << " requests per non-deterministic sub-warp\n";
+    if (watchdogInterval)
+        oss << "Watchdog   check every " << watchdogInterval
+            << " cycles, stall budget " << watchdogBudget << "\n";
+    if (!faultPlan.empty())
+        oss << "FaultPlan  " << faultPlan << "\n";
     return oss.str();
 }
 
@@ -70,6 +270,10 @@ uint64_t
 GpuConfig::fingerprint() const
 {
     // FNV-1a over the numeric fields; any change invalidates cached runs.
+    // Run-control knobs (max_cycles, watchdog_*) are deliberately NOT
+    // mixed in: they never change the stats of a run that completes, so
+    // tightening a budget must not orphan valid cache entries. The fault
+    // plan IS mixed in — injected backpressure changes timing.
     uint64_t h = 0xcbf29ce484222325ull;
     auto mix = [&h](uint64_t v) {
         h ^= v;
@@ -90,6 +294,8 @@ GpuConfig::fingerprint() const
     mix(dramLatency); mix(dramBurstCycles); mix(dramQueueDepth);
     mix(static_cast<uint64_t>(ctaSched)); mix(ctaClusterSize);
     mix(smsPerL2Cluster); mix(nondetSplitRequests);
+    for (char c : faultPlan)
+        mix(static_cast<uint64_t>(static_cast<unsigned char>(c)));
     return h;
 }
 

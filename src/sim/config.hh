@@ -107,8 +107,30 @@ struct GpuConfig
      */
     unsigned nondetSplitRequests = 0;
 
-    // --- Run control ---
-    Cycle maxCycles = 200'000'000;   //!< hard safety stop per launch
+    // --- Run control / robustness (gcl::guard) ---
+    /**
+     * Hard cycle budget for the whole run (the device's global clock,
+     * accumulated across launches). Exceeding it raises
+     * SimError{Kind::Timeout}, which the harness reports as a structured
+     * per-run `timeout` failure record. Overridable per run with
+     * --max-cycles / GCL_MAX_CYCLES.
+     */
+    Cycle maxCycles = 200'000'000;
+    /**
+     * Forward-progress watchdog check period in cycles (0 disables). Every
+     * interval the watchdog compares retired-instruction and
+     * completed-request counters; `watchdogBudget` cycles without any
+     * delta raise SimError{Kind::Hang} with an attached HangReport.
+     */
+    Cycle watchdogInterval = 8192;
+    Cycle watchdogBudget = 2'000'000;
+    /**
+     * guard::FaultPlan spec for deterministic fault injection (see
+     * src/guard/fault.hh for the grammar); empty disables. Part of the
+     * config fingerprint: a faulted run never shares cache entries with a
+     * clean one.
+     */
+    std::string faultPlan;
 
     /** Max concurrent CTAs on one SM for a CTA of the given footprint. */
     unsigned ctasPerSm(unsigned threads_per_cta,
@@ -138,6 +160,21 @@ struct GpuConfig
 
     /** Stable hash over every field; keys the benchmark run cache. */
     uint64_t fingerprint() const;
+
+    /**
+     * Apply one `key=value` override (keys are the snake_case field
+     * names: "num_sms", "l1_mshr", "watchdog_budget", ...). An unknown
+     * key or an unparsable value raises SimError{Kind::Config} whose
+     * message lists the full valid-key vocabulary — a typo must never
+     * silently run the wrong experiment.
+     */
+    void applyOverride(const std::string &key, const std::string &value);
+
+    /** Apply a comma-separated list of `key=value` overrides. */
+    void applyOverrides(const std::string &spec);
+
+    /** Comma-separated list of every override key (error messages). */
+    static std::string knownOverrideKeys();
 };
 
 } // namespace gcl::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "guard/sim_error.hh"
 #include "util/logging.hh"
 
 namespace gcl::sim
@@ -10,7 +11,7 @@ namespace gcl::sim
 void
 DramChannel::push(const MemRequestPtr &req, Cycle now)
 {
-    gcl_assert(canAccept(), "DRAM push into a full queue");
+    gcl_sim_check(canAccept(), "dram", now, "push into a full queue");
     // FCFS: the burst occupies the channel serially; data returns a fixed
     // access latency after its burst starts.
     const Cycle start = std::max(channelFreeAt_, now);
@@ -29,7 +30,7 @@ DramChannel::headReady(Cycle now) const
 MemRequestPtr
 DramChannel::pop()
 {
-    gcl_assert(!queue_.empty(), "DRAM pop from an empty queue");
+    gcl_sim_check(!queue_.empty(), "dram", 0, "pop from an empty queue");
     MemRequestPtr req = std::move(queue_.front().req);
     queue_.pop_front();
     ++serviced_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "guard/sim_error.hh"
 #include "util/logging.hh"
 
 namespace gcl::sim
@@ -259,8 +260,9 @@ WarpExecutor::aluCompute(const Instruction &inst, uint64_t a, uint64_t b,
           case Opcode::Ex2: r = std::exp2(x); break;
           case Opcode::Lg2: r = std::log2(x); break;
           default:
-            gcl_panic("op ", ptx::toString(inst.op),
-                      " unsupported for float types");
+            gcl_sim_error(SimError::Kind::Workload, "exec", 0, "op ",
+                          ptx::toString(inst.op),
+                          " unsupported for float types");
         }
         return f32 ? f32ToBits(static_cast<float>(r)) : f64ToBits(r);
     }
@@ -332,8 +334,9 @@ WarpExecutor::aluCompute(const Instruction &inst, uint64_t a, uint64_t b,
             r = ua >> (ub & (is32 ? 31 : 63));
         break;
       default:
-        gcl_panic("op ", ptx::toString(inst.op),
-                  " unsupported for integer types");
+        gcl_sim_error(SimError::Kind::Workload, "exec", 0, "op ",
+                      ptx::toString(inst.op),
+                      " unsupported for integer types");
     }
 
     if (is32)
@@ -424,8 +427,8 @@ WarpExecutor::step(const LaunchContext &launch, CtaContext &cta,
         info.isLoad = true;
         info.accessSize = 8;
         for_each_lane([&](unsigned lane) {
-            gcl_assert(inst.paramIndex < launch.params.size(),
-                       "param index out of range at runtime");
+            gcl_sim_check(inst.paramIndex < launch.params.size(), "exec",
+                          0, "param index out of range at runtime");
             warp.reg(inst.dst, lane, warpSize_) =
                 launch.params[inst.paramIndex];
         });
@@ -444,7 +447,8 @@ WarpExecutor::step(const LaunchContext &launch, CtaContext &cta,
             info.addrs.emplace_back(lane, addr);
             uint64_t value = 0;
             if (inst.space == MemSpace::Shared) {
-                gcl_assert(cta.shared, "shared load without shared memory");
+                gcl_sim_check(cta.shared, "exec", 0,
+                              "shared load without shared memory");
                 value = cta.shared->read(addr, inst.accessSize);
             } else {
                 // Global, local, const and tex all live in the flat
@@ -470,7 +474,8 @@ WarpExecutor::step(const LaunchContext &launch, CtaContext &cta,
                 operandValue(launch, cta, warp, lane, inst.srcs[1]);
             info.addrs.emplace_back(lane, addr);
             if (inst.space == MemSpace::Shared) {
-                gcl_assert(cta.shared, "shared store without shared memory");
+                gcl_sim_check(cta.shared, "exec", 0,
+                              "shared store without shared memory");
                 cta.shared->write(addr, value, inst.accessSize);
             } else {
                 gmem_.write(addr, value, inst.accessSize);

@@ -1,6 +1,7 @@
 #include "gpu.hh"
 
 #include "core/classifier.hh"
+#include "guard/sim_error.hh"
 #include "util/bitutil.hh"
 #include "util/logging.hh"
 
@@ -8,18 +9,25 @@ namespace gcl::sim
 {
 
 Gpu::Gpu(GpuConfig config)
-    : config_(config), stats_(config_), icnt_(config_)
+    : config_(config), stats_(config_), icnt_(config_),
+      watchdog_(config_.watchdogInterval, config_.watchdogBudget)
 {
+    if (!config_.faultPlan.empty())
+        fault_ = std::make_unique<guard::FaultInjector>(
+            guard::FaultPlan::parse(config_.faultPlan));
     sms_.reserve(config_.numSms);
     for (unsigned s = 0; s < config_.numSms; ++s) {
         sms_.push_back(std::make_unique<Sm>(static_cast<int>(s), config_,
                                             gmem_, stats_));
         sms_.back()->partitionMap = &Gpu::mapPartition;
+        sms_.back()->fault = fault_.get();
     }
     partitions_.reserve(config_.numPartitions);
-    for (unsigned p = 0; p < config_.numPartitions; ++p)
+    for (unsigned p = 0; p < config_.numPartitions; ++p) {
         partitions_.push_back(std::make_unique<MemPartition>(
             static_cast<int>(p), config_, stats_));
+        partitions_.back()->fault = fault_.get();
+    }
 }
 
 void
@@ -176,12 +184,19 @@ void
 Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
             std::vector<uint64_t> params)
 {
-    gcl_assert(cta.count() > 0 && grid.count() > 0, "empty launch");
-    gcl_assert(cta.count() <= config_.maxThreadsPerSm,
-               "CTA larger than an SM's thread capacity");
-    gcl_assert(params.size() >= kernel.numParams(),
-               "launch of '", kernel.name(), "' with ", params.size(),
-               " params; kernel declares ", kernel.numParams());
+    if (cta.count() == 0 || grid.count() == 0)
+        gcl_sim_error(SimError::Kind::Workload, "gpu", clock_,
+                      "empty launch of '", kernel.name(), "'");
+    if (cta.count() > config_.maxThreadsPerSm)
+        gcl_sim_error(SimError::Kind::Workload, "gpu", clock_,
+                      "launch of '", kernel.name(), "': CTA of ",
+                      cta.count(), " threads exceeds the SM capacity of ",
+                      config_.maxThreadsPerSm);
+    if (params.size() < kernel.numParams())
+        gcl_sim_error(SimError::Kind::Workload, "gpu", clock_,
+                      "launch of '", kernel.name(), "' with ",
+                      params.size(), " params; kernel declares ",
+                      kernel.numParams());
 
     LaunchContext launch;
     launch.kernel = &kernel;
@@ -214,11 +229,33 @@ Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
     // Cycle 0 is reserved as the "unset timestamp" sentinel; the clock is
     // global and monotonic across launches.
     const Cycle start = clock_ + 1;
+    watchdog_.beginLaunch(start, stats_.hot.warpInsts,
+                          stats_.hot.reqsCompleted);
     Cycle now = start;
     for (;; ++now) {
-        gcl_assert(now - start < config_.maxCycles,
-                   "launch of '", kernel.name(),
-                   "' exceeded maxCycles; likely a deadlock");
+        // max_cycles budgets the whole run (the global clock), so a
+        // many-launch app cannot dodge the cap launch by launch.
+        if (now >= config_.maxCycles)
+            gcl_sim_error(SimError::Kind::Timeout, "gpu", now,
+                          "run exceeded its budget of ", config_.maxCycles,
+                          " cycles during launch of '", kernel.name(), "'");
+        if (fault_ && fault_->stopKernel(now))
+            gcl_sim_error(SimError::Kind::FaultInjected, "gpu", now,
+                          "fault plan stopped kernel '", kernel.name(),
+                          "'");
+        if (watchdog_.onCycle(now, stats_.hot.warpInsts,
+                              stats_.hot.reqsCompleted)) {
+            auto report = std::make_shared<guard::HangReport>(
+                buildHangReport(kernel.name(), now));
+            // Final timeline sample so a Chrome-trace export shows the
+            // queue occupancies of the hung window.
+            if (GCL_TRACE_ACTIVE(traceSink_))
+                sampleTimeline(now);
+            SimError error(SimError::Kind::Hang, "gpu", now,
+                           report->summary());
+            error.hangReport = std::move(report);
+            throw error;
+        }
 
         dispatchCtas(dispatch);
         for (auto &sm : sms_) {
@@ -244,11 +281,58 @@ Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
             break;
     }
 
+    // Conservation: every data-expecting request the L1s accepted must
+    // have completed by the time the device drained.
+    gcl_sim_check(stats_.hot.reqsIssued == stats_.hot.reqsCompleted, "gpu",
+                  now, stats_.hot.reqsIssued, " requests issued but ",
+                  stats_.hot.reqsCompleted,
+                  " completed at the end of launch of '", kernel.name(),
+                  "'");
+
     clock_ = now;
     lastLaunchCycles_ = now - start + 1;
     stats_.set().inc("cycles", static_cast<double>(lastLaunchCycles_));
     GCL_DEBUG("gpu", "launch '", kernel.name(), "' retired after ",
               lastLaunchCycles_, " cycles");
+}
+
+guard::HangReport
+Gpu::buildHangReport(const std::string &kernel, Cycle now) const
+{
+    guard::HangReport report;
+    report.kernel = kernel;
+    report.cycle = now;
+    report.lastProgressCycle = watchdog_.lastProgressCycle();
+    report.stallCycles = now - report.lastProgressCycle;
+    report.instsIssued = stats_.hot.warpInsts;
+    report.reqsIssued = stats_.hot.reqsIssued;
+    report.reqsCompleted = stats_.hot.reqsCompleted;
+    report.icntReqQueued = icnt_.reqQueued();
+    report.icntRespQueued = icnt_.respQueued();
+    report.sms.reserve(sms_.size());
+    for (const auto &sm : sms_)
+        report.sms.push_back(sm->hangInfo());
+    report.partitions.reserve(partitions_.size());
+    for (const auto &part : partitions_)
+        report.partitions.push_back(part->hangInfo());
+    return report;
+}
+
+void
+Gpu::finalizeStats()
+{
+    // Export how often each configured fault actually fired; a plan whose
+    // windows never overlapped the run shows explicit zeros.
+    if (fault_) {
+        for (unsigned k = 0;
+             k < static_cast<unsigned>(guard::FaultKind::NumKinds); ++k) {
+            const auto kind = static_cast<guard::FaultKind>(k);
+            stats_.set().set(
+                std::string("fault.injected.") + guard::toString(kind),
+                static_cast<double>(fault_->injected(kind)));
+        }
+    }
+    stats_.finalize();
 }
 
 } // namespace gcl::sim

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "config.hh"
+#include "guard/fault.hh"
+#include "guard/watchdog.hh"
 #include "interconnect.hh"
 #include "mem_partition.hh"
 #include "memory.hh"
@@ -45,6 +47,13 @@ class Gpu
      * Classification of the kernel's global loads (the paper's Section V
      * analysis) runs automatically and attributes every dynamic event to
      * its static class.
+     *
+     * @throws SimError when the run exceeds its max_cycles budget
+     *         (Kind::Timeout), the forward-progress watchdog fires
+     *         (Kind::Hang, HangReport attached), a configured fault plan
+     *         stops the kernel (Kind::FaultInjected), or a simulator /
+     *         workload invariant trips. The device is not usable after a
+     *         throw; the owner abandons the whole run.
      */
     void launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
                 std::vector<uint64_t> params);
@@ -59,7 +68,10 @@ class Gpu
     Cycle lastLaunchCycles() const { return lastLaunchCycles_; }
 
     /** Fold locality maps into the stats set; call once, after all launches. */
-    void finalizeStats() { stats_.finalize(); }
+    void finalizeStats();
+
+    /** Fault oracle for this run; null when no plan is configured. */
+    const guard::FaultInjector *faultInjector() const { return fault_.get(); }
 
     /**
      * Install an event sink (gcl::trace) on every unit. When
@@ -85,6 +97,8 @@ class Gpu
     void dispatchCtas(DispatchState &dispatch);
     bool allIdle() const;
     void sampleTimeline(Cycle now) const;
+    guard::HangReport buildHangReport(const std::string &kernel,
+                                      Cycle now) const;
 
     GpuConfig config_;
     GlobalMemory gmem_;
@@ -102,6 +116,9 @@ class Gpu
 
     trace::TraceSink *traceSink_ = nullptr;
     Cycle timelineInterval_ = 0;
+
+    guard::Watchdog watchdog_;
+    std::unique_ptr<guard::FaultInjector> fault_;
 };
 
 } // namespace gcl::sim

@@ -1,5 +1,6 @@
 #include "interconnect.hh"
 
+#include "guard/sim_error.hh"
 #include "util/logging.hh"
 
 namespace gcl::sim
@@ -24,7 +25,8 @@ Interconnect::canInject(int sm) const
 void
 Interconnect::inject(const MemRequestPtr &req, Cycle now)
 {
-    gcl_assert(canInject(req->smId), "inject into a full queue");
+    gcl_sim_check(canInject(req->smId), "icnt", now,
+                  "inject into a full queue");
     req->tInjected = now;
     GCL_TRACE(traceSink, trace::EventKind::ReqInject, now, req->id,
               req->lineAddr, tracePc(*req),
@@ -41,7 +43,8 @@ Interconnect::hasRequest(int part, Cycle now) const
 MemRequestPtr
 Interconnect::popRequest(int part, Cycle now)
 {
-    gcl_assert(hasRequest(part, now), "popRequest with none ready");
+    gcl_sim_check(hasRequest(part, now), "icnt", now,
+                  "popRequest with none ready");
     return toPart_[static_cast<size_t>(part)].pop();
 }
 
@@ -55,7 +58,8 @@ Interconnect::canRespond(int part) const
 void
 Interconnect::respond(const MemRequestPtr &req, Cycle now)
 {
-    gcl_assert(canRespond(req->partition), "respond into a full queue");
+    gcl_sim_check(canRespond(req->partition), "icnt", now,
+                  "respond into a full queue");
     req->tRespDepart = now;
     GCL_TRACE(traceSink, trace::EventKind::ReqRespDepart, now, req->id,
               req->lineAddr, tracePc(*req),
@@ -72,7 +76,8 @@ Interconnect::hasResponse(int sm, Cycle now) const
 MemRequestPtr
 Interconnect::popResponse(int sm, Cycle now)
 {
-    gcl_assert(hasResponse(sm, now), "popResponse with none ready");
+    gcl_sim_check(hasResponse(sm, now), "icnt", now,
+                  "popResponse with none ready");
     return toSm_[static_cast<size_t>(sm)].pop();
 }
 

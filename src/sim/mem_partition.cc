@@ -25,6 +25,11 @@ MemPartition::serviceHead(Cycle now)
 {
     const MemRequestPtr &req = ropQ_.peek();
 
+    // Injected DRAM refusal window (gcl::guard): the channel pretends to
+    // be full, stalling the ROP head like real DRAM-queue backpressure.
+    const bool dram_ok =
+        dram_.canAccept() && !(fault && fault->dramRefused(now));
+
     if (req->isWrite) {
         // Writes that hit in the L2 are absorbed (a write-back cache would
         // coalesce them); a write miss installs the line (write-allocate
@@ -35,7 +40,7 @@ MemPartition::serviceHead(Cycle now)
             ropQ_.pop();
             return true;
         }
-        if (!dram_.canAccept())
+        if (!dram_ok)
             return false;
         l2_.installValid(req->lineAddr);
         dram_.push(req, now);
@@ -59,7 +64,7 @@ MemPartition::serviceHead(Cycle now)
     }
 
     // Read access to the L2 slice.
-    const AccessOutcome outcome = l2_.access(req, dram_.canAccept());
+    const AccessOutcome outcome = l2_.access(req, dram_ok);
     // A stalled head retries every cycle; dedupe identical fails so trace
     // volume scales with outcome changes, not stall lengths.
     if (GCL_TRACE_ACTIVE(traceSink_) &&
@@ -152,6 +157,19 @@ bool
 MemPartition::idle() const
 {
     return ropQ_.empty() && dram_.empty() && respPending_.empty();
+}
+
+guard::PartitionHangInfo
+MemPartition::hangInfo() const
+{
+    guard::PartitionHangInfo info;
+    info.partition = id_;
+    info.ropQueued = ropQ_.size();
+    info.dramQueued = dram_.size();
+    info.respQueued = respPending_.size();
+    info.mshrOccupancy = l2_.mshrOccupancy();
+    info.reservedLines = l2_.reservedLines();
+    return info;
 }
 
 } // namespace gcl::sim

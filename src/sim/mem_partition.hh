@@ -18,6 +18,8 @@
 #include "config.hh"
 #include "delay_queue.hh"
 #include "dram.hh"
+#include "guard/fault.hh"
+#include "guard/watchdog.hh"
 #include "interconnect.hh"
 #include "stats.hh"
 
@@ -46,6 +48,12 @@ class MemPartition
     size_t ropQueued() const { return ropQ_.size(); }
     size_t dramQueued() const { return dram_.size(); }
     size_t respQueued() const { return respPending_.size(); }
+
+    /** Snapshot for a watchdog HangReport (gcl::guard). */
+    guard::PartitionHangInfo hangInfo() const;
+
+    /** Fault oracle (gcl::guard), installed by the Gpu; null = no faults. */
+    guard::FaultInjector *fault = nullptr;
 
   private:
     trace::TraceSink *traceSink_ = nullptr;

@@ -1,6 +1,7 @@
 #include "memory.hh"
 
 #include "util/bitutil.hh"
+#include "guard/sim_error.hh"
 #include "util/logging.hh"
 
 namespace gcl::sim
@@ -27,12 +28,13 @@ GlobalMemory::pageForRead(uint64_t addr) const
 uint64_t
 GlobalMemory::read(uint64_t addr, unsigned size) const
 {
-    gcl_assert(size == 1 || size == 2 || size == 4 || size == 8,
-               "bad access size ", size);
+    gcl_sim_check(size == 1 || size == 2 || size == 4 || size == 8,
+                  "gmem", 0, "bad access size ", size);
     // Accesses from the IR are naturally aligned, so they never straddle a
     // page; readBlock handles arbitrary spans.
-    gcl_assert((addr & (size - 1)) == 0, "misaligned read of ", size,
-               " bytes at ", addr);
+    if ((addr & (size - 1)) != 0)
+        gcl_sim_error(SimError::Kind::Workload, "gmem", 0,
+                      "misaligned read of ", size, " bytes at ", addr);
     const uint8_t *page = pageForRead(addr);
     if (!page)
         return 0;  // untouched memory reads as zero
@@ -44,10 +46,11 @@ GlobalMemory::read(uint64_t addr, unsigned size) const
 void
 GlobalMemory::write(uint64_t addr, uint64_t value, unsigned size)
 {
-    gcl_assert(size == 1 || size == 2 || size == 4 || size == 8,
-               "bad access size ", size);
-    gcl_assert((addr & (size - 1)) == 0, "misaligned write of ", size,
-               " bytes at ", addr);
+    gcl_sim_check(size == 1 || size == 2 || size == 4 || size == 8,
+                  "gmem", 0, "bad access size ", size);
+    if ((addr & (size - 1)) != 0)
+        gcl_sim_error(SimError::Kind::Workload, "gmem", 0,
+                      "misaligned write of ", size, " bytes at ", addr);
     uint8_t *page = pageFor(addr);
     std::memcpy(page + (addr & (kPageSize - 1)), &value, size);
 }
@@ -88,7 +91,9 @@ GlobalMemory::writeBlock(uint64_t addr, const void *src, size_t size)
 uint64_t
 GlobalMemory::allocate(size_t size)
 {
-    gcl_assert(size > 0, "zero-sized device allocation");
+    if (size == 0)
+        gcl_sim_error(SimError::Kind::Workload, "gmem", 0,
+                      "zero-sized device allocation");
     const uint64_t addr = allocTop_;
     allocTop_ = roundUp(allocTop_ + size, 256);
     return addr;
@@ -97,9 +102,10 @@ GlobalMemory::allocate(size_t size)
 uint64_t
 SharedMemory::read(uint64_t addr, unsigned size) const
 {
-    gcl_assert(addr + size <= data_.size(),
-               "shared-memory read out of bounds: ", addr, "+", size,
-               " > ", data_.size());
+    if (addr + size > data_.size())
+        gcl_sim_error(SimError::Kind::Workload, "smem", 0,
+                      "shared-memory read out of bounds: ", addr, "+", size,
+                      " > ", data_.size());
     uint64_t value = 0;
     std::memcpy(&value, data_.data() + addr, size);
     return value;
@@ -108,9 +114,10 @@ SharedMemory::read(uint64_t addr, unsigned size) const
 void
 SharedMemory::write(uint64_t addr, uint64_t value, unsigned size)
 {
-    gcl_assert(addr + size <= data_.size(),
-               "shared-memory write out of bounds: ", addr, "+", size,
-               " > ", data_.size());
+    if (addr + size > data_.size())
+        gcl_sim_error(SimError::Kind::Workload, "smem", 0,
+                      "shared-memory write out of bounds: ", addr, "+",
+                      size, " > ", data_.size());
     std::memcpy(data_.data() + addr, &value, size);
 }
 

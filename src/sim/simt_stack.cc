@@ -1,5 +1,6 @@
 #include "simt_stack.hh"
 
+#include "guard/sim_error.hh"
 #include "util/logging.hh"
 
 namespace gcl::sim
@@ -16,14 +17,15 @@ SimtStack::reset(LaneMask initial_mask, size_t end_pc)
 size_t
 SimtStack::pc() const
 {
-    gcl_assert(!stack_.empty(), "pc() on a finished warp");
+    gcl_sim_check(!stack_.empty(), "simt", 0, "pc() on a finished warp");
     return stack_.back().pc;
 }
 
 LaneMask
 SimtStack::activeMask() const
 {
-    gcl_assert(!stack_.empty(), "activeMask() on a finished warp");
+    gcl_sim_check(!stack_.empty(), "simt", 0,
+                  "activeMask() on a finished warp");
     return stack_.back().mask;
 }
 
@@ -38,7 +40,8 @@ SimtStack::reconverge()
 void
 SimtStack::advance()
 {
-    gcl_assert(!stack_.empty(), "advance() on a finished warp");
+    gcl_sim_check(!stack_.empty(), "simt", 0,
+                  "advance() on a finished warp");
     ++stack_.back().pc;
     reconverge();
 }
@@ -46,10 +49,11 @@ SimtStack::advance()
 void
 SimtStack::branch(LaneMask taken_mask, size_t target_pc, size_t reconv_pc)
 {
-    gcl_assert(!stack_.empty(), "branch() on a finished warp");
+    gcl_sim_check(!stack_.empty(), "simt", 0,
+                  "branch() on a finished warp");
     Entry &top = stack_.back();
-    gcl_assert((taken_mask & ~top.mask) == 0,
-               "taken mask contains inactive lanes");
+    gcl_sim_check((taken_mask & ~top.mask) == 0, "simt", 0,
+                  "taken mask contains inactive lanes");
 
     const LaneMask not_taken = top.mask & ~taken_mask;
 
@@ -78,9 +82,10 @@ SimtStack::branch(LaneMask taken_mask, size_t target_pc, size_t reconv_pc)
 void
 SimtStack::exitLanes(LaneMask exiting)
 {
-    gcl_assert(!stack_.empty(), "exitLanes() on a finished warp");
-    gcl_assert((exiting & ~stack_.back().mask) == 0,
-               "exiting lanes are not active");
+    gcl_sim_check(!stack_.empty(), "simt", 0,
+                  "exitLanes() on a finished warp");
+    gcl_sim_check((exiting & ~stack_.back().mask) == 0, "simt", 0,
+                  "exiting lanes are not active");
     for (auto &entry : stack_)
         entry.mask &= ~exiting;
 

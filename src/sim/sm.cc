@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "coalescer.hh"
+#include "guard/sim_error.hh"
 #include "util/logging.hh"
 
 namespace gcl::sim
@@ -23,8 +24,9 @@ Sm::Sm(int id, const GpuConfig &config, GlobalMemory &gmem, SimStats &stats)
 void
 Sm::startLaunch(const LaunchContext &launch)
 {
-    gcl_assert(residentCtas_ == 0 && !busy(),
-               "startLaunch on a busy SM");
+    gcl_sim_check(residentCtas_ == 0 && !busy(),
+                  "sm" + std::to_string(id_), 0,
+                  "startLaunch on a busy SM");
     launch_ = &launch;
     kernelId_ = stats_.kernelId(launch.kernel->name());
     warpsPerCta_ = launch.warpsPerCta(config_.warpSize);
@@ -56,7 +58,8 @@ Sm::canTakeCta() const
 void
 Sm::launchCta(uint32_t linear_id, uint32_t cx, uint32_t cy, uint32_t cz)
 {
-    gcl_assert(canTakeCta(), "launchCta without capacity");
+    gcl_sim_check(canTakeCta(), "sm" + std::to_string(id_), 0,
+                  "launchCta without capacity");
 
     int slot = -1;
     for (size_t c = 0; c < ctas_.size(); ++c) {
@@ -65,7 +68,8 @@ Sm::launchCta(uint32_t linear_id, uint32_t cx, uint32_t cy, uint32_t cz)
             break;
         }
     }
-    gcl_assert(slot >= 0, "no free CTA slot");
+    gcl_sim_check(slot >= 0, "sm" + std::to_string(id_), 0,
+                  "no free CTA slot");
     issueDirty_ = true;
     GCL_DEBUG("sm", "sm", id_, ": cta ", linear_id, " -> slot ", slot);
 
@@ -212,7 +216,8 @@ Sm::warpExited(int slot)
     if (cta.warpsDone == cta.numWarps) {
         cta.active = false;
         cta.shared.reset();
-        gcl_assert(residentCtas_ > 0, "CTA bookkeeping underflow");
+        gcl_sim_check(residentCtas_ > 0, "sm" + std::to_string(id_), 0,
+                      "CTA bookkeeping underflow");
         --residentCtas_;
         return;
     }
@@ -431,8 +436,10 @@ Sm::completeRequest(const MemRequestPtr &req, Cycle now)
     WarpMemOp *op = req->op;
     if (!op)
         return;  // store: nothing waits for it
+    ++stats_.hot.reqsCompleted;
 
-    gcl_assert(op->outstanding > 0, "request completion underflow");
+    gcl_sim_check(op->outstanding > 0, "sm" + std::to_string(id_), now,
+                  "request completion underflow");
     --op->outstanding;
     if (op->tFirstData == 0)
         op->tFirstData = now;
@@ -450,7 +457,9 @@ Sm::completeRequest(const MemRequestPtr &req, Cycle now)
                 return;
             }
         }
-        gcl_panic("completed op not found in pendingOps");
+        gcl_sim_error(SimError::Kind::Invariant,
+                      "sm" + std::to_string(id_), now,
+                      "completed op not found in pendingOps");
     }
 }
 
@@ -512,10 +521,16 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
         }
     };
 
+    // Injected interconnect backpressure (gcl::guard): the port refuses
+    // for the window, surfacing at the L1 as FailIcnt — the same edge a
+    // real storm exercises.
+    const bool icnt_ok =
+        icnt.canInject(id_) && !(fault && fault->icntBlocked(now));
+
     if (req->isWrite || req->isAtomic) {
         // Write-through stores and atomics bypass the L1 tags; they only
         // need interconnect injection space.
-        if (icnt.canInject(id_)) {
+        if (icnt_ok) {
             req->tAccepted = now;
             trace_l1(AccessOutcome::Miss);
             icnt.inject(req, now);
@@ -526,7 +541,12 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
             stats_.l1AccessCycle(AccessOutcome::FailIcnt);
         }
     } else {
-        const AccessOutcome outcome = l1_.access(req, icnt.canInject(id_));
+        // Injected MSHR exhaustion reports FailMshr without touching the
+        // tag array, exactly like a real full-MSHR reservation fail.
+        const AccessOutcome outcome =
+            fault && fault->mshrExhausted(now)
+                ? AccessOutcome::FailMshr
+                : l1_.access(req, icnt_ok);
         trace_l1(outcome);
         stats_.l1AccessCycle(outcome);
         switch (outcome) {
@@ -562,6 +582,12 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
 
     if (!accepted)
         return;  // retry next cycle; the stage stays occupied
+
+    // Conservation (gcl::guard): an accepted data-expecting request must
+    // eventually complete; the end-of-launch check balances this counter
+    // against reqsCompleted.
+    if (req->op != nullptr)
+        ++stats_.hot.reqsIssued;
 
     // Once accepted, the L1-side fail history is irrelevant — reset so the
     // L2-side dedupe (which reuses the field) starts fresh.
@@ -612,9 +638,12 @@ Sm::writebackCycle(Cycle now)
         wbHeap_.pop();
         issueDirty_ = true;
         WarpContext &warp = warps_[static_cast<size_t>(wb.slot)];
-        gcl_assert(warp.active, "writeback to a retired warp slot");
+        gcl_sim_check(warp.active, "sm" + std::to_string(id_), now,
+                      "writeback to a retired warp slot");
         warp.clearScoreboard(wb.reg);
-        gcl_assert(warp.inflightOps > 0, "inflight op underflow");
+        gcl_sim_check(warp.inflightOps > 0, "sm" + std::to_string(id_), now,
+                      "scoreboard acquire/release imbalance (inflight op "
+                      "underflow)");
         --warp.inflightOps;
     }
 }
@@ -643,6 +672,11 @@ Sm::cycle(Cycle now, Interconnect &icnt)
 void
 Sm::receiveResponse(const MemRequestPtr &req, Cycle now)
 {
+    // Injected dropped fill (gcl::guard): the response vanishes, leaking
+    // the MSHR entry and every merged request — the livelock case the
+    // forward-progress watchdog exists to catch.
+    if (fault && fault->dropFill(now))
+        return;
     if (req->isAtomic) {
         completeRequest(req, now);
         return;
@@ -654,6 +688,45 @@ Sm::receiveResponse(const MemRequestPtr &req, Cycle now)
             merged->tArriveL2 ? merged->tArriveL2 : req->tArriveL2;
         completeRequest(merged, now);
     }
+}
+
+guard::SmHangInfo
+Sm::hangInfo() const
+{
+    guard::SmHangInfo info;
+    info.sm = id_;
+    info.residentCtas = residentCtas_;
+    info.activeWarps = activeWarps();
+    for (const auto &cta : ctas_)
+        if (cta.active)
+            info.warpsAtBarrier += cta.warpsAtBarrier;
+    for (const auto &warp : warps_)
+        if (warp.active)
+            info.inflightOps += warp.inflightOps;
+    info.ldstQueued = ldstQ_.size();
+    info.pendingOps = pendingOps_.size();
+    info.mshrOccupancy = l1_.mshrOccupancy();
+    info.reservedLines = l1_.reservedLines();
+
+    unsigned listed = 0;
+    for (size_t slot = 0; slot < warps_.size(); ++slot) {
+        const WarpContext &warp = warps_[slot];
+        if (!warp.active)
+            continue;
+        if (listed == 8) {
+            info.stuckWarps += " ...";
+            break;
+        }
+        if (!info.stuckWarps.empty())
+            info.stuckWarps += ' ';
+        info.stuckWarps += 'w' + std::to_string(slot);
+        if (warp.atBarrier)
+            info.stuckWarps += "@bar";
+        else if (!warp.stack.done())
+            info.stuckWarps += "@pc" + std::to_string(warp.stack.pc());
+        ++listed;
+    }
+    return info;
 }
 
 } // namespace gcl::sim

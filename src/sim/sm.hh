@@ -24,6 +24,8 @@
 #include "config.hh"
 #include "delay_queue.hh"
 #include "functional.hh"
+#include "guard/fault.hh"
+#include "guard/watchdog.hh"
 #include "interconnect.hh"
 #include "mem_request.hh"
 #include "stats.hh"
@@ -69,6 +71,9 @@ class Sm
     // ---- Timeline sampling (gcl::trace) ----
     unsigned activeWarps() const;
     size_t ldstQueued() const { return ldstQ_.size() + pendingOps_.size(); }
+
+    /** Snapshot for a watchdog HangReport (gcl::guard). */
+    guard::SmHangInfo hangInfo() const;
 
   private:
     // --- Issue stage ---
@@ -148,6 +153,9 @@ class Sm
 
     /** Event sink (gcl::trace), installed by the Gpu; null when untraced. */
     trace::TraceSink *traceSink = nullptr;
+
+    /** Fault oracle (gcl::guard), installed by the Gpu; null = no faults. */
+    guard::FaultInjector *fault = nullptr;
 };
 
 } // namespace gcl::sim

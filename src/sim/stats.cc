@@ -142,6 +142,8 @@ SimStats::finalize()
     set_.inc("busy.sfu", static_cast<double>(hot.busySfu));
     set_.inc("busy.ldst", static_cast<double>(hot.busyLdst));
     set_.inc("part.stall_cycles", static_cast<double>(hot.partStalls));
+    set_.inc("reqs.issued", static_cast<double>(hot.reqsIssued));
+    set_.inc("reqs.completed", static_cast<double>(hot.reqsCompleted));
     set_.inc("sload.warps", static_cast<double>(hot.sloadWarps));
     set_.inc("sstore.warps", static_cast<double>(hot.sstoreWarps));
     set_.inc("gstore.warps", static_cast<double>(hot.gstoreWarps));

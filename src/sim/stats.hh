@@ -56,6 +56,14 @@ class SimStats
         uint64_t warpInsts = 0;
         uint64_t threadInsts = 0;
         uint64_t smCycles = 0;
+        /**
+         * Request conservation (gcl::guard): every data-expecting request
+         * accepted by an L1 must eventually complete. The watchdog uses
+         * reqsCompleted as its memory-progress counter, and the device
+         * checks issued == completed at the end of every launch.
+         */
+        uint64_t reqsIssued = 0;
+        uint64_t reqsCompleted = 0;
         uint64_t busySp = 0;
         uint64_t busySfu = 0;
         uint64_t busyLdst = 0;

@@ -1,5 +1,6 @@
 #include "sim_context.hh"
 
+#include "guard/fault.hh"
 #include "sim/gpu.hh"
 #include "util/logging.hh"
 
@@ -10,6 +11,20 @@ SimContext::SimContext(const Workload &workload,
                        const sim::GpuConfig &config)
     : workload_(workload), config_(config)
 {
+    // An app-targeted fault plan (see guard::FaultPlan::appliesTo) is
+    // stripped from runs it does not target, so those runs keep the clean
+    // config fingerprint — and therefore the clean cache identity and
+    // byte-identical stats — of a fault-free sweep.
+    if (!config_.faultPlan.empty()) {
+        try {
+            if (!guard::FaultPlan::parse(config_.faultPlan)
+                     .appliesTo(workload_.name))
+                config_.faultPlan.clear();
+        } catch (const SimError &) {
+            // Unparsable spec: keep it; run() turns the parse error into
+            // this run's structured failure record.
+        }
+    }
 }
 
 SimContext::~SimContext() = default;
@@ -38,17 +53,28 @@ SimContext::run()
     // attributable.
     LogTagScope tag(workload_.name);
 
-    sim::Gpu gpu(config_);
-    if (sink_)
-        gpu.attachTrace(sink_.get(), timelineInterval_);
-    verified_ = workload_.run(gpu);
-    gpu.finalizeStats();
-    stats_ = gpu.stats().set();
-    if (sink_) {
-        gpu.attachTrace(nullptr);
-        sink_->flush();
+    try {
+        sim::Gpu gpu(config_);
+        if (sink_)
+            gpu.attachTrace(sink_.get(), timelineInterval_);
+        verified_ = workload_.run(gpu);
+        gpu.finalizeStats();
+        stats_ = gpu.stats().set();
+        if (sink_)
+            gpu.attachTrace(nullptr);
+    } catch (const SimError &error) {
+        // The device model is gone, but the failure is confined to this
+        // run: record it and let the caller (and sibling runs) carry on.
+        failure_ = SimFailure::fromError(error);
+        verified_ = false;
+        stats_ = StatsSet{};
+        gcl_warn("workload '", workload_.name, "' failed: ", error.what());
     }
-    if (!verified_)
+    // Flush even on failure — the trace of the final window is exactly
+    // what a hang post-mortem needs.
+    if (sink_)
+        sink_->flush();
+    if (!failure_.failed && !verified_)
         gcl_warn("workload '", workload_.name,
                  "' failed its reference check");
 }

@@ -25,6 +25,7 @@
 
 #include <memory>
 
+#include "guard/sim_error.hh"
 #include "sim/config.hh"
 #include "trace/trace.hh"
 #include "util/stats.hh"
@@ -59,11 +60,22 @@ class SimContext
      * launches, verification, stats finalization. The device model is
      * created here and destroyed before returning (a finished context
      * holds stats, not a GPU). Call at most once.
+     *
+     * Never throws SimError: a recoverable simulation failure (watchdog
+     * hang, cycle-budget timeout, injected fault, tripped invariant) is
+     * caught here and recorded as a structured failure() — the run is
+     * self-contained, so sibling runs of a parallel sweep are unaffected.
      */
     void run();
 
     /** CPU reference check outcome (valid after run()). */
     bool verified() const { return verified_; }
+
+    /** True when run() caught a SimError. */
+    bool failed() const { return failure_.failed; }
+
+    /** Structured failure record (failed == false means a clean run). */
+    const SimFailure &failure() const { return failure_; }
 
     /** Finalized simulator stats (valid after run()). */
     const StatsSet &stats() const { return stats_; }
@@ -80,6 +92,7 @@ class SimContext
     std::unique_ptr<trace::TraceSink> sink_;
     sim::Cycle timelineInterval_ = 0;
     StatsSet stats_;
+    SimFailure failure_;
     bool verified_ = false;
     bool ran_ = false;
 };

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "guard/sim_error.hh"
 #include "sim/cache.hh"
 
 namespace
@@ -142,10 +143,19 @@ TEST(CacheTest, ReservedLineIsNotEvictable)
     EXPECT_TRUE(cache.isHit(0));
 }
 
-TEST(CacheDeathTest, FillWithoutReservationPanics)
+TEST(CacheTest, FillWithoutReservationIsRecoverableError)
 {
+    // A stray fill means the cache/MSHR handshake is broken: the run dies
+    // with SimError{Invariant}, not a process abort (gcl::guard taxonomy).
     Cache cache("t", smallConfig());
-    EXPECT_DEATH(cache.fill(0), "not reserved");
+    try {
+        cache.fill(0);
+        FAIL() << "fill without a reservation accepted";
+    } catch (const gcl::SimError &e) {
+        EXPECT_EQ(e.kind(), gcl::SimError::Kind::Invariant);
+        EXPECT_EQ(e.component(), "t");
+        EXPECT_NE(e.message().find("not reserved"), std::string::npos);
+    }
 }
 
 /** Parameterized sweep: geometry invariants hold across shapes. */
@@ -215,11 +225,17 @@ TEST(MshrTest, LifecycleAndLimits)
     EXPECT_FALSE(mshr.full());
 }
 
-TEST(MshrDeathTest, DoubleAllocatePanics)
+TEST(MshrTest, DoubleAllocateIsRecoverableError)
 {
     Mshr mshr(4, 4);
     mshr.allocate(0, makeReq(0));
-    EXPECT_DEATH(mshr.allocate(0, makeReq(0)), "double allocate");
+    try {
+        mshr.allocate(0, makeReq(0));
+        FAIL() << "double allocate accepted";
+    } catch (const gcl::SimError &e) {
+        EXPECT_EQ(e.kind(), gcl::SimError::Kind::Invariant);
+        EXPECT_NE(e.message().find("double allocate"), std::string::npos);
+    }
 }
 
 } // namespace

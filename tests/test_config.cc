@@ -8,6 +8,7 @@
 
 #include <set>
 
+#include "guard/sim_error.hh"
 #include "sim/config.hh"
 #include "sim/gpu.hh"
 
@@ -47,11 +48,19 @@ TEST(Config, OccupancyLimitedBySharedMemory)
     EXPECT_EQ(config.ctasPerSm(128, 48 * 1024), 1u);
 }
 
-TEST(ConfigDeathTest, OversizedCtaRejected)
+TEST(Config, OversizedCtaRejected)
 {
+    // An impossible launch shape invalidates that workload's run only
+    // (SimError{Workload}), so sweep siblings keep going.
     GpuConfig config;
-    EXPECT_DEATH(config.ctasPerSm(2048, 0), "unsupported");
-    EXPECT_DEATH(config.ctasPerSm(32, 64 * 1024), "exceeds");
+    try {
+        config.ctasPerSm(2048, 0);
+        FAIL() << "oversized CTA accepted";
+    } catch (const gcl::SimError &e) {
+        EXPECT_EQ(e.kind(), gcl::SimError::Kind::Workload);
+        EXPECT_NE(e.message().find("unsupported"), std::string::npos);
+    }
+    EXPECT_THROW(config.ctasPerSm(32, 64 * 1024), gcl::SimError);
 }
 
 TEST(Config, UnloadedLatenciesCompose)

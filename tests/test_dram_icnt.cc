@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "guard/sim_error.hh"
 #include "sim/dram.hh"
 #include "sim/interconnect.hh"
 
@@ -87,7 +88,15 @@ TEST(DramTest, QueueDepthEnforced)
     dram.push(makeReq(1, 0), 0);
     dram.push(makeReq(2, 0), 0);
     EXPECT_FALSE(dram.canAccept());
-    EXPECT_DEATH(dram.push(makeReq(3, 0), 0), "full queue");
+    // Pushing past the depth is a device-model invariant violation: it
+    // fails the run with a recoverable SimError, not a process abort.
+    try {
+        dram.push(makeReq(3, 0), 0);
+        FAIL() << "push into a full queue accepted";
+    } catch (const gcl::SimError &e) {
+        EXPECT_EQ(e.kind(), gcl::SimError::Kind::Invariant);
+        EXPECT_EQ(e.component(), "dram");
+    }
 }
 
 TEST(IcntTest, RequestTraversalLatency)

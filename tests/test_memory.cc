@@ -9,6 +9,7 @@
 #include <cstring>
 #include <vector>
 
+#include "guard/sim_error.hh"
 #include "sim/memory.hh"
 
 namespace
@@ -83,11 +84,18 @@ TEST(GlobalMemoryTest, AllocatorAlignsAndSeparates)
     EXPECT_GE(c, b + 1);
 }
 
-TEST(GlobalMemoryDeathTest, MisalignedAccessPanics)
+TEST(GlobalMemoryTest, MisalignedAccessIsRecoverableError)
 {
     GlobalMemory mem;
-    EXPECT_DEATH(mem.read(0x1001, 4), "misaligned");
-    EXPECT_DEATH(mem.write(0x1002, 0, 8), "misaligned");
+    try {
+        mem.read(0x1001, 4);
+        FAIL() << "misaligned read accepted";
+    } catch (const gcl::SimError &e) {
+        EXPECT_EQ(e.kind(), gcl::SimError::Kind::Workload);
+        EXPECT_EQ(e.component(), "gmem");
+        EXPECT_NE(e.message().find("misaligned"), std::string::npos);
+    }
+    EXPECT_THROW(mem.write(0x1002, 0, 8), gcl::SimError);
 }
 
 TEST(SharedMemoryTest, RoundTripAndZeroInit)
@@ -99,11 +107,20 @@ TEST(SharedMemoryTest, RoundTripAndZeroInit)
     EXPECT_EQ(smem.size(), 256u);
 }
 
-TEST(SharedMemoryDeathTest, OutOfBoundsPanics)
+TEST(SharedMemoryTest, OutOfBoundsIsRecoverableError)
 {
+    // A workload indexing outside its shared allocation invalidates that
+    // run, not the process (gcl::guard error taxonomy).
     SharedMemory smem(64);
-    EXPECT_DEATH(smem.read(64, 4), "out of bounds");
-    EXPECT_DEATH(smem.write(61, 0, 4), "out of bounds");
+    try {
+        smem.read(64, 4);
+        FAIL() << "out-of-bounds read accepted";
+    } catch (const gcl::SimError &e) {
+        EXPECT_EQ(e.kind(), gcl::SimError::Kind::Workload);
+        EXPECT_EQ(e.component(), "smem");
+        EXPECT_NE(e.message().find("out of bounds"), std::string::npos);
+    }
+    EXPECT_THROW(smem.write(61, 0, 4), gcl::SimError);
 }
 
 } // namespace

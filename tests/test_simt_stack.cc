@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "guard/sim_error.hh"
 #include "sim/simt_stack.hh"
 
 namespace
@@ -173,11 +174,20 @@ TEST(SimtStackTest, PartialExitUnderDivergence)
     EXPECT_TRUE(s.done());
 }
 
-TEST(SimtStackTest, BranchAssertsOnForeignLanes)
+TEST(SimtStackTest, BranchOnForeignLanesIsRecoverableError)
 {
+    // Branching with lanes outside the active set means the stack state
+    // is corrupt — the run dies with SimError{Invariant}, siblings live.
     SimtStack s;
     s.reset(0x0fu, 100);
-    EXPECT_DEATH(s.branch(0xf0u, 10, 20), "inactive lanes");
+    try {
+        s.branch(0xf0u, 10, 20);
+        FAIL() << "branch with inactive lanes accepted";
+    } catch (const gcl::SimError &e) {
+        EXPECT_EQ(e.kind(), gcl::SimError::Kind::Invariant);
+        EXPECT_EQ(e.component(), "simt");
+        EXPECT_NE(e.message().find("inactive lanes"), std::string::npos);
+    }
 }
 
 } // namespace
