@@ -106,14 +106,17 @@ void
 BM_CacheAccessStream(benchmark::State &state)
 {
     sim::GpuConfig config;
-    sim::Cache cache("bench", config.l1);
+    sim::MemPools pools;
+    sim::Cache cache("bench", config.l1, pools);
     uint64_t addr = 0;
     for (auto _ : state) {
-        auto req = std::make_shared<sim::MemRequest>();
-        req->lineAddr = (addr += 128);
+        const sim::ReqHandle req = pools.reqs.alloc();
+        const uint64_t line = (addr += 128);
+        pools.reqs.get(req).lineAddr = line;
         const auto outcome = cache.access(req, true);
         if (outcome == sim::AccessOutcome::Miss)
-            cache.fill(req->lineAddr);
+            cache.fill(line);
+        pools.reqs.free(req);
         benchmark::DoNotOptimize(outcome);
     }
 }

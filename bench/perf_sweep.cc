@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Simulator-throughput microbench: how fast does the simulator itself run?
+ *
+ * Every figure in the paper is produced by replaying the full memory
+ * system cycle by cycle, so host-side throughput (simulated cycles per
+ * wall-clock second) is the single lever on how many configs a sweep can
+ * cover. This bench pins a fixed subset of the Table I suite, simulates
+ * each app fresh (never the run cache — we are timing the simulator, not
+ * the disk), and emits a BENCH_perf.json snapshot:
+ *
+ *   cycles_per_sec   simulated cycles / host seconds (higher is better)
+ *   ns_per_cycle     host nanoseconds per simulated cycle (lower is better)
+ *   peak_rss_kb      peak resident set of the whole process
+ *
+ * `tools/perf_diff old.json new.json` compares two snapshots and fails on
+ * a regression; `scripts/bench_perf.sh` wires both against the committed
+ * baseline in bench/baselines/ so every perf PR leaves a trajectory.
+ *
+ * Runs are timed best-of-N (--repeat) to shave scheduler noise; the
+ * simulated cycle count of every run is asserted identical across
+ * repetitions — a perf bench that silently simulates different work would
+ * be comparing apples to oranges.
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "util/logging.hh"
+#include "workloads/sim_context.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using gcl::sim::GpuConfig;
+
+/**
+ * Pinned subset: one cheap and one expensive app per Table I category so
+ * the number tracks coalescer/L1 pressure (linear), high turnaround
+ * volume (image) and non-deterministic request storms (graph) at once.
+ * Keep this list stable — changing it invalidates every baseline.
+ */
+const char *kPinnedApps[] = {"gaus", "2mm", "bpr", "srad", "bfs", "spmv"};
+
+struct AppPerf
+{
+    std::string name;
+    uint64_t simCycles = 0;
+    uint64_t warpInsts = 0;
+    double bestSeconds = 0.0;
+};
+
+double
+now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+long
+peakRssKb()
+{
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return usage.ru_maxrss;  // KB on Linux
+}
+
+void
+writeJson(const std::string &path, const std::string &label,
+          const std::vector<AppPerf> &apps, unsigned repeat)
+{
+    uint64_t total_cycles = 0, total_insts = 0;
+    double total_seconds = 0.0;
+    for (const auto &app : apps) {
+        total_cycles += app.simCycles;
+        total_insts += app.warpInsts;
+        total_seconds += app.bestSeconds;
+    }
+    const double cps =
+        total_seconds > 0 ? static_cast<double>(total_cycles) / total_seconds
+                          : 0.0;
+    const double ns_per_cycle =
+        total_cycles > 0 ? total_seconds * 1e9 /
+                               static_cast<double>(total_cycles)
+                         : 0.0;
+
+    std::ofstream out(path);
+    if (!out)
+        gcl_fatal("cannot write '", path, "'");
+    char buf[256];
+    out << "{\n";
+    out << "  \"bench\": \"perf_sweep\",\n";
+    out << "  \"label\": \"" << label << "\",\n";
+    out << "  \"repeat\": " << repeat << ",\n";
+    out << "  \"per_app\": [\n";
+    for (size_t i = 0; i < apps.size(); ++i) {
+        const AppPerf &app = apps[i];
+        const double app_cps = app.bestSeconds > 0
+            ? static_cast<double>(app.simCycles) / app.bestSeconds
+            : 0.0;
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"name\": \"%s\", \"sim_cycles\": %llu, "
+                      "\"warp_insts\": %llu, \"best_seconds\": %.6f, "
+                      "\"cycles_per_sec\": %.0f}%s\n",
+                      app.name.c_str(),
+                      static_cast<unsigned long long>(app.simCycles),
+                      static_cast<unsigned long long>(app.warpInsts),
+                      app.bestSeconds, app_cps,
+                      i + 1 < apps.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ],\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"total\": {\"sim_cycles\": %llu, \"seconds\": %.6f, "
+                  "\"cycles_per_sec\": %.0f, \"ns_per_cycle\": %.3f, "
+                  "\"peak_rss_kb\": %ld}\n",
+                  static_cast<unsigned long long>(total_cycles),
+                  total_seconds, cps, ns_per_cycle, peakRssKb());
+    out << buf;
+    out << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> apps;
+    unsigned repeat = 3;
+    std::string out_path = "BENCH_perf.json";
+    std::string label = "perf_sweep";
+
+    auto value = [](const char *arg, const char *flag) -> const char * {
+        const size_t n = std::strlen(flag);
+        if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=')
+            return arg + n + 1;
+        return nullptr;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (const char *v = value(arg, "--apps")) {
+            std::istringstream list(v);
+            std::string app;
+            while (std::getline(list, app, ','))
+                if (!app.empty())
+                    apps.push_back(app);
+        } else if (const char *v = value(arg, "--repeat")) {
+            repeat = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+            if (repeat == 0)
+                gcl_fatal("--repeat must be positive");
+        } else if (const char *v = value(arg, "--out")) {
+            out_path = v;
+        } else if (const char *v = value(arg, "--label")) {
+            label = v;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            std::printf("usage: %s [--apps=a,b,c] [--repeat=N] "
+                        "[--out=FILE] [--label=STR]\n"
+                        "Times fresh simulations of the pinned app subset "
+                        "and writes a\nBENCH_perf.json throughput snapshot "
+                        "(compare with tools/perf_diff).\n",
+                        argv[0]);
+            return 0;
+        } else {
+            gcl_fatal("unknown argument '", arg, "' (try --help)");
+        }
+    }
+    if (apps.empty())
+        apps.assign(std::begin(kPinnedApps), std::end(kPinnedApps));
+    for (const auto &name : apps)
+        if (gcl::workloads::findByName(name) == nullptr)
+            gcl_fatal("--apps: unknown application '", name,
+                      "' (known: ", gcl::workloads::knownNames(), ")");
+
+    const GpuConfig config{};
+    std::vector<AppPerf> results;
+    results.reserve(apps.size());
+
+    std::printf("== perf_sweep: simulator throughput ==\n");
+    std::printf("%-8s %12s %12s %10s %14s\n", "app", "sim_cycles",
+                "warp_insts", "best_sec", "cycles/sec");
+
+    for (const auto &name : apps) {
+        AppPerf perf;
+        perf.name = name;
+        const auto &workload = gcl::workloads::byName(name);
+        for (unsigned rep = 0; rep < repeat; ++rep) {
+            gcl::workloads::SimContext ctx(workload, config);
+            const double t0 = now_seconds();
+            ctx.run();
+            const double seconds = now_seconds() - t0;
+            if (ctx.failed())
+                gcl_fatal("perf_sweep: run of '", name, "' failed: ",
+                          ctx.failure().message);
+            if (!ctx.verified())
+                gcl_fatal("perf_sweep: '", name,
+                          "' failed its reference check");
+            const auto cycles =
+                static_cast<uint64_t>(ctx.stats().get("cycles"));
+            const auto insts =
+                static_cast<uint64_t>(ctx.stats().get("warp_insts"));
+            if (rep == 0) {
+                perf.simCycles = cycles;
+                perf.warpInsts = insts;
+                perf.bestSeconds = seconds;
+            } else {
+                // The simulator is deterministic; a repeat that simulates
+                // different work means the bench itself is broken.
+                gcl_assert(cycles == perf.simCycles,
+                           "non-deterministic cycle count for ", name);
+                perf.bestSeconds = std::min(perf.bestSeconds, seconds);
+            }
+        }
+        std::printf("%-8s %12llu %12llu %10.3f %14.0f\n", perf.name.c_str(),
+                    static_cast<unsigned long long>(perf.simCycles),
+                    static_cast<unsigned long long>(perf.warpInsts),
+                    perf.bestSeconds,
+                    static_cast<double>(perf.simCycles) / perf.bestSeconds);
+        results.push_back(perf);
+    }
+
+    uint64_t total_cycles = 0;
+    double total_seconds = 0.0;
+    for (const auto &app : results) {
+        total_cycles += app.simCycles;
+        total_seconds += app.bestSeconds;
+    }
+    std::printf("%-8s %12llu %12s %10.3f %14.0f\n", "TOTAL",
+                static_cast<unsigned long long>(total_cycles), "",
+                total_seconds,
+                static_cast<double>(total_cycles) / total_seconds);
+    std::printf("peak RSS: %ld KB\n", peakRssKb());
+
+    writeJson(out_path, label, results, repeat);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

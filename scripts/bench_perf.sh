@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Simulator-throughput snapshot: build (Release flags come from the default
+# toolchain), run bench/perf_sweep on the pinned app subset, write
+# BENCH_perf.json, and compare against the committed baseline in
+# bench/baselines/BENCH_perf_baseline.json with tools/perf_diff.
+#
+# Usage: scripts/bench_perf.sh [--out=FILE] [--repeat=N] [--no-diff]
+#        BUILD_DIR=out scripts/bench_perf.sh
+#
+# Exit status: perf_diff's (1 on >10% regression) unless --no-diff.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_perf.json
+REPEAT=3
+DIFF=1
+for arg in "$@"; do
+    case "$arg" in
+      --out=*) OUT=${arg#--out=} ;;
+      --repeat=*) REPEAT=${arg#--repeat=} ;;
+      --no-diff) DIFF=0 ;;
+      *) echo "bench_perf.sh: unknown argument '$arg'" >&2; exit 2 ;;
+    esac
+done
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=$(nproc 2> /dev/null || echo 4)
+
+cmake -B "$BUILD_DIR" -S . > /dev/null
+cmake --build "$BUILD_DIR" -j"$JOBS" --target perf_sweep perf_diff
+
+"$BUILD_DIR/bench/perf_sweep" --repeat="$REPEAT" --out="$OUT" \
+    --label="$(git rev-parse --short HEAD 2> /dev/null || echo local)"
+
+BASELINE=bench/baselines/BENCH_perf_baseline.json
+if [ "$DIFF" = 1 ] && [ -f "$BASELINE" ]; then
+    "$BUILD_DIR/tools/perf_diff" "$BASELINE" "$OUT"
+fi

@@ -13,6 +13,10 @@
 #                                    AddressSanitizer (into ./build-asan)
 #                                    and run the guard / error-unwind
 #                                    tests under it
+#        scripts/check.sh --perf     make the perf-delta stage fatal: exit
+#                                    nonzero on a >10% throughput
+#                                    regression vs the committed baseline
+#                                    (by default the delta is only printed)
 #        BUILD_DIR=out scripts/check.sh
 # Also available as the CMake target `check`.
 set -euo pipefail
@@ -20,11 +24,13 @@ cd "$(dirname "$0")/.."
 
 TSAN=0
 ASAN=0
+PERF=0
 for arg in "$@"; do
     case "$arg" in
       --tsan) TSAN=1 ;;
       --asan) ASAN=1 ;;
-      *) echo "check.sh: unknown argument '$arg' (--tsan, --asan)" >&2
+      --perf) PERF=1 ;;
+      *) echo "check.sh: unknown argument '$arg' (--tsan, --asan, --perf)" >&2
          exit 2 ;;
     esac
 done
@@ -67,6 +73,16 @@ GCL_BENCH_CACHE="$tmp/cache-j3t" "$BUILD_DIR/bench/fig1_load_classes" \
     --stats-json="$tmp/stats-par.json" > /dev/null 2> /dev/null
 "$BUILD_DIR/tools/trace_check" \
     --trace="$tmp/trace-par.json" --stats="$tmp/stats-par.json"
+
+# Idle-unit gating (Gpu::tick skipping quiescent partitions and response
+# drains) is a pure host-side optimization: a sweep with the gate forced
+# off must leave byte-identical cache entries. idle_gating is deliberately
+# excluded from the config fingerprint so both runs share cache keys.
+GCL_BENCH_CACHE="$tmp/cache-nogate" "$BUILD_DIR/bench/fig1_load_classes" \
+    --apps=$SMALL_APPS --fresh --jobs=1 \
+    --sim-config=idle_gating=0 > /dev/null 2> /dev/null
+diff -r "$tmp/cache-j1" "$tmp/cache-nogate" \
+    || { echo "check: idle gating changed simulation results" >&2; exit 1; }
 
 # Fault injection (gcl::guard): a seeded plan aimed at one app of a
 # parallel sweep must (a) fail that run with exit code 3 and a structured
@@ -122,6 +138,21 @@ GCL_BENCH_CACHE="$tmp/cache-hang" "$BUILD_DIR/bench/fig1_load_classes" \
 grep -q '"hang"' "$tmp/stats-hang.json" \
     || { echo "check: livelock not reported as a hang" >&2; exit 1; }
 
+# Perf trajectory: run the pinned-subset throughput sweep and print the
+# delta against the committed baseline. Informational by default (hosts
+# differ; so does their load); --perf makes a >10% regression fatal so a
+# perf-focused PR can gate on it.
+"$BUILD_DIR/bench/perf_sweep" --repeat=1 --out="$tmp/perf.json" \
+    --label=check > /dev/null
+if [ "$PERF" = 1 ]; then
+    "$BUILD_DIR/tools/perf_diff" \
+        bench/baselines/BENCH_perf_baseline.json "$tmp/perf.json"
+else
+    "$BUILD_DIR/tools/perf_diff" \
+        bench/baselines/BENCH_perf_baseline.json "$tmp/perf.json" \
+        || echo "check: perf delta exceeds threshold (non-fatal; --perf to gate)"
+fi
+
 if [ "$TSAN" = 1 ]; then
     TSAN_DIR=${TSAN_BUILD_DIR:-build-tsan}
     cmake -B "$TSAN_DIR" -S . -DGCL_TSAN=ON
@@ -134,9 +165,12 @@ if [ "$ASAN" = 1 ]; then
     cmake -B "$ASAN_DIR" -S . -DGCL_ASAN=ON
     cmake --build "$ASAN_DIR" -j"$JOBS" --target gcl_tests
     # The guard tests unwind SimErrors out of half-advanced device models;
-    # ASan verifies nothing in flight leaks across the recovery.
+    # ASan verifies nothing in flight leaks across the recovery. Pool*
+    # includes the GCL_POOL_CHECKED death tests (stale-handle panics are
+    # compiled in under ASan), and IdleGating* re-proves gating
+    # bit-identity with pool checking live.
     "$ASAN_DIR/tests/gcl_tests" \
-        --gtest_filter='FaultPlan*:ConfigOverride*:WatchdogUnit*:Guard*'
+        --gtest_filter='FaultPlan*:ConfigOverride*:WatchdogUnit*:Guard*:Pool*:IdleGating*'
 fi
 
 echo "check: all green"

@@ -21,53 +21,112 @@ toString(AccessOutcome outcome)
     return "?";
 }
 
-bool
-Mshr::hasEntry(uint64_t line_addr) const
+Mshr::Mshr(unsigned num_entries, unsigned max_merge, MemPools &pools,
+           ReqHandle MemRequest::*link)
+    : numEntries_(num_entries), maxMerge_(max_merge), pools_(pools),
+      link_(link)
 {
-    return entries_.count(line_addr) > 0;
+    // Size the probe table at under-half load so linear probe runs stay
+    // short even with every entry allocated.
+    size_t capacity = 4;
+    while (capacity < 2 * static_cast<size_t>(num_entries))
+        capacity *= 2;
+    table_.assign(capacity, Entry{});
+    tableMask_ = capacity - 1;
+}
+
+size_t
+Mshr::slotOf(uint64_t line_addr) const
+{
+    // Fibonacci hashing spreads line addresses (which share low zero bits
+    // from line alignment) across the table.
+    return (line_addr * UINT64_C(0x9E3779B97F4A7C15)) & tableMask_;
+}
+
+int
+Mshr::find(uint64_t line_addr) const
+{
+    size_t slot = slotOf(line_addr);
+    while (table_[slot].count != 0) {
+        if (table_[slot].lineAddr == line_addr)
+            return static_cast<int>(slot);
+        slot = (slot + 1) & tableMask_;
+    }
+    return -1;
 }
 
 bool
 Mshr::canMerge(uint64_t line_addr) const
 {
-    auto it = entries_.find(line_addr);
-    return it != entries_.end() && it->second.size() < maxMerge_;
+    int slot = find(line_addr);
+    return slot >= 0 && table_[slot].count < maxMerge_;
 }
 
 void
-Mshr::allocate(uint64_t line_addr, MemRequestPtr req)
+Mshr::allocate(uint64_t line_addr, ReqHandle req)
 {
     gcl_sim_check(!full(), "mshr", 0, "allocate when full");
-    gcl_sim_check(!hasEntry(line_addr), "mshr", 0,
+    gcl_sim_check(find(line_addr) < 0, "mshr", 0,
                   "double allocate for line ", line_addr);
-    entries_[line_addr].push_back(std::move(req));
+    size_t slot = slotOf(line_addr);
+    while (table_[slot].count != 0)
+        slot = (slot + 1) & tableMask_;
+    Entry &entry = table_[slot];
+    entry.lineAddr = line_addr;
+    entry.head = req;
+    entry.tail = req;
+    entry.count = 1;
+    pools_.reqs.get(req).*link_ = kNullHandle;
+    ++count_;
 }
 
 void
-Mshr::merge(uint64_t line_addr, MemRequestPtr req)
+Mshr::merge(uint64_t line_addr, ReqHandle req)
 {
-    auto it = entries_.find(line_addr);
-    gcl_sim_check(it != entries_.end(), "mshr", 0,
+    int slot = find(line_addr);
+    gcl_sim_check(slot >= 0, "mshr", 0,
                   "merge without an entry for line ", line_addr);
-    gcl_sim_check(it->second.size() < maxMerge_, "mshr", 0,
+    Entry &entry = table_[slot];
+    gcl_sim_check(entry.count < maxMerge_, "mshr", 0,
                   "merge list overflow for line ", line_addr);
-    it->second.push_back(std::move(req));
+    pools_.reqs.get(entry.tail).*link_ = req;
+    pools_.reqs.get(req).*link_ = kNullHandle;
+    entry.tail = req;
+    ++entry.count;
 }
 
-std::vector<MemRequestPtr>
+ReqHandle
 Mshr::release(uint64_t line_addr)
 {
-    auto it = entries_.find(line_addr);
-    gcl_sim_check(it != entries_.end(), "mshr", 0,
+    int found = find(line_addr);
+    gcl_sim_check(found >= 0, "mshr", 0,
                   "release without an entry for line ", line_addr);
-    std::vector<MemRequestPtr> waiting = std::move(it->second);
-    entries_.erase(it);
-    return waiting;
+    ReqHandle head = table_[static_cast<size_t>(found)].head;
+
+    // Backward-shift deletion keeps the table tombstone-free: close the
+    // hole by moving back any later entry in the probe run that hashes at
+    // or before the hole.
+    size_t hole = static_cast<size_t>(found);
+    size_t slot = (hole + 1) & tableMask_;
+    while (table_[slot].count != 0) {
+        size_t home = slotOf(table_[slot].lineAddr);
+        // Is `home` outside the (hole, slot] circular range, i.e. would
+        // moving this entry into the hole keep it reachable from home?
+        if (((slot - home) & tableMask_) >= ((slot - hole) & tableMask_)) {
+            table_[hole] = table_[slot];
+            hole = slot;
+        }
+        slot = (slot + 1) & tableMask_;
+    }
+    table_[hole] = Entry{};
+    --count_;
+    return head;
 }
 
-Cache::Cache(std::string name, const CacheConfig &config)
-    : name_(std::move(name)), config_(config),
-      mshr_(config.mshrEntries, config.mshrMaxMerge)
+Cache::Cache(std::string name, const CacheConfig &config, MemPools &pools,
+             ReqHandle MemRequest::*link)
+    : name_(std::move(name)), config_(config), pools_(pools),
+      mshr_(config.mshrEntries, config.mshrMaxMerge, pools, link)
 {
     // Reachable through config overrides (l1_line=..., l1_size=...), so a
     // bad geometry is a recoverable config error, not a process abort.
@@ -95,9 +154,9 @@ Cache::tagOf(uint64_t line_addr) const
 }
 
 AccessOutcome
-Cache::access(const MemRequestPtr &req, bool can_inject)
+Cache::access(ReqHandle req, bool can_inject)
 {
-    const uint64_t line_addr = req->lineAddr;
+    const uint64_t line_addr = pools_.reqs.get(req).lineAddr;
     const size_t set = setIndex(line_addr);
     const uint64_t tag = tagOf(line_addr);
     Line *set_base = &lines_[set * config_.assoc];
@@ -151,7 +210,7 @@ Cache::access(const MemRequestPtr &req, bool can_inject)
     return AccessOutcome::Miss;
 }
 
-std::vector<MemRequestPtr>
+ReqHandle
 Cache::fill(uint64_t line_addr)
 {
     const size_t set = setIndex(line_addr);

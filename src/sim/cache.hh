@@ -17,6 +17,11 @@
  * A failed access is retried by the LD/ST unit on a later cycle, burning
  * the cycle — exactly the mechanism behind Fig 3 and the reservation-stall
  * components of Figs 5 and 7.
+ *
+ * The MSHR is a fixed-capacity open-addressed table (linear probing,
+ * backward-shift deletion) whose entries chain their waiting requests
+ * intrusively through MemRequest::nextWaiting — no per-line vector, no
+ * hashing-library buckets, no allocation on the access path.
  */
 
 #ifndef GCL_SIM_CACHE_HH
@@ -24,7 +29,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "config.hh"
@@ -46,39 +50,61 @@ enum class AccessOutcome : uint8_t
 
 std::string toString(AccessOutcome outcome);
 
-/** Miss status holding registers: one entry per in-flight line. */
+/**
+ * Miss status holding registers: one entry per in-flight line, waiting
+ * requests chained through the pool (MemRequest::nextWaiting).
+ */
 class Mshr
 {
   public:
-    Mshr(unsigned num_entries, unsigned max_merge)
-        : numEntries_(num_entries), maxMerge_(max_merge)
-    {}
+    Mshr(unsigned num_entries, unsigned max_merge, MemPools &pools,
+         ReqHandle MemRequest::*link = &MemRequest::nextWaiting);
 
-    bool full() const { return entries_.size() >= numEntries_; }
-    bool hasEntry(uint64_t line_addr) const;
+    bool full() const { return count_ >= numEntries_; }
+    bool hasEntry(uint64_t line_addr) const { return find(line_addr) >= 0; }
     bool canMerge(uint64_t line_addr) const;
-    size_t size() const { return entries_.size(); }
+    size_t size() const { return count_; }
 
     /** Create the entry for a primary miss. */
-    void allocate(uint64_t line_addr, MemRequestPtr req);
+    void allocate(uint64_t line_addr, ReqHandle req);
 
     /** Attach a secondary miss to an existing entry. */
-    void merge(uint64_t line_addr, MemRequestPtr req);
+    void merge(uint64_t line_addr, ReqHandle req);
 
-    /** Remove the entry on fill and hand back all waiting requests. */
-    std::vector<MemRequestPtr> release(uint64_t line_addr);
+    /**
+     * Remove the entry on fill and hand back the chain of waiting
+     * requests (primary first, linked via MemRequest::nextWaiting).
+     */
+    ReqHandle release(uint64_t line_addr);
 
   private:
+    struct Entry
+    {
+        uint64_t lineAddr = 0;
+        ReqHandle head = kNullHandle;   //!< primary miss
+        ReqHandle tail = kNullHandle;   //!< last merged request
+        uint32_t count = 0;             //!< 0 = slot empty
+    };
+
+    size_t slotOf(uint64_t line_addr) const;
+    /** Index of the entry for @p line_addr, or -1. */
+    int find(uint64_t line_addr) const;
+
     unsigned numEntries_;
     unsigned maxMerge_;
-    std::unordered_map<uint64_t, std::vector<MemRequestPtr>> entries_;
+    MemPools &pools_;
+    ReqHandle MemRequest::*link_;  //!< which chain field this level uses
+    std::vector<Entry> table_;   //!< power-of-two open-addressed table
+    uint64_t tableMask_;
+    unsigned count_ = 0;
 };
 
 /** Tag array + MSHR bundle used for both L1D and the L2 partitions. */
 class Cache
 {
   public:
-    Cache(std::string name, const CacheConfig &config);
+    Cache(std::string name, const CacheConfig &config, MemPools &pools,
+          ReqHandle MemRequest::*link = &MemRequest::nextWaiting);
 
     /**
      * Attempt a read access for @p req (line address inside).
@@ -87,13 +113,15 @@ class Cache
      * must forward the request downstream (it checked @p can_inject).
      * On HitReserved the request is merged and completes at fill time.
      */
-    AccessOutcome access(const MemRequestPtr &req, bool can_inject);
+    AccessOutcome access(ReqHandle req, bool can_inject);
 
     /**
-     * A fill for @p line_addr arrived: validate the line and return every
-     * request waiting on it (primary first).
+     * A fill for @p line_addr arrived: validate the line and return the
+     * chain of requests waiting on it (primary first, linked through
+     * MemRequest::nextWaiting). Callers must read a request's nextWaiting
+     * BEFORE completing it — completion frees the request.
      */
-    std::vector<MemRequestPtr> fill(uint64_t line_addr);
+    ReqHandle fill(uint64_t line_addr);
 
     /** True when the line is present and valid (test/bench introspection). */
     bool isHit(uint64_t line_addr) const;
@@ -136,6 +164,7 @@ class Cache
 
     std::string name_;
     CacheConfig config_;
+    MemPools &pools_;
     std::vector<Line> lines_;   //!< sets x assoc, row-major
     uint64_t lruClock_ = 0;
     Mshr mshr_;

@@ -157,6 +157,15 @@ overrideKeys()
         numericKey("sms_per_l2_cluster", &GpuConfig::smsPerL2Cluster),
         numericKey("nondet_split_requests",
                    &GpuConfig::nondetSplitRequests),
+        {"idle_gating",
+         [](GpuConfig &config, const std::string &v) {
+             if (v == "0")
+                 config.idleGating = false;
+             else if (v == "1")
+                 config.idleGating = true;
+             else
+                 badValue("idle_gating", v, "one of 0, 1");
+         }},
         // Run control / robustness
         numericKey("max_cycles", &GpuConfig::maxCycles),
         numericKey("watchdog_interval", &GpuConfig::watchdogInterval),
@@ -258,6 +267,8 @@ GpuConfig::describe() const
     if (nondetSplitRequests)
         oss << "WarpSplit  " << nondetSplitRequests
             << " requests per non-deterministic sub-warp\n";
+    if (!idleGating)
+        oss << "IdleGating off (every unit ticks every cycle)\n";
     if (watchdogInterval)
         oss << "Watchdog   check every " << watchdogInterval
             << " cycles, stall budget " << watchdogBudget << "\n";
@@ -270,10 +281,11 @@ uint64_t
 GpuConfig::fingerprint() const
 {
     // FNV-1a over the numeric fields; any change invalidates cached runs.
-    // Run-control knobs (max_cycles, watchdog_*) are deliberately NOT
-    // mixed in: they never change the stats of a run that completes, so
-    // tightening a budget must not orphan valid cache entries. The fault
-    // plan IS mixed in — injected backpressure changes timing.
+    // Run-control knobs (max_cycles, watchdog_*, idle_gating) are
+    // deliberately NOT mixed in: they never change the stats of a run that
+    // completes, so tightening a budget must not orphan valid cache
+    // entries. The fault plan IS mixed in — injected backpressure changes
+    // timing.
     uint64_t h = 0xcbf29ce484222325ull;
     auto mix = [&h](uint64_t v) {
         h ^= v;

@@ -107,6 +107,17 @@ struct GpuConfig
      */
     unsigned nondetSplitRequests = 0;
 
+    /**
+     * Skip quiescent units in the device tick loop (drained partitions,
+     * an empty interconnect, SMs with no resident work). Gating is a pure
+     * host-side optimization: a skipped unit's cycle would have been a
+     * no-op, so stats and timing are bit-identical either way (verified
+     * by tests/test_gating.cc). The knob exists to prove that claim and
+     * to simplify bisection; it is not part of the config fingerprint for
+     * the same reason the watchdog knobs are not.
+     */
+    bool idleGating = true;
+
     // --- Run control / robustness (gcl::guard) ---
     /**
      * Hard cycle budget for the whole run (the device's global clock,

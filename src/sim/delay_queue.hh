@@ -1,12 +1,18 @@
 /**
  * @file
  * Fixed-latency in-flight queue used by the interconnect model.
+ *
+ * Backed by a growable power-of-two ring buffer instead of a deque: a
+ * deque allocates/frees node blocks as elements churn through, while the
+ * ring reaches steady state after a handful of pushes and then never
+ * touches the allocator again. Elements are moved out on pop.
  */
 
 #ifndef GCL_SIM_DELAY_QUEUE_HH
 #define GCL_SIM_DELAY_QUEUE_HH
 
-#include <deque>
+#include <utility>
+#include <vector>
 
 #include "config.hh"
 
@@ -18,46 +24,80 @@ template <typename T>
 class DelayQueue
 {
   public:
+    DelayQueue() { entries_.resize(kInitialCapacity); }
+
+    /** Pre-size the ring so a known worst-case depth never regrows. */
+    void
+    reserve(size_t capacity)
+    {
+        size_t want = kInitialCapacity;
+        while (want < capacity)
+            want *= 2;
+        if (want > entries_.size())
+            grow(want);
+    }
+
     void
     push(T item, Cycle ready_at)
     {
-        entries_.push_back({std::move(item), ready_at});
+        if (size_ == entries_.size())
+            grow(entries_.size() * 2);
+        Entry &entry = entries_[(head_ + size_) & (entries_.size() - 1)];
+        entry.item = std::move(item);
+        entry.readyAt = ready_at;
+        ++size_;
     }
 
     /** True when the head element is ready at @p now. */
     bool
     headReady(Cycle now) const
     {
-        return !entries_.empty() && entries_.front().readyAt <= now;
+        return size_ != 0 && entries_[head_].readyAt <= now;
     }
 
     /** Read the head element without removing it. */
     const T &
     peek() const
     {
-        return entries_.front().item;
+        return entries_[head_].item;
     }
 
-    /** Pop the head; only call when headReady(). */
+    /** Pop the head (moved out); only call when headReady(). */
     T
     pop()
     {
-        T item = std::move(entries_.front().item);
-        entries_.pop_front();
+        T item = std::move(entries_[head_].item);
+        head_ = (head_ + 1) & (entries_.size() - 1);
+        --size_;
         return item;
     }
 
-    bool empty() const { return entries_.empty(); }
-    size_t size() const { return entries_.size(); }
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
 
   private:
     struct Entry
     {
-        T item;
-        Cycle readyAt;
+        T item{};
+        Cycle readyAt = 0;
     };
 
-    std::deque<Entry> entries_;
+    static constexpr size_t kInitialCapacity = 16;  //!< power of two
+
+    void
+    grow(size_t capacity)
+    {
+        std::vector<Entry> bigger(capacity);
+        for (size_t i = 0; i < size_; ++i)
+            bigger[i] = std::move(entries_[(head_ + i) &
+                                           (entries_.size() - 1)]);
+        entries_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<Entry> entries_;  //!< power-of-two ring
+    size_t head_ = 0;
+    size_t size_ = 0;
 };
 
 } // namespace gcl::sim

@@ -9,15 +9,17 @@ namespace gcl::sim
 {
 
 void
-DramChannel::push(const MemRequestPtr &req, Cycle now)
+DramChannel::push(ReqHandle req, Cycle now)
 {
     gcl_sim_check(canAccept(), "dram", now, "push into a full queue");
     // FCFS: the burst occupies the channel serially; data returns a fixed
     // access latency after its burst starts.
     const Cycle start = std::max(channelFreeAt_, now);
     channelFreeAt_ = start + config_.dramBurstCycles;
-    GCL_TRACE(traceSink, trace::EventKind::ReqDramEnqueue, now, req->id,
-              req->lineAddr, tracePc(*req), traceUnit, traceFlags(*req));
+    GCL_TRACE(traceSink, trace::EventKind::ReqDramEnqueue, now,
+              pools_.reqs.get(req).id, pools_.reqs.get(req).lineAddr,
+              tracePc(pools_.reqs.get(req)), traceUnit,
+              traceFlags(pools_.reqs.get(req)));
     queue_.push_back({req, start + config_.dramLatency});
 }
 
@@ -27,11 +29,11 @@ DramChannel::headReady(Cycle now) const
     return !queue_.empty() && queue_.front().readyAt <= now;
 }
 
-MemRequestPtr
+ReqHandle
 DramChannel::pop()
 {
     gcl_sim_check(!queue_.empty(), "dram", 0, "pop from an empty queue");
-    MemRequestPtr req = std::move(queue_.front().req);
+    ReqHandle req = queue_.front().req;
     queue_.pop_front();
     ++serviced_;
     return req;

@@ -25,19 +25,21 @@ namespace gcl::sim
 class DramChannel
 {
   public:
-    DramChannel(const GpuConfig &config) : config_(config) {}
+    DramChannel(const GpuConfig &config, MemPools &pools)
+        : config_(config), pools_(pools)
+    {}
 
     /** True when the request queue has room. */
     bool canAccept() const { return queue_.size() < config_.dramQueueDepth; }
 
     /** Enqueue a request; its ready time is computed FCFS at push. */
-    void push(const MemRequestPtr &req, Cycle now);
+    void push(ReqHandle req, Cycle now);
 
     /** True when the head request's data is ready. */
     bool headReady(Cycle now) const;
 
     /** Pop the head request; only call when headReady(). */
-    MemRequestPtr pop();
+    ReqHandle pop();
 
     bool empty() const { return queue_.empty(); }
     size_t size() const { return queue_.size(); }
@@ -52,11 +54,12 @@ class DramChannel
   private:
     struct Entry
     {
-        MemRequestPtr req;
-        Cycle readyAt;
+        ReqHandle req = kNullHandle;
+        Cycle readyAt = 0;
     };
 
     const GpuConfig &config_;
+    MemPools &pools_;
     std::deque<Entry> queue_;
     Cycle channelFreeAt_ = 0;
     uint64_t serviced_ = 0;

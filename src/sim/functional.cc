@@ -1,6 +1,7 @@
 #include "functional.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 
@@ -97,24 +98,6 @@ WarpExecutor::specialValue(const LaunchContext &launch, const CtaContext &cta,
     return 0;
 }
 
-uint64_t
-WarpExecutor::operandValue(const LaunchContext &launch, const CtaContext &cta,
-                           const WarpContext &warp, unsigned lane,
-                           const Operand &op) const
-{
-    switch (op.kind) {
-      case Operand::Kind::Reg:
-        return warp.reg(op.reg, lane, warpSize_);
-      case Operand::Kind::Imm:
-        return op.imm;
-      case Operand::Kind::Special:
-        return specialValue(launch, cta, warp, lane, op.sreg);
-      case Operand::Kind::None:
-        return 0;
-    }
-    return 0;
-}
-
 LaneMask
 WarpExecutor::guardMask(const Instruction &inst, const WarpContext &warp,
                         LaneMask active) const
@@ -122,11 +105,12 @@ WarpExecutor::guardMask(const Instruction &inst, const WarpContext &warp,
     if (!inst.guarded)
         return active;
     LaneMask out = 0;
+    const uint64_t *pred =
+        &warp.regs[static_cast<size_t>(inst.predReg) * warpSize_];
     for (unsigned lane = 0; lane < warpSize_; ++lane) {
         if (!((active >> lane) & 1))
             continue;
-        const bool p = warp.reg(inst.predReg, lane, warpSize_) != 0;
-        if (p != inst.predNeg)
+        if ((pred[lane] != 0) != inst.predNeg)
             out |= LaneMask{1} << lane;
     }
     return out;
@@ -402,6 +386,60 @@ WarpExecutor::step(const LaunchContext &launch, CtaContext &cta,
                 fn(lane);
     };
 
+    /**
+     * A source operand resolved once per instruction instead of
+     * re-dispatched on its kind for every lane. Registers become a base
+     * pointer into the warp's lane-major register file (stable: no
+     * reallocation can happen mid-instruction, and aliasing with the
+     * destination register keeps the exact read-then-write-per-lane
+     * order of the per-lane dispatch it replaces). Warp-uniform
+     * specials (ntid.*, ctaid.*, nctaid.*, warpid) and immediates fold
+     * to a single value; only tid.* and laneid still need the per-lane
+     * call.
+     */
+    struct Src
+    {
+        const uint64_t *lanes = nullptr;
+        uint64_t uniform = 0;
+        bool perLaneSpecial = false;
+        SpecialReg sreg{};
+    };
+    auto resolve = [&](const Operand &op) {
+        Src s;
+        switch (op.kind) {
+          case Operand::Kind::Reg:
+            s.lanes = &warp.regs[static_cast<size_t>(op.reg) * warpSize_];
+            break;
+          case Operand::Kind::Imm:
+            s.uniform = op.imm;
+            break;
+          case Operand::Kind::Special:
+            switch (op.sreg) {
+              case SpecialReg::TidX:
+              case SpecialReg::TidY:
+              case SpecialReg::TidZ:
+              case SpecialReg::LaneId:
+                s.perLaneSpecial = true;
+                s.sreg = op.sreg;
+                break;
+              default:
+                s.uniform = specialValue(launch, cta, warp, 0, op.sreg);
+                break;
+            }
+            break;
+          case Operand::Kind::None:
+            break;
+        }
+        return s;
+    };
+    auto srcVal = [&](const Src &s, unsigned lane) -> uint64_t {
+        if (s.lanes)
+            return s.lanes[lane];
+        if (s.perLaneSpecial)
+            return specialValue(launch, cta, warp, lane, s.sreg);
+        return s.uniform;
+    };
+
     switch (inst.op) {
       case Opcode::Nop:
         info.kind = StepInfo::Kind::Alu;
@@ -439,11 +477,11 @@ WarpExecutor::step(const LaunchContext &launch, CtaContext &cta,
         info.space = inst.space;
         info.isLoad = true;
         info.accessSize = inst.accessSize;
+        info.addrs.reserve(static_cast<size_t>(std::popcount(exec)));
+        const Src s0 = resolve(inst.srcs[0]);
         for_each_lane([&](unsigned lane) {
-            const uint64_t base =
-                operandValue(launch, cta, warp, lane, inst.srcs[0]);
             const uint64_t addr =
-                base + static_cast<uint64_t>(inst.memOffset);
+                srcVal(s0, lane) + static_cast<uint64_t>(inst.memOffset);
             info.addrs.emplace_back(lane, addr);
             uint64_t value = 0;
             if (inst.space == MemSpace::Shared) {
@@ -465,13 +503,13 @@ WarpExecutor::step(const LaunchContext &launch, CtaContext &cta,
         info.space = inst.space;
         info.isStore = true;
         info.accessSize = inst.accessSize;
+        info.addrs.reserve(static_cast<size_t>(std::popcount(exec)));
+        const Src s0 = resolve(inst.srcs[0]);
+        const Src s1 = resolve(inst.srcs[1]);
         for_each_lane([&](unsigned lane) {
-            const uint64_t base =
-                operandValue(launch, cta, warp, lane, inst.srcs[0]);
             const uint64_t addr =
-                base + static_cast<uint64_t>(inst.memOffset);
-            const uint64_t value =
-                operandValue(launch, cta, warp, lane, inst.srcs[1]);
+                srcVal(s0, lane) + static_cast<uint64_t>(inst.memOffset);
+            const uint64_t value = srcVal(s1, lane);
             info.addrs.emplace_back(lane, addr);
             if (inst.space == MemSpace::Shared) {
                 gcl_sim_check(cta.shared, "exec", 0,
@@ -491,15 +529,15 @@ WarpExecutor::step(const LaunchContext &launch, CtaContext &cta,
         info.accessSize = inst.accessSize;
         // Lanes apply in lane order, which serializes intra-warp conflicts
         // deterministically.
+        info.addrs.reserve(static_cast<size_t>(std::popcount(exec)));
+        const Src s0 = resolve(inst.srcs[0]);
+        const Src s1 = resolve(inst.srcs[1]);
+        const Src s2 = resolve(inst.srcs[2]);
         for_each_lane([&](unsigned lane) {
-            const uint64_t base =
-                operandValue(launch, cta, warp, lane, inst.srcs[0]);
             const uint64_t addr =
-                base + static_cast<uint64_t>(inst.memOffset);
-            const uint64_t a =
-                operandValue(launch, cta, warp, lane, inst.srcs[1]);
-            const uint64_t b =
-                operandValue(launch, cta, warp, lane, inst.srcs[2]);
+                srcVal(s0, lane) + static_cast<uint64_t>(inst.memOffset);
+            const uint64_t a = srcVal(s1, lane);
+            const uint64_t b = srcVal(s2, lane);
             info.addrs.emplace_back(lane, addr);
             const uint64_t old_v = gmem_.read(addr, inst.accessSize);
             gmem_.write(addr, atomicApply(inst.atomOp, inst.type, old_v,
@@ -510,51 +548,53 @@ WarpExecutor::step(const LaunchContext &launch, CtaContext &cta,
         return info;
       }
 
-      case Opcode::Setp:
+      case Opcode::Setp: {
         info.kind = StepInfo::Kind::Alu;
+        const Src s0 = resolve(inst.srcs[0]);
+        const Src s1 = resolve(inst.srcs[1]);
         for_each_lane([&](unsigned lane) {
-            const uint64_t a =
-                operandValue(launch, cta, warp, lane, inst.srcs[0]);
-            const uint64_t b =
-                operandValue(launch, cta, warp, lane, inst.srcs[1]);
+            const uint64_t a = srcVal(s0, lane);
+            const uint64_t b = srcVal(s1, lane);
             warp.reg(inst.dst, lane, warpSize_) =
                 compare(inst.cmp, inst.type, a, b) ? 1 : 0;
         });
         return info;
+      }
 
-      case Opcode::Selp:
+      case Opcode::Selp: {
         info.kind = StepInfo::Kind::Alu;
+        const Src s0 = resolve(inst.srcs[0]);
+        const Src s1 = resolve(inst.srcs[1]);
+        const Src s2 = resolve(inst.srcs[2]);
         for_each_lane([&](unsigned lane) {
-            const uint64_t a =
-                operandValue(launch, cta, warp, lane, inst.srcs[0]);
-            const uint64_t b =
-                operandValue(launch, cta, warp, lane, inst.srcs[1]);
-            const uint64_t p =
-                operandValue(launch, cta, warp, lane, inst.srcs[2]);
+            const uint64_t a = srcVal(s0, lane);
+            const uint64_t b = srcVal(s1, lane);
+            const uint64_t p = srcVal(s2, lane);
             warp.reg(inst.dst, lane, warpSize_) = p ? a : b;
         });
         return info;
+      }
 
-      case Opcode::Cvt:
+      case Opcode::Cvt: {
         info.kind = StepInfo::Kind::Alu;
+        const Src s0 = resolve(inst.srcs[0]);
         for_each_lane([&](unsigned lane) {
-            const uint64_t a =
-                operandValue(launch, cta, warp, lane, inst.srcs[0]);
             warp.reg(inst.dst, lane, warpSize_) =
-                convert(inst.type, inst.cvtFrom, a);
+                convert(inst.type, inst.cvtFrom, srcVal(s0, lane));
         });
         return info;
+      }
 
       default: {
         // Generic ALU / SFU arithmetic.
         info.kind = inst.isSfu() ? StepInfo::Kind::Sfu : StepInfo::Kind::Alu;
+        const Src s0 = resolve(inst.srcs[0]);
+        const Src s1 = resolve(inst.srcs[1]);
+        const Src s2 = resolve(inst.srcs[2]);
         for_each_lane([&](unsigned lane) {
-            const uint64_t a =
-                operandValue(launch, cta, warp, lane, inst.srcs[0]);
-            const uint64_t b =
-                operandValue(launch, cta, warp, lane, inst.srcs[1]);
-            const uint64_t c =
-                operandValue(launch, cta, warp, lane, inst.srcs[2]);
+            const uint64_t a = srcVal(s0, lane);
+            const uint64_t b = srcVal(s1, lane);
+            const uint64_t c = srcVal(s2, lane);
             warp.reg(inst.dst, lane, warpSize_) = aluCompute(inst, a, b, c);
         });
         return info;

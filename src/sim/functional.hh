@@ -80,10 +80,6 @@ class WarpExecutor
                           ptx::SpecialReg sreg) const;
 
   private:
-    uint64_t operandValue(const LaunchContext &launch, const CtaContext &cta,
-                          const WarpContext &warp, unsigned lane,
-                          const ptx::Operand &op) const;
-
     /** Lanes of @p active whose guard predicate passes. */
     LaneMask guardMask(const ptx::Instruction &inst, const WarpContext &warp,
                        LaneMask active) const;

@@ -9,7 +9,7 @@ namespace gcl::sim
 {
 
 Gpu::Gpu(GpuConfig config)
-    : config_(config), stats_(config_), icnt_(config_),
+    : config_(config), stats_(config_), icnt_(config_, pools_),
       watchdog_(config_.watchdogInterval, config_.watchdogBudget)
 {
     if (!config_.faultPlan.empty())
@@ -18,14 +18,14 @@ Gpu::Gpu(GpuConfig config)
     sms_.reserve(config_.numSms);
     for (unsigned s = 0; s < config_.numSms; ++s) {
         sms_.push_back(std::make_unique<Sm>(static_cast<int>(s), config_,
-                                            gmem_, stats_));
+                                            gmem_, stats_, pools_));
         sms_.back()->partitionMap = &Gpu::mapPartition;
         sms_.back()->fault = fault_.get();
     }
     partitions_.reserve(config_.numPartitions);
     for (unsigned p = 0; p < config_.numPartitions; ++p) {
         partitions_.push_back(std::make_unique<MemPartition>(
-            static_cast<int>(p), config_, stats_));
+            static_cast<int>(p), config_, stats_, pools_));
         partitions_.back()->fault = fault_.get();
     }
 }
@@ -212,6 +212,35 @@ Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
         launch.nonDetPc[info.pc] =
             info.cls == core::LoadClass::NonDeterministic;
 
+    // Precompute each pc's scoreboard dependence mask (sources, guard
+    // predicate, destination) so the per-cycle issue check is a word-wise
+    // AND instead of a walk over the operand list.
+    launch.sbWords = (kernel.numRegs() + 63) / 64;
+    launch.sbMask.assign(kernel.size() * launch.sbWords, 0);
+    launch.issueClass.assign(kernel.size(), LaunchContext::IssueSp);
+    for (size_t pc = 0; pc < kernel.size(); ++pc) {
+        const ptx::Instruction &inst = kernel.inst(pc);
+        if (inst.isExit())
+            launch.issueClass[pc] = LaunchContext::IssueExit;
+        else if (inst.isBarrier())
+            launch.issueClass[pc] = LaunchContext::IssueBarrier;
+        else if (inst.isMemory())
+            launch.issueClass[pc] = LaunchContext::IssueMemory;
+        else if (inst.isSfu())
+            launch.issueClass[pc] = LaunchContext::IssueSfu;
+        uint64_t *mask = &launch.sbMask[pc * launch.sbWords];
+        auto mark = [&](ptx::RegId r) {
+            mask[r / 64] |= uint64_t{1} << (r % 64);
+        };
+        for (const auto &src : inst.srcs)
+            if (src.isReg())
+                mark(src.reg);
+        if (inst.guarded)
+            mark(inst.predReg);
+        if (inst.writesDst())
+            mark(inst.dst);
+    }
+
     for (auto &sm : sms_)
         sm->startLaunch(launch);
 
@@ -267,11 +296,20 @@ Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
                 ++stats_.hot.smCycles;
         }
         icnt_.cycle(now);
-        for (auto &part : partitions_)
-            part->cycle(now, icnt_);
-        for (auto &sm : sms_)
-            while (icnt_.hasResponse(sm->id(), now))
-                sm->receiveResponse(icnt_.popResponse(sm->id(), now), now);
+        for (unsigned p = 0; p < partitions_.size(); ++p) {
+            // A drained partition with no arriving flit would run a no-op
+            // cycle; skipping it is invisible to timing and stats
+            // (tests/test_gating.cc proves bit-identity).
+            if (config_.idleGating && partitions_[p]->idle() &&
+                !icnt_.hasRequest(static_cast<int>(p), now))
+                continue;
+            partitions_[p]->cycle(now, icnt_);
+        }
+        if (!config_.idleGating || icnt_.anyResponsesInFlight())
+            for (auto &sm : sms_)
+                while (icnt_.hasResponse(sm->id(), now))
+                    sm->receiveResponse(icnt_.popResponse(sm->id(), now),
+                                        now);
 
         if (timelineInterval_ != 0 && GCL_TRACE_ACTIVE(traceSink_) &&
             (now - start) % timelineInterval_ == 0)

@@ -103,6 +103,12 @@ class Gpu
     GpuConfig config_;
     GlobalMemory gmem_;
     SimStats stats_;
+    /**
+     * Handle pools for every memory request / warp op of the run. Declared
+     * before the units that hold references into them (interconnect, SMs,
+     * partitions) so the pools outlive all outstanding handles.
+     */
+    MemPools pools_;
     Interconnect icnt_;
     std::vector<std::unique_ptr<Sm>> sms_;
     std::vector<std::unique_ptr<MemPartition>> partitions_;

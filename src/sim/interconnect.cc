@@ -1,18 +1,29 @@
 #include "interconnect.hh"
 
+#include <algorithm>
+
 #include "guard/sim_error.hh"
 #include "util/logging.hh"
 
 namespace gcl::sim
 {
 
-Interconnect::Interconnect(const GpuConfig &config)
-    : config_(config),
+Interconnect::Interconnect(const GpuConfig &config, MemPools &pools)
+    : config_(config), pools_(pools),
       injectQ_(config.numSms),
       toPart_(config.numPartitions),
       respQ_(config.numPartitions),
-      toSm_(config.numSms)
+      toSm_(config.numSms),
+      smUsed_(config.numSms, 0),
+      partUsed_(config.numPartitions, 0)
 {
+    // Pre-size the delay rings to their credit-limited worst case so they
+    // never regrow mid-run.
+    for (auto &q : toPart_)
+        q.reserve(config.partQueueDepth);
+    for (auto &q : toSm_)
+        q.reserve(config.numPartitions * config.icntRespQueueDepth +
+                  config.icntLatency);
 }
 
 bool
@@ -23,15 +34,17 @@ Interconnect::canInject(int sm) const
 }
 
 void
-Interconnect::inject(const MemRequestPtr &req, Cycle now)
+Interconnect::inject(ReqHandle req, Cycle now)
 {
-    gcl_sim_check(canInject(req->smId), "icnt", now,
+    MemRequest &r = pools_.reqs.get(req);
+    gcl_sim_check(canInject(r.smId), "icnt", now,
                   "inject into a full queue");
-    req->tInjected = now;
-    GCL_TRACE(traceSink, trace::EventKind::ReqInject, now, req->id,
-              req->lineAddr, tracePc(*req),
-              static_cast<int16_t>(req->smId), traceFlags(*req));
-    injectQ_[static_cast<size_t>(req->smId)].push_back(req);
+    r.tInjected = now;
+    GCL_TRACE(traceSink, trace::EventKind::ReqInject, now, r.id,
+              r.lineAddr, tracePc(r),
+              static_cast<int16_t>(r.smId), traceFlags(r));
+    injectQ_[static_cast<size_t>(r.smId)].push_back(req);
+    ++injectTotal_;
 }
 
 bool
@@ -40,11 +53,12 @@ Interconnect::hasRequest(int part, Cycle now) const
     return toPart_[static_cast<size_t>(part)].headReady(now);
 }
 
-MemRequestPtr
+ReqHandle
 Interconnect::popRequest(int part, Cycle now)
 {
     gcl_sim_check(hasRequest(part, now), "icnt", now,
                   "popRequest with none ready");
+    --toPartTotal_;
     return toPart_[static_cast<size_t>(part)].pop();
 }
 
@@ -56,15 +70,17 @@ Interconnect::canRespond(int part) const
 }
 
 void
-Interconnect::respond(const MemRequestPtr &req, Cycle now)
+Interconnect::respond(ReqHandle req, Cycle now)
 {
-    gcl_sim_check(canRespond(req->partition), "icnt", now,
+    MemRequest &r = pools_.reqs.get(req);
+    gcl_sim_check(canRespond(r.partition), "icnt", now,
                   "respond into a full queue");
-    req->tRespDepart = now;
-    GCL_TRACE(traceSink, trace::EventKind::ReqRespDepart, now, req->id,
-              req->lineAddr, tracePc(*req),
-              static_cast<int16_t>(req->partition), traceFlags(*req));
-    respQ_[static_cast<size_t>(req->partition)].push_back(req);
+    r.tRespDepart = now;
+    GCL_TRACE(traceSink, trace::EventKind::ReqRespDepart, now, r.id,
+              r.lineAddr, tracePc(r),
+              static_cast<int16_t>(r.partition), traceFlags(r));
+    respQ_[static_cast<size_t>(r.partition)].push_back(req);
+    ++respTotal_;
 }
 
 bool
@@ -73,11 +89,12 @@ Interconnect::hasResponse(int sm, Cycle now) const
     return toSm_[static_cast<size_t>(sm)].headReady(now);
 }
 
-MemRequestPtr
+ReqHandle
 Interconnect::popResponse(int sm, Cycle now)
 {
     gcl_sim_check(hasResponse(sm, now), "icnt", now,
                   "popResponse with none ready");
+    --toSmTotal_;
     return toSm_[static_cast<size_t>(sm)].pop();
 }
 
@@ -86,91 +103,70 @@ Interconnect::cycle(Cycle now)
 {
     // Request side: every partition accepts at most one flit, every SM
     // transmits at most one flit, round-robin over SMs for fairness.
+    // The round-robin pointers advance whether or not the loops run: an
+    // idle cycle must leave arbitration state exactly as if the loop had
+    // executed and matched nothing.
     const unsigned num_sms = config_.numSms;
     const unsigned num_parts = config_.numPartitions;
 
-    std::vector<bool> sm_used(num_sms, false);
-    std::vector<bool> part_used(num_parts, false);
-    for (unsigned i = 0; i < num_sms; ++i) {
-        const unsigned sm = (reqRrSm_ + i) % num_sms;
-        auto &q = injectQ_[sm];
-        if (q.empty() || sm_used[sm])
-            continue;
-        const int part = q.front()->partition;
-        if (part_used[static_cast<size_t>(part)])
-            continue;
-        // Finite partition input buffers: without a credit the flit stays
-        // in the SM's injection queue, which eventually surfaces at the L1
-        // as a reservation fail by interconnection (Section VI).
-        if (toPart_[static_cast<size_t>(part)].size() >=
-            config_.partQueueDepth)
-            continue;
-        part_used[static_cast<size_t>(part)] = true;
-        sm_used[sm] = true;
-        toPart_[static_cast<size_t>(part)].push(q.front(),
-                                                now + config_.icntLatency);
-        q.pop_front();
+    if (injectTotal_ != 0) {
+        std::fill(smUsed_.begin(), smUsed_.end(), 0);
+        std::fill(partUsed_.begin(), partUsed_.end(), 0);
+        for (unsigned i = 0; i < num_sms; ++i) {
+            const unsigned sm = (reqRrSm_ + i) % num_sms;
+            auto &q = injectQ_[sm];
+            if (q.empty() || smUsed_[sm])
+                continue;
+            const int part = pools_.reqs.get(q.front()).partition;
+            if (partUsed_[static_cast<size_t>(part)])
+                continue;
+            // Finite partition input buffers: without a credit the flit
+            // stays in the SM's injection queue, which eventually surfaces
+            // at the L1 as a reservation fail by interconnection
+            // (Section VI).
+            if (toPart_[static_cast<size_t>(part)].size() >=
+                config_.partQueueDepth)
+                continue;
+            partUsed_[static_cast<size_t>(part)] = 1;
+            smUsed_[sm] = 1;
+            toPart_[static_cast<size_t>(part)].push(
+                q.front(), now + config_.icntLatency);
+            q.pop_front();
+            --injectTotal_;
+            ++toPartTotal_;
+        }
     }
     reqRrSm_ = (reqRrSm_ + 1) % num_sms;
 
     // Response side, symmetric, round-robin over partitions.
-    std::vector<bool> part_tx(num_parts, false);
-    std::vector<bool> sm_rx(num_sms, false);
-    for (unsigned i = 0; i < num_parts; ++i) {
-        const unsigned part = (respRrPart_ + i) % num_parts;
-        auto &q = respQ_[part];
-        if (q.empty() || part_tx[part])
-            continue;
-        const int sm = q.front()->smId;
-        if (sm_rx[static_cast<size_t>(sm)])
-            continue;
-        sm_rx[static_cast<size_t>(sm)] = true;
-        part_tx[part] = true;
-        toSm_[static_cast<size_t>(sm)].push(q.front(),
-                                            now + config_.icntLatency);
-        q.pop_front();
+    if (respTotal_ != 0) {
+        std::fill(smUsed_.begin(), smUsed_.end(), 0);
+        std::fill(partUsed_.begin(), partUsed_.end(), 0);
+        for (unsigned i = 0; i < num_parts; ++i) {
+            const unsigned part = (respRrPart_ + i) % num_parts;
+            auto &q = respQ_[part];
+            if (q.empty() || partUsed_[part])
+                continue;
+            const int sm = pools_.reqs.get(q.front()).smId;
+            if (smUsed_[static_cast<size_t>(sm)])
+                continue;
+            smUsed_[static_cast<size_t>(sm)] = 1;
+            partUsed_[part] = 1;
+            toSm_[static_cast<size_t>(sm)].push(q.front(),
+                                                now + config_.icntLatency);
+            q.pop_front();
+            --respTotal_;
+            ++toSmTotal_;
+        }
     }
     respRrPart_ = (respRrPart_ + 1) % num_parts;
-}
-
-size_t
-Interconnect::reqQueued() const
-{
-    size_t total = 0;
-    for (const auto &q : injectQ_)
-        total += q.size();
-    for (const auto &q : toPart_)
-        total += q.size();
-    return total;
-}
-
-size_t
-Interconnect::respQueued() const
-{
-    size_t total = 0;
-    for (const auto &q : respQ_)
-        total += q.size();
-    for (const auto &q : toSm_)
-        total += q.size();
-    return total;
 }
 
 bool
 Interconnect::idle() const
 {
-    for (const auto &q : injectQ_)
-        if (!q.empty())
-            return false;
-    for (const auto &q : toPart_)
-        if (!q.empty())
-            return false;
-    for (const auto &q : respQ_)
-        if (!q.empty())
-            return false;
-    for (const auto &q : toSm_)
-        if (!q.empty())
-            return false;
-    return true;
+    return injectTotal_ == 0 && toPartTotal_ == 0 && respTotal_ == 0 &&
+           toSmTotal_ == 0;
 }
 
 } // namespace gcl::sim

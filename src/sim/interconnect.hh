@@ -7,6 +7,11 @@
  * partition accepts at most one request and every SM transmits at most one
  * flit; transfers take icntLatency cycles. The response side is symmetric
  * with per-partition bounded response queues.
+ *
+ * Occupancy counters shadow the queues so cycle()/idle() answer "anything
+ * to do?" in O(1); the arbitration loops only run when flits exist. The
+ * round-robin pointers still advance every cycle — arbitration fairness
+ * must not depend on whether an idle cycle's loop was skipped.
  */
 
 #ifndef GCL_SIM_INTERCONNECT_HH
@@ -27,7 +32,7 @@ namespace gcl::sim
 class Interconnect
 {
   public:
-    Interconnect(const GpuConfig &config);
+    Interconnect(const GpuConfig &config, MemPools &pools);
 
     // ---- Request path (SM side) ----
 
@@ -35,7 +40,7 @@ class Interconnect
     bool canInject(int sm) const;
 
     /** Queue @p req for transport; stamps tInjected. */
-    void inject(const MemRequestPtr &req, Cycle now);
+    void inject(ReqHandle req, Cycle now);
 
     // ---- Request path (partition side) ----
 
@@ -43,7 +48,7 @@ class Interconnect
     bool hasRequest(int part, Cycle now) const;
 
     /** Pop the next arrived request for partition @p part. */
-    MemRequestPtr popRequest(int part, Cycle now);
+    ReqHandle popRequest(int part, Cycle now);
 
     // ---- Response path (partition side) ----
 
@@ -51,12 +56,12 @@ class Interconnect
     bool canRespond(int part) const;
 
     /** Queue @p req's response for transport; stamps tRespDepart. */
-    void respond(const MemRequestPtr &req, Cycle now);
+    void respond(ReqHandle req, Cycle now);
 
     // ---- Response path (SM side) ----
 
     bool hasResponse(int sm, Cycle now) const;
-    MemRequestPtr popResponse(int sm, Cycle now);
+    ReqHandle popResponse(int sm, Cycle now);
 
     /** Advance arbitration: move flits across the crossbar. */
     void cycle(Cycle now);
@@ -65,21 +70,39 @@ class Interconnect
     bool idle() const;
 
     /** Requests anywhere in the request network (timeline sampling). */
-    size_t reqQueued() const;
+    size_t reqQueued() const { return injectTotal_ + toPartTotal_; }
 
     /** Responses anywhere in the response network (timeline sampling). */
-    size_t respQueued() const;
+    size_t respQueued() const { return respTotal_ + toSmTotal_; }
+
+    /**
+     * True when any SM-bound response is in flight or deliverable — O(1)
+     * gate for the GPU's per-cycle response drain loop.
+     */
+    bool anyResponsesInFlight() const { return toSmTotal_ != 0; }
 
     /** Event sink installed by the Gpu; null when untraced. */
     trace::TraceSink *traceSink = nullptr;
 
   private:
     const GpuConfig &config_;
+    MemPools &pools_;
 
-    std::vector<std::deque<MemRequestPtr>> injectQ_;   //!< per SM
-    std::vector<DelayQueue<MemRequestPtr>> toPart_;    //!< per partition
-    std::vector<std::deque<MemRequestPtr>> respQ_;     //!< per partition
-    std::vector<DelayQueue<MemRequestPtr>> toSm_;      //!< per SM
+    std::vector<std::deque<ReqHandle>> injectQ_;   //!< per SM
+    std::vector<DelayQueue<ReqHandle>> toPart_;    //!< per partition
+    std::vector<std::deque<ReqHandle>> respQ_;     //!< per partition
+    std::vector<DelayQueue<ReqHandle>> toSm_;      //!< per SM
+
+    // Occupancy shadows of the four queue arrays.
+    size_t injectTotal_ = 0;
+    size_t toPartTotal_ = 0;
+    size_t respTotal_ = 0;
+    size_t toSmTotal_ = 0;
+
+    // Per-cycle arbitration scratch, sized once in the constructor so the
+    // cycle loop never allocates.
+    std::vector<uint8_t> smUsed_;
+    std::vector<uint8_t> partUsed_;
 
     unsigned reqRrSm_ = 0;     //!< round-robin pointer, request side
     unsigned respRrPart_ = 0;  //!< round-robin pointer, response side

@@ -5,11 +5,14 @@
 namespace gcl::sim
 {
 
-MemPartition::MemPartition(int id, const GpuConfig &config, SimStats &stats)
-    : id_(id), config_(config), stats_(stats),
-      l2_("l2p" + std::to_string(id), config.l2),
-      dram_(config)
+MemPartition::MemPartition(int id, const GpuConfig &config, SimStats &stats,
+                           MemPools &pools)
+    : id_(id), config_(config), stats_(stats), pools_(pools),
+      l2_("l2p" + std::to_string(id), config.l2, pools,
+          &MemRequest::nextWaitingL2),
+      dram_(config, pools)
 {
+    ropQ_.reserve(config.ropLatency + config.partQueueDepth);
 }
 
 void
@@ -23,80 +26,82 @@ MemPartition::setTrace(trace::TraceSink *sink)
 bool
 MemPartition::serviceHead(Cycle now)
 {
-    const MemRequestPtr &req = ropQ_.peek();
+    const ReqHandle req_handle = ropQ_.peek();
+    MemRequest &req = pools_.reqs.get(req_handle);
 
     // Injected DRAM refusal window (gcl::guard): the channel pretends to
     // be full, stalling the ROP head like real DRAM-queue backpressure.
     const bool dram_ok =
         dram_.canAccept() && !(fault && fault->dramRefused(now));
 
-    if (req->isWrite) {
+    if (req.isWrite) {
         // Writes that hit in the L2 are absorbed (a write-back cache would
         // coalesce them); a write miss installs the line (write-allocate
         // without a fetch) and forwards one burst to DRAM. No response is
         // generated either way.
-        if (l2_.writeProbe(req->lineAddr)) {
+        if (l2_.writeProbe(req.lineAddr)) {
             stats_.set().inc("l2.write_absorbed");
             ropQ_.pop();
+            pools_.reqs.free(req_handle);
             return true;
         }
         if (!dram_ok)
             return false;
-        l2_.installValid(req->lineAddr);
-        dram_.push(req, now);
+        l2_.installValid(req.lineAddr);
+        dram_.push(req_handle, now);
         ropQ_.pop();
         return true;
     }
 
-    if (req->isAtomic) {
+    if (req.isAtomic) {
         // Atomics are executed at the partition's ROP units; they bypass
         // the L2 tags and respond after the (already paid) ROP latency.
-        req->tArriveL2 = now;
-        req->tL2Done = now;
-        req->level = ServiceLevel::L2;
+        req.tArriveL2 = now;
+        req.tL2Done = now;
+        req.level = ServiceLevel::L2;
         ++stats_.hot.l2Atomics;
-        GCL_TRACE(traceSink_, trace::EventKind::ReqL2Done, now, req->id,
-                  req->lineAddr, tracePc(*req), static_cast<int16_t>(id_),
-                  traceFlags(*req));
-        respPending_.push_back(req);
+        GCL_TRACE(traceSink_, trace::EventKind::ReqL2Done, now, req.id,
+                  req.lineAddr, tracePc(req), static_cast<int16_t>(id_),
+                  traceFlags(req));
+        respPending_.push_back(req_handle);
         ropQ_.pop();
         return true;
     }
 
     // Read access to the L2 slice.
-    const AccessOutcome outcome = l2_.access(req, dram_ok);
+    const AccessOutcome outcome = l2_.access(req_handle, dram_ok);
     // A stalled head retries every cycle; dedupe identical fails so trace
     // volume scales with outcome changes, not stall lengths.
     if (GCL_TRACE_ACTIVE(traceSink_) &&
-        req->traceLastFail != static_cast<uint8_t>(outcome)) {
-        req->traceLastFail = static_cast<uint8_t>(outcome);
-        traceSink_->emit(trace::EventKind::ReqL2Access, now, req->id,
-                         req->lineAddr, tracePc(*req),
+        req.traceLastFail != static_cast<uint8_t>(outcome)) {
+        req.traceLastFail = static_cast<uint8_t>(outcome);
+        traceSink_->emit(trace::EventKind::ReqL2Access, now, req.id,
+                         req.lineAddr, tracePc(req),
                          static_cast<int16_t>(id_),
-                         traceFlags(*req) |
+                         traceFlags(req) |
                              trace::packOutcome(
                                  static_cast<unsigned>(outcome)));
     }
     switch (outcome) {
       case AccessOutcome::Hit:
-        req->tArriveL2 = now;
-        req->tL2Done = now;
-        req->level = ServiceLevel::L2;
-        stats_.l2Access(id_, req->nonDet, false);
-        respPending_.push_back(req);
+        req.tArriveL2 = now;
+        req.tL2Done = now;
+        req.level = ServiceLevel::L2;
+        stats_.l2Access(id_, req.nonDet, false);
+        respPending_.push_back(req_handle);
         ropQ_.pop();
         return true;
       case AccessOutcome::HitReserved:
-        req->tArriveL2 = now;
-        req->level = ServiceLevel::Dram;
-        stats_.l2Access(id_, req->nonDet, true);
+        req.tArriveL2 = now;
+        req.level = ServiceLevel::Dram;
+        stats_.l2Access(id_, req.nonDet, true);
         ropQ_.pop();
         return true;
       case AccessOutcome::Miss:
-        req->tArriveL2 = now;
-        req->level = ServiceLevel::Dram;
-        stats_.l2Access(id_, req->nonDet, true);
-        dram_.push(req, now);
+        req.tArriveL2 = now;
+        req.level = ServiceLevel::Dram;
+        stats_.l2Access(id_, req.nonDet, true);
+        dram_.push(req_handle, now);
         ropQ_.pop();
         return true;
       case AccessOutcome::FailTag:
@@ -118,11 +123,14 @@ MemPartition::cycle(Cycle now, Interconnect &icnt)
     //    the L1s as reservation fails.
     if (ropQ_.size() < config_.ropLatency + config_.partQueueDepth &&
         icnt.hasRequest(id_, now)) {
-        MemRequestPtr req = icnt.popRequest(id_, now);
-        GCL_TRACE(traceSink_, trace::EventKind::ReqRopEnqueue, now, req->id,
-                  req->lineAddr, tracePc(*req), static_cast<int16_t>(id_),
-                  traceFlags(*req));
-        ropQ_.push(std::move(req), now + config_.ropLatency);
+        const ReqHandle req_handle = icnt.popRequest(id_, now);
+        GCL_TRACE(traceSink_, trace::EventKind::ReqRopEnqueue, now,
+                  pools_.reqs.get(req_handle).id,
+                  pools_.reqs.get(req_handle).lineAddr,
+                  tracePc(pools_.reqs.get(req_handle)),
+                  static_cast<int16_t>(id_),
+                  traceFlags(pools_.reqs.get(req_handle)));
+        ropQ_.push(req_handle, now + config_.ropLatency);
     }
 
     // 2. Service the ROP head. On a resource stall the request stays at
@@ -131,18 +139,25 @@ MemPartition::cycle(Cycle now, Interconnect &icnt)
     if (ropQ_.headReady(now) && !serviceHead(now))
         stats_.partitionStall();
 
-    // 3. Drain DRAM returns: fills release merged readers.
+    // 3. Drain DRAM returns: fills release merged readers; drained write
+    //    bursts end their request's life.
     while (dram_.headReady(now)) {
-        MemRequestPtr req = dram_.pop();
-        if (req->isWrite)
+        const ReqHandle req_handle = dram_.pop();
+        if (pools_.reqs.get(req_handle).isWrite) {
+            pools_.reqs.free(req_handle);
             continue;
-        for (auto &waiting : l2_.fill(req->lineAddr)) {
-            waiting->tL2Done = now;
-            waiting->level = ServiceLevel::Dram;
+        }
+        ReqHandle waiting = l2_.fill(pools_.reqs.get(req_handle).lineAddr);
+        while (waiting != kNullHandle) {
+            MemRequest &w = pools_.reqs.get(waiting);
+            const ReqHandle next = w.nextWaitingL2;
+            w.tL2Done = now;
+            w.level = ServiceLevel::Dram;
             GCL_TRACE(traceSink_, trace::EventKind::ReqL2Done, now,
-                      waiting->id, waiting->lineAddr, tracePc(*waiting),
-                      static_cast<int16_t>(id_), traceFlags(*waiting));
-            respPending_.push_back(std::move(waiting));
+                      w.id, w.lineAddr, tracePc(w),
+                      static_cast<int16_t>(id_), traceFlags(w));
+            respPending_.push_back(waiting);
+            waiting = next;
         }
     }
 

@@ -7,6 +7,10 @@
  * 120 cycles), then access the L2 slice once per cycle. Misses go to the
  * partition's DRAM channel; fills release the merged requests, which are
  * then injected into the response network.
+ *
+ * The partition ends the life of store requests (nothing upstream waits
+ * for them): they are freed either when the L2 absorbs the write or when
+ * the write burst drains from DRAM.
  */
 
 #ifndef GCL_SIM_MEM_PARTITION_HH
@@ -30,7 +34,8 @@ namespace gcl::sim
 class MemPartition
 {
   public:
-    MemPartition(int id, const GpuConfig &config, SimStats &stats);
+    MemPartition(int id, const GpuConfig &config, SimStats &stats,
+                 MemPools &pools);
 
     /** Advance one cycle: accept, service, fill, respond. */
     void cycle(Cycle now, Interconnect &icnt);
@@ -63,11 +68,12 @@ class MemPartition
     int id_;
     const GpuConfig &config_;
     SimStats &stats_;
+    MemPools &pools_;
 
-    DelayQueue<MemRequestPtr> ropQ_;
+    DelayQueue<ReqHandle> ropQ_;
     Cache l2_;
     DramChannel dram_;
-    std::deque<MemRequestPtr> respPending_;
+    std::deque<ReqHandle> respPending_;
 };
 
 } // namespace gcl::sim

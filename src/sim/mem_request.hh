@@ -9,23 +9,38 @@
  *
  *  - WarpMemOp: one warp-level memory instruction, owning the requests the
  *    coalescer produced for it.
+ *
+ * Both live in per-run HandlePools (MemPools) and are referenced by 32-bit
+ * handles instead of shared_ptrs: the hot path allocates one of each per
+ * unit of work, and pooled handles make that a free-list pop instead of a
+ * refcounted malloc. Ownership is single-owner by convention — see
+ * DESIGN.md "Hot path" for the full lifecycle:
+ *
+ *  - data-expecting requests (opHandle != kNullHandle: loads and atomics)
+ *    are freed by Sm::completeRequest once accounted;
+ *  - store requests (opHandle == kNullHandle) are freed by the partition,
+ *    either at L2 write-absorb or when the write drains from DRAM;
+ *  - ops are freed by Sm::finishMemOp (or at the early-outs in
+ *    startMemOp/ldstCycle for predicated-off and shared-memory ops).
  */
 
 #ifndef GCL_SIM_MEM_REQUEST_HH
 #define GCL_SIM_MEM_REQUEST_HH
 
 #include <cstdint>
-#include <memory>
-#include <vector>
 
 #include "config.hh"
 #include "ptx/types.hh"
 #include "trace/trace.hh"
+#include "util/pool.hh"
 
 namespace gcl::sim
 {
 
-struct WarpMemOp;
+/** Handle into MemPools::reqs / MemPools::ops (kNullHandle = none). */
+using ReqHandle = PoolHandle;
+using OpHandle = PoolHandle;
+using gcl::kNullHandle;
 
 /** Deepest memory level that serviced a request. */
 enum class ServiceLevel : uint8_t
@@ -59,8 +74,25 @@ struct MemRequest
     bool isGlobalLoad = false;
     bool nonDet = false;
 
-    /** Back-reference to the owning warp op (null for stores). */
-    WarpMemOp *op = nullptr;
+    /**
+     * Owning warp op (kNullHandle for stores — nothing waits on them).
+     * Doubles as the "data-expecting" predicate throughout the pipeline.
+     */
+    OpHandle opHandle = kNullHandle;
+
+    /** The owning op's pc (0 for stores) — trace attribution without an
+     *  op dereference, and valid even after the op retires. */
+    uint32_t pc = 0;
+
+    /**
+     * Intrusive MSHR chains: next request waiting on the same line. A
+     * request can be a member of an L1 MSHR chain (its SM) and an L2 MSHR
+     * chain (its partition) at the same time — an L1 primary miss travels
+     * to the L2 while its L1 secondaries wait behind it — so each level
+     * links through its own field (Cache/Mshr take the member to use).
+     */
+    ReqHandle nextWaiting = kNullHandle;    //!< L1-side chain (default)
+    ReqHandle nextWaitingL2 = kNullHandle;  //!< L2-side chain
 
     ServiceLevel level = ServiceLevel::L1;
 
@@ -73,11 +105,15 @@ struct MemRequest
     Cycle tComplete = 0;      //!< data back at the SM / writeback ready
 };
 
-using MemRequestPtr = std::shared_ptr<MemRequest>;
-
 /** One warp-level memory instruction in flight. */
 struct WarpMemOp
 {
+    /**
+     * Most lines a single warp op can touch: warpSize lanes, each of
+     * which may straddle one line boundary when misaligned.
+     */
+    static constexpr unsigned kMaxRequests = 64;
+
     /** Trace identity (gcl::trace); 0 when the run is untraced. */
     uint64_t id = 0;
 
@@ -95,11 +131,21 @@ struct WarpMemOp
     unsigned activeThreads = 0;
 
     /** Coalesced requests; issued to L1 in order, one per cycle. */
-    std::vector<MemRequestPtr> requests;
-    size_t nextToIssue = 0;
+    ReqHandle requests[kMaxRequests] = {};
+    uint32_t numRequests = 0;
+    uint32_t nextToIssue = 0;
     unsigned outstanding = 0;     //!< read requests whose data is pending
     unsigned burstCount = 0;      //!< requests issued since the last rotate
                                   //!< (warp-splitting ablation, Section X.A)
+
+    /**
+     * Fig 7 "gap at icnt-L2", accumulated incrementally as each missed
+     * request completes (so requests can be freed before the op retires).
+     * Integer-valued cycle deltas sum exactly in doubles, so the total is
+     * identical to the retired-op-time computation it replaces.
+     */
+    double gapIcntL2Sum = 0.0;
+    uint32_t missedReqs = 0;      //!< requests serviced past the L1
 
     // ---- Timestamp provenance (Figs 5-7) ----
     Cycle tIssue = 0;             //!< entered the LD/ST first stage
@@ -111,7 +157,7 @@ struct WarpMemOp
     /** Deepest level any of its requests reached. */
     ServiceLevel deepest = ServiceLevel::L1;
 
-    bool allIssued() const { return nextToIssue >= requests.size(); }
+    bool allIssued() const { return nextToIssue >= numRequests; }
 
     bool
     complete() const
@@ -120,7 +166,12 @@ struct WarpMemOp
     }
 };
 
-using WarpMemOpPtr = std::shared_ptr<WarpMemOp>;
+/** The per-run pools every memory-system unit allocates from. */
+struct MemPools
+{
+    HandlePool<MemRequest> reqs{"memreq"};
+    HandlePool<WarpMemOp> ops{"warpop"};
+};
 
 /** Class/type bits of @p req for trace-event flags. */
 inline uint8_t
@@ -140,7 +191,7 @@ traceFlags(const MemRequest &req)
 inline uint32_t
 tracePc(const MemRequest &req)
 {
-    return req.op ? static_cast<uint32_t>(req.op->pc) : 0;
+    return req.pc;
 }
 
 } // namespace gcl::sim

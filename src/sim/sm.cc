@@ -14,10 +14,11 @@ using ptx::Instruction;
 using ptx::MemSpace;
 using ptx::Opcode;
 
-Sm::Sm(int id, const GpuConfig &config, GlobalMemory &gmem, SimStats &stats)
-    : id_(id), config_(config), stats_(stats),
+Sm::Sm(int id, const GpuConfig &config, GlobalMemory &gmem, SimStats &stats,
+       MemPools &pools)
+    : id_(id), config_(config), stats_(stats), pools_(pools),
       executor_(gmem, config.warpSize),
-      l1_("l1s" + std::to_string(id), config.l1)
+      l1_("l1s" + std::to_string(id), config.l1, pools)
 {
 }
 
@@ -139,29 +140,36 @@ Sm::warpReady(const WarpContext &warp, Cycle now) const
     if (!warp.active || warp.atBarrier || warp.stack.done())
         return false;
 
-    const Instruction &inst = launch_->kernel->inst(warp.stack.pc());
+    const size_t pc = warp.stack.pc();
+    const uint8_t cls = launch_->issueClass[pc];
 
     // Exit retires the warp slot; it must drain in-flight writebacks first.
-    if (inst.isExit() && warp.inflightOps > 0)
+    if (cls == LaunchContext::IssueExit && warp.inflightOps > 0)
         return false;
 
-    // Scoreboard: no RAW or WAW on pending registers.
-    for (const auto &src : inst.srcs)
-        if (src.isReg() && warp.scoreboarded(src.reg))
-            return false;
-    if (inst.guarded && warp.scoreboarded(inst.predReg))
-        return false;
-    if (inst.writesDst() && warp.scoreboarded(inst.dst))
-        return false;
+    // Scoreboard: no RAW or WAW on pending registers. Every scoreboard bit
+    // is paired with an inflight op, so a warp with none in flight has a
+    // clean scoreboard; otherwise AND the precomputed per-pc dependence
+    // mask (sources, guard predicate, destination) word by word.
+    if (warp.inflightOps > 0) {
+        const uint64_t *mask = &launch_->sbMask[pc * launch_->sbWords];
+        for (unsigned w = 0; w < launch_->sbWords; ++w)
+            if (warp.scoreboard[w] & mask[w])
+                return false;
+    }
 
     // Function unit availability.
-    if (inst.isBarrier() || inst.isExit())
+    switch (cls) {
+      case LaunchContext::IssueBarrier:
+      case LaunchContext::IssueExit:
         return true;
-    if (inst.isMemory())
+      case LaunchContext::IssueMemory:
         return ldstQ_.size() < config_.ldstQueueDepth;
-    if (inst.isSfu())
+      case LaunchContext::IssueSfu:
         return now >= sfuStageFreeAt_;
-    return now >= spStageFreeAt_;
+      default:
+        return now >= spStageFreeAt_;
+    }
 }
 
 int
@@ -343,65 +351,70 @@ Sm::startMemOp(int slot, size_t pc, const Instruction &inst,
 {
     WarpContext &warp = warps_[static_cast<size_t>(slot)];
 
-    auto op = std::make_shared<WarpMemOp>();
-    op->smId = id_;
-    op->warpSlot = slot;
-    op->pc = pc;
-    op->isLoad = info.isLoad;
-    op->isStore = info.isStore;
-    op->isAtomic = info.isAtomic;
-    op->activeThreads = static_cast<unsigned>(info.addrs.size());
-    op->tIssue = now;
+    const OpHandle op_handle = pools_.ops.alloc();
+    WarpMemOp &op = pools_.ops.get(op_handle);
+    op.smId = id_;
+    op.warpSlot = slot;
+    op.pc = pc;
+    op.isLoad = info.isLoad;
+    op.isStore = info.isStore;
+    op.isAtomic = info.isAtomic;
+    op.activeThreads = static_cast<unsigned>(info.addrs.size());
+    op.tIssue = now;
 
     const bool writes_reg = inst.writesDst() && (info.isLoad || info.isAtomic);
 
     if (info.space == MemSpace::Shared || info.space == MemSpace::Param) {
         // Shared memory and the constant/param bank: fixed-latency on-chip
         // access, no cache traffic. Bank conflicts are not modeled.
-        op->isShared = true;
-        op->dst = writes_reg ? inst.dst : ptx::kNoReg;
+        op.isShared = true;
+        op.dst = writes_reg ? inst.dst : ptx::kNoReg;
         if (info.space == MemSpace::Shared && info.isLoad)
             ++stats_.hot.sloadWarps;
         else if (info.space == MemSpace::Shared)
             ++stats_.hot.sstoreWarps;
     } else {
         // Global-like spaces flow through coalescer + L1 + interconnect.
-        op->isGlobalLoad = info.isLoad && info.space == MemSpace::Global;
-        op->nonDet = op->isGlobalLoad && launch_->nonDetPc[pc];
-        op->dst = writes_reg ? inst.dst : ptx::kNoReg;
+        op.isGlobalLoad = info.isLoad && info.space == MemSpace::Global;
+        op.nonDet = op.isGlobalLoad && launch_->nonDetPc[pc];
+        op.dst = writes_reg ? inst.dst : ptx::kNoReg;
 
         const auto lines =
             coalesce(info.addrs, info.accessSize, config_.l1.lineBytes,
                      traceSink, now, static_cast<uint32_t>(pc), id_,
-                     op->nonDet);
-        op->requests.reserve(lines.size());
+                     op.nonDet);
+        gcl_sim_check(lines.size() <= WarpMemOp::kMaxRequests,
+                      "sm" + std::to_string(id_), now,
+                      "coalescer produced ", lines.size(),
+                      " lines for one warp op");
+        const bool expects_data = info.isLoad || info.isAtomic;
         for (uint64_t line : lines) {
-            auto req = std::make_shared<MemRequest>();
-            req->lineAddr = line;
-            req->isWrite = info.isStore;
-            req->isAtomic = info.isAtomic;
-            req->smId = id_;
-            req->isGlobalLoad = op->isGlobalLoad;
-            req->nonDet = op->nonDet;
-            req->op = (info.isLoad || info.isAtomic) ? op.get() : nullptr;
-            req->partition = partitionMap(line, id_, config_);
-            op->requests.push_back(std::move(req));
+            const ReqHandle req_handle = pools_.reqs.alloc();
+            MemRequest &req = pools_.reqs.get(req_handle);
+            req.lineAddr = line;
+            req.isWrite = info.isStore;
+            req.isAtomic = info.isAtomic;
+            req.smId = id_;
+            req.isGlobalLoad = op.isGlobalLoad;
+            req.nonDet = op.nonDet;
+            req.opHandle = expects_data ? op_handle : kNullHandle;
+            req.pc = expects_data ? static_cast<uint32_t>(pc) : 0;
+            req.partition = partitionMap(line, id_, config_);
+            op.requests[op.numRequests++] = req_handle;
         }
-        op->outstanding = (info.isLoad || info.isAtomic)
-            ? static_cast<unsigned>(op->requests.size())
-            : 0;
+        op.outstanding = expects_data ? op.numRequests : 0;
 
-        if (GCL_TRACE_ACTIVE(traceSink) && !op->requests.empty()) {
-            for (auto &req : op->requests)
-                req->id = traceSink->newId();
-            if (op->isGlobalLoad) {
-                op->id = traceSink->newId();
-                traceSink->emit(trace::EventKind::OpIssue, now, op->id,
+        if (GCL_TRACE_ACTIVE(traceSink) && op.numRequests != 0) {
+            for (uint32_t i = 0; i < op.numRequests; ++i)
+                pools_.reqs.get(op.requests[i]).id = traceSink->newId();
+            if (op.isGlobalLoad) {
+                op.id = traceSink->newId();
+                traceSink->emit(trace::EventKind::OpIssue, now, op.id,
                                 static_cast<uint64_t>(slot),
                                 static_cast<uint32_t>(pc),
                                 static_cast<int16_t>(id_),
-                                op->nonDet ? trace::kFlagNonDet
-                                           : uint8_t{0});
+                                op.nonDet ? trace::kFlagNonDet
+                                          : uint8_t{0});
             }
         }
 
@@ -417,43 +430,59 @@ Sm::startMemOp(int slot, size_t pc, const Instruction &inst,
     }
 
     // A fully predicated-off access produces no work at all.
-    if (!op->isShared && op->requests.empty()) {
+    if (!op.isShared && op.numRequests == 0) {
         if (writes_reg)
             scheduleWriteback(now + 1, slot, inst.dst);
+        pools_.ops.free(op_handle);
         return;
     }
 
-    ldstQ_.push_back(std::move(op));
+    ldstQ_.push_back(op_handle);
 }
 
 void
-Sm::completeRequest(const MemRequestPtr &req, Cycle now)
+Sm::completeRequest(ReqHandle req_handle, Cycle now)
 {
-    req->tComplete = now;
-    GCL_TRACE(traceSink, trace::EventKind::ReqComplete, now, req->id,
-              req->lineAddr, tracePc(*req), static_cast<int16_t>(id_),
-              traceFlags(*req));
-    WarpMemOp *op = req->op;
-    if (!op)
-        return;  // store: nothing waits for it
+    MemRequest &req = pools_.reqs.get(req_handle);
+    req.tComplete = now;
+    GCL_TRACE(traceSink, trace::EventKind::ReqComplete, now, req.id,
+              req.lineAddr, tracePc(req), static_cast<int16_t>(id_),
+              traceFlags(req));
+    const OpHandle op_handle = req.opHandle;
+    if (op_handle == kNullHandle) {
+        // Store: nothing waits for it.
+        pools_.reqs.free(req_handle);
+        return;
+    }
     ++stats_.hot.reqsCompleted;
 
-    gcl_sim_check(op->outstanding > 0, "sm" + std::to_string(id_), now,
+    WarpMemOp &op = pools_.ops.get(op_handle);
+    gcl_sim_check(op.outstanding > 0, "sm" + std::to_string(id_), now,
                   "request completion underflow");
-    --op->outstanding;
-    if (op->tFirstData == 0)
-        op->tFirstData = now;
-    if (static_cast<int>(req->level) > static_cast<int>(op->deepest))
-        op->deepest = req->level;
+    --op.outstanding;
+    if (op.tFirstData == 0)
+        op.tFirstData = now;
+    if (static_cast<int>(req.level) > static_cast<int>(op.deepest))
+        op.deepest = req.level;
 
-    if (op->complete()) {
-        // Find the owning shared_ptr in pendingOps_.
+    // Fig 7 "gap at icnt-L2" contribution, accumulated now so the request
+    // can be freed before the op retires (matches the retired-op sum
+    // exactly: integer-valued doubles add without rounding).
+    if (req.level != ServiceLevel::L1) {
+        const double nominal = config_.icntLatency + config_.ropLatency;
+        const double actual = static_cast<double>(req.tArriveL2) -
+                              static_cast<double>(req.tAccepted);
+        op.gapIcntL2Sum += std::max(0.0, actual - nominal);
+        ++op.missedReqs;
+    }
+    pools_.reqs.free(req_handle);
+
+    if (op.complete()) {
         for (size_t i = 0; i < pendingOps_.size(); ++i) {
-            if (pendingOps_[i].get() == op) {
-                WarpMemOpPtr owner = pendingOps_[i];
+            if (pendingOps_[i] == op_handle) {
                 pendingOps_[i] = pendingOps_.back();
                 pendingOps_.pop_back();
-                finishMemOp(owner, now);
+                finishMemOp(op_handle, now);
                 return;
             }
         }
@@ -464,18 +493,20 @@ Sm::completeRequest(const MemRequestPtr &req, Cycle now)
 }
 
 void
-Sm::finishMemOp(const WarpMemOpPtr &op, Cycle now)
+Sm::finishMemOp(OpHandle op_handle, Cycle now)
 {
-    op->tDone = now;
-    if (op->isGlobalLoad) {
-        stats_.gloadDone(*op, kernelId_);
-        GCL_TRACE(traceSink, trace::EventKind::OpDone, now, op->id,
-                  static_cast<uint64_t>(op->warpSlot),
-                  static_cast<uint32_t>(op->pc), static_cast<int16_t>(id_),
-                  op->nonDet ? trace::kFlagNonDet : uint8_t{0});
+    WarpMemOp &op = pools_.ops.get(op_handle);
+    op.tDone = now;
+    if (op.isGlobalLoad) {
+        stats_.gloadDone(op, kernelId_);
+        GCL_TRACE(traceSink, trace::EventKind::OpDone, now, op.id,
+                  static_cast<uint64_t>(op.warpSlot),
+                  static_cast<uint32_t>(op.pc), static_cast<int16_t>(id_),
+                  op.nonDet ? trace::kFlagNonDet : uint8_t{0});
     }
-    if (op->dst != ptx::kNoReg)
-        scheduleWriteback(now, op->warpSlot, op->dst);
+    if (op.dst != ptx::kNoReg)
+        scheduleWriteback(now, op.warpSlot, op.dst);
+    pools_.ops.free(op_handle);
 }
 
 void
@@ -489,33 +520,36 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
         return;
     ++stats_.hot.busyLdst;
 
-    WarpMemOpPtr op = ldstQ_.front();
+    const OpHandle op_handle = ldstQ_.front();
+    WarpMemOp &op = pools_.ops.get(op_handle);
 
-    if (op->isShared) {
+    if (op.isShared) {
         // On-chip scratchpad: one stage cycle, fixed latency.
-        op->tFirstAccept = op->tLastAccept = now;
+        op.tFirstAccept = op.tLastAccept = now;
         ldstQ_.pop_front();
         issueDirty_ = true;
-        if (op->dst != ptx::kNoReg)
-            scheduleWriteback(now + config_.sharedMemLatency, op->warpSlot,
-                              op->dst);
+        if (op.dst != ptx::kNoReg)
+            scheduleWriteback(now + config_.sharedMemLatency, op.warpSlot,
+                              op.dst);
+        pools_.ops.free(op_handle);
         return;
     }
 
     // Issue the next coalesced request.
-    const MemRequestPtr &req = op->requests[op->nextToIssue];
+    const ReqHandle req_handle = op.requests[op.nextToIssue];
+    MemRequest &req = pools_.reqs.get(req_handle);
     bool accepted = false;
 
     // Lifecycle emit, deduped: a stalled op retries the same request every
     // cycle, so repeated identical fails would dominate the trace.
     auto trace_l1 = [&](AccessOutcome outcome) {
         if (GCL_TRACE_ACTIVE(traceSink) &&
-            req->traceLastFail != static_cast<uint8_t>(outcome)) {
-            req->traceLastFail = static_cast<uint8_t>(outcome);
-            traceSink->emit(trace::EventKind::ReqL1Access, now, req->id,
-                            req->lineAddr, tracePc(*req),
+            req.traceLastFail != static_cast<uint8_t>(outcome)) {
+            req.traceLastFail = static_cast<uint8_t>(outcome);
+            traceSink->emit(trace::EventKind::ReqL1Access, now, req.id,
+                            req.lineAddr, tracePc(req),
                             static_cast<int16_t>(id_),
-                            traceFlags(*req) |
+                            traceFlags(req) |
                                 trace::packOutcome(
                                     static_cast<unsigned>(outcome)));
         }
@@ -527,13 +561,13 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
     const bool icnt_ok =
         icnt.canInject(id_) && !(fault && fault->icntBlocked(now));
 
-    if (req->isWrite || req->isAtomic) {
+    if (req.isWrite || req.isAtomic) {
         // Write-through stores and atomics bypass the L1 tags; they only
         // need interconnect injection space.
         if (icnt_ok) {
-            req->tAccepted = now;
+            req.tAccepted = now;
             trace_l1(AccessOutcome::Miss);
-            icnt.inject(req, now);
+            icnt.inject(req_handle, now);
             stats_.l1AccessCycle(AccessOutcome::Miss);
             accepted = true;
         } else {
@@ -546,23 +580,23 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
         const AccessOutcome outcome =
             fault && fault->mshrExhausted(now)
                 ? AccessOutcome::FailMshr
-                : l1_.access(req, icnt_ok);
+                : l1_.access(req_handle, icnt_ok);
         trace_l1(outcome);
         stats_.l1AccessCycle(outcome);
         switch (outcome) {
           case AccessOutcome::Hit:
-            req->tAccepted = now;
-            req->level = ServiceLevel::L1;
-            hitReturnQ_.push(req, now + config_.l1HitLatency);
+            req.tAccepted = now;
+            req.level = ServiceLevel::L1;
+            hitReturnQ_.push(req_handle, now + config_.l1HitLatency);
             accepted = true;
             break;
           case AccessOutcome::HitReserved:
-            req->tAccepted = now;
+            req.tAccepted = now;
             accepted = true;
             break;
           case AccessOutcome::Miss:
-            req->tAccepted = now;
-            icnt.inject(req, now);
+            req.tAccepted = now;
+            icnt.inject(req_handle, now);
             accepted = true;
             break;
           case AccessOutcome::FailTag:
@@ -570,13 +604,13 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
           case AccessOutcome::FailIcnt:
             break;
         }
-        if (accepted && req->isGlobalLoad) {
+        if (accepted && req.isGlobalLoad) {
             const WarpContext &warp =
-                warps_[static_cast<size_t>(op->warpSlot)];
+                warps_[static_cast<size_t>(op.warpSlot)];
             const uint32_t cta =
                 ctas_[static_cast<size_t>(warp.ctaSlot)].linearId;
-            stats_.l1Access(req->nonDet, outcome != AccessOutcome::Hit,
-                            req->lineAddr, cta);
+            stats_.l1Access(req.nonDet, outcome != AccessOutcome::Hit,
+                            req.lineAddr, cta);
         }
     }
 
@@ -586,37 +620,37 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
     // Conservation (gcl::guard): an accepted data-expecting request must
     // eventually complete; the end-of-launch check balances this counter
     // against reqsCompleted.
-    if (req->op != nullptr)
+    if (req.opHandle != kNullHandle)
         ++stats_.hot.reqsIssued;
 
     // Once accepted, the L1-side fail history is irrelevant — reset so the
     // L2-side dedupe (which reuses the field) starts fresh.
     if (GCL_TRACE_ACTIVE(traceSink))
-        req->traceLastFail = 0xff;
+        req.traceLastFail = 0xff;
 
-    if (op->tFirstAccept == 0 && op->nextToIssue == 0)
-        op->tFirstAccept = now;
-    op->tLastAccept = now;
-    ++op->nextToIssue;
-    ++op->burstCount;
+    if (op.tFirstAccept == 0 && op.nextToIssue == 0)
+        op.tFirstAccept = now;
+    op.tLastAccept = now;
+    ++op.nextToIssue;
+    ++op.burstCount;
 
-    if (op->allIssued()) {
+    if (op.allIssued()) {
         ldstQ_.pop_front();
         issueDirty_ = true;
-        if (op->outstanding > 0)
-            pendingOps_.push_back(op);
+        if (op.outstanding > 0)
+            pendingOps_.push_back(op_handle);
         else
-            finishMemOp(op, now);
+            finishMemOp(op_handle, now);
         return;
     }
 
     // Warp-splitting ablation (Section X.A): a non-deterministic load only
     // issues a bounded burst before yielding the stage to the next op.
-    if (config_.nondetSplitRequests > 0 && op->nonDet &&
-        op->burstCount >= config_.nondetSplitRequests && ldstQ_.size() > 1) {
-        op->burstCount = 0;
+    if (config_.nondetSplitRequests > 0 && op.nonDet &&
+        op.burstCount >= config_.nondetSplitRequests && ldstQ_.size() > 1) {
+        op.burstCount = 0;
         ldstQ_.pop_front();
-        ldstQ_.push_back(op);
+        ldstQ_.push_back(op_handle);
     }
 }
 
@@ -670,23 +704,36 @@ Sm::cycle(Cycle now, Interconnect &icnt)
 }
 
 void
-Sm::receiveResponse(const MemRequestPtr &req, Cycle now)
+Sm::receiveResponse(ReqHandle req_handle, Cycle now)
 {
     // Injected dropped fill (gcl::guard): the response vanishes, leaking
     // the MSHR entry and every merged request — the livelock case the
-    // forward-progress watchdog exists to catch.
+    // forward-progress watchdog exists to catch. (The pooled request leaks
+    // too; the pool dies with the Gpu.)
     if (fault && fault->dropFill(now))
         return;
-    if (req->isAtomic) {
-        completeRequest(req, now);
+    const MemRequest &req = pools_.reqs.get(req_handle);
+    if (req.isAtomic) {
+        completeRequest(req_handle, now);
         return;
     }
-    for (auto &merged : l1_.fill(req->lineAddr)) {
-        merged->level = req->level;
-        merged->tL2Done = merged->tL2Done ? merged->tL2Done : req->tL2Done;
-        merged->tArriveL2 =
-            merged->tArriveL2 ? merged->tArriveL2 : req->tArriveL2;
-        completeRequest(merged, now);
+    // The head of the fill chain is this request itself; copy what the
+    // merged requests inherit before completion frees it.
+    const uint64_t line_addr = req.lineAddr;
+    const ServiceLevel level = req.level;
+    const Cycle t_l2_done = req.tL2Done;
+    const Cycle t_arrive_l2 = req.tArriveL2;
+
+    ReqHandle waiting = l1_.fill(line_addr);
+    while (waiting != kNullHandle) {
+        MemRequest &merged = pools_.reqs.get(waiting);
+        const ReqHandle next = merged.nextWaiting;  // read before the free
+        merged.level = level;
+        merged.tL2Done = merged.tL2Done ? merged.tL2Done : t_l2_done;
+        merged.tArriveL2 =
+            merged.tArriveL2 ? merged.tArriveL2 : t_arrive_l2;
+        completeRequest(waiting, now);
+        waiting = next;
     }
 }
 

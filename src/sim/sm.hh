@@ -11,6 +11,9 @@
  *                   per cycle into the L1; reservation failures burn the
  *                   cycle and retry (Fig 3)
  *   4. unit accounting for Fig 4 (first-pipeline-stage occupancy)
+ *
+ * Memory ops and requests live in the run's MemPools and are referenced
+ * by handle; the SM owns the op lifecycle (see mem_request.hh).
  */
 
 #ifndef GCL_SIM_SM_HH
@@ -42,7 +45,8 @@ using PartitionMap = int (*)(uint64_t line_addr, int sm_id,
 class Sm
 {
   public:
-    Sm(int id, const GpuConfig &config, GlobalMemory &gmem, SimStats &stats);
+    Sm(int id, const GpuConfig &config, GlobalMemory &gmem, SimStats &stats,
+       MemPools &pools);
 
     int id() const { return id_; }
 
@@ -62,7 +66,7 @@ class Sm
     void cycle(Cycle now, Interconnect &icnt);
 
     /** A memory response arrived from the interconnect. */
-    void receiveResponse(const MemRequestPtr &req, Cycle now);
+    void receiveResponse(ReqHandle req, Cycle now);
 
     unsigned numResidentCtas() const { return residentCtas_; }
 
@@ -86,8 +90,8 @@ class Sm
     void ldstCycle(Cycle now, Interconnect &icnt);
     void startMemOp(int slot, size_t pc, const ptx::Instruction &inst,
                     const StepInfo &info, Cycle now);
-    void completeRequest(const MemRequestPtr &req, Cycle now);
-    void finishMemOp(const WarpMemOpPtr &op, Cycle now);
+    void completeRequest(ReqHandle req, Cycle now);
+    void finishMemOp(OpHandle op, Cycle now);
 
     // --- Writeback ---
     void writebackCycle(Cycle now);
@@ -99,6 +103,7 @@ class Sm
     int id_;
     const GpuConfig &config_;
     SimStats &stats_;
+    MemPools &pools_;
     WarpExecutor executor_;
     Cache l1_;
 
@@ -122,11 +127,11 @@ class Sm
     bool issueDirty_ = true;
 
     /** Warp memory ops; front occupies the LD/ST first stage. */
-    std::deque<WarpMemOpPtr> ldstQ_;
+    std::deque<OpHandle> ldstQ_;
     /** Ops that left the stage but still await data. */
-    std::vector<WarpMemOpPtr> pendingOps_;
+    std::vector<OpHandle> pendingOps_;
     /** L1 hits returning after the hit latency. */
-    DelayQueue<MemRequestPtr> hitReturnQ_;
+    DelayQueue<ReqHandle> hitReturnQ_;
 
     struct Writeback
     {

@@ -7,19 +7,79 @@
 namespace gcl::sim
 {
 
+namespace
+{
+
+/** Initial block-table capacity; power of two. */
+constexpr size_t kInitialBlockSlots = 1024;
+
+size_t
+blockSlotOf(uint64_t line_addr, size_t mask)
+{
+    // Fibonacci hashing: line addresses share low zero bits.
+    return (line_addr * UINT64_C(0x9E3779B97F4A7C15)) & mask;
+}
+
+} // namespace
+
 SimStats::SimStats(const GpuConfig &config)
     : config_(config),
       l2Queries_(config.numPartitions, 0),
-      l2Hits_(config.numPartitions, 0)
+      l2Hits_(config.numPartitions, 0),
+      blockTable_(kInitialBlockSlots)
 {
 }
 
 void
 SimStats::insertCta(std::vector<uint32_t> &ctas, uint32_t cta)
 {
-    auto it = std::lower_bound(ctas.begin(), ctas.end(), cta);
-    if (it == ctas.end() || *it != cta)
-        ctas.insert(it, cta);
+    // Unsorted unique append; repeated accesses usually come from the CTA
+    // that touched the block most recently, so scan from the back. The
+    // vectors are sorted once at finalize.
+    for (size_t i = ctas.size(); i-- > 0;)
+        if (ctas[i] == cta)
+            return;
+    ctas.push_back(cta);
+}
+
+void
+SimStats::growBlockTable()
+{
+    std::vector<BlockSlot> old = std::move(blockTable_);
+    blockTable_.assign(old.size() * 2, BlockSlot{});
+    const size_t mask = blockTable_.size() - 1;
+    for (BlockSlot &slot : old) {
+        if (slot.info.accesses == 0)
+            continue;
+        size_t at = blockSlotOf(slot.lineAddr, mask);
+        while (blockTable_[at].info.accesses != 0)
+            at = (at + 1) & mask;
+        blockTable_[at] = std::move(slot);
+    }
+}
+
+SimStats::BlockInfo &
+SimStats::blockFor(uint64_t line_addr)
+{
+    const size_t mask = blockTable_.size() - 1;
+    size_t at = blockSlotOf(line_addr, mask);
+    while (blockTable_[at].info.accesses != 0) {
+        if (blockTable_[at].lineAddr == line_addr)
+            return blockTable_[at].info;
+        at = (at + 1) & mask;
+    }
+    // New block: grow at ~70% load before inserting so probe runs stay
+    // short, then claim the (possibly relocated) slot.
+    if ((blockCount_ + 1) * 10 > blockTable_.size() * 7) {
+        growBlockTable();
+        const size_t grown_mask = blockTable_.size() - 1;
+        at = blockSlotOf(line_addr, grown_mask);
+        while (blockTable_[at].info.accesses != 0)
+            at = (at + 1) & grown_mask;
+    }
+    ++blockCount_;
+    blockTable_[at].lineAddr = line_addr;
+    return blockTable_[at].info;  // caller increments accesses immediately
 }
 
 void
@@ -29,7 +89,7 @@ SimStats::l1Access(bool non_det, bool miss, uint64_t line_addr, uint32_t cta)
     if (miss)
         ++hot.l1Miss[non_det];
 
-    BlockInfo &block = blocks_[line_addr];
+    BlockInfo &block = blockFor(line_addr);
     ++block.accesses;
     insertCta(block.ctas, cta);
     insertCta(non_det ? block.ctasNondet : block.ctasDet, cta);
@@ -51,7 +111,7 @@ void
 SimStats::gloadDone(const WarpMemOp &op, uint32_t kernel_id)
 {
     const bool nd = op.nonDet;
-    const auto nreq = static_cast<uint32_t>(op.requests.size());
+    const uint32_t nreq = op.numRequests;
 
     // Fig 2 aggregates.
     ClassAgg &agg = cls_[nd];
@@ -86,35 +146,41 @@ SimStats::gloadDone(const WarpMemOp &op, uint32_t kernel_id)
     agg.rsrvCur += rsrv_cur;
     agg.mem += wasted_mem;
 
-    // Figs 6 and 7: per-pc breakdown keyed by the request count.
-    const uint64_t key = (uint64_t{kernel_id} << 32) | op.pc;
-    PcAgg &pc = pcAggs_[key];
-    pc.nonDet = nd;
-    PcBucket &bucket = pc.byReqs[nreq];
-    ++bucket.cnt;
-    bucket.turn += turnaround;
-    bucket.gapL1d += rsrv_cur;
+    // Figs 6 and 7: per-pc breakdown keyed by the request count. The fast
+    // path indexes a dense per-kernel array; pcs past the dense limit
+    // spill into the map.
+    PcBucket *bucket;
+    const auto pc_idx = static_cast<uint32_t>(op.pc);
+    if (pc_idx < kDensePcLimit) {
+        if (kernel_id >= pcDense_.size())
+            pcDense_.resize(kernel_id + 1);
+        auto &slots = pcDense_[kernel_id];
+        if (pc_idx >= slots.size())
+            slots.resize(pc_idx + 1);
+        PcSlot &slot = slots[pc_idx];
+        slot.used = true;
+        slot.nonDet = nd;
+        bucket = &slot.byReqs[nreq];
+    } else {
+        const uint64_t key = (uint64_t{kernel_id} << 32) | pc_idx;
+        PcAgg &pc = pcAggs_[key];
+        pc.nonDet = nd;
+        bucket = &pc.byReqs[nreq];
+    }
+    ++bucket->cnt;
+    bucket->turn += turnaround;
+    bucket->gapL1d += rsrv_cur;
 
     // Gap at icnt-L2: extra queueing between L1 acceptance and the start of
-    // L2 service, averaged over the op's missed requests.
-    double gap_icnt_l2 = 0.0;
-    unsigned missed = 0;
-    for (const auto &req : op.requests) {
-        if (req->level == ServiceLevel::L1)
-            continue;
-        const double nominal = config_.icntLatency + config_.ropLatency;
-        const double actual =
-            static_cast<double>(req->tArriveL2) -
-            static_cast<double>(req->tAccepted);
-        gap_icnt_l2 += std::max(0.0, actual - nominal);
-        ++missed;
-    }
-    if (missed)
-        gap_icnt_l2 /= missed;
-    bucket.gapIcntL2 += gap_icnt_l2;
+    // L2 service, accumulated per request as each completed (see
+    // Sm::completeRequest) and averaged over the op's missed requests.
+    double gap_icnt_l2 = op.gapIcntL2Sum;
+    if (op.missedReqs)
+        gap_icnt_l2 /= op.missedReqs;
+    bucket->gapIcntL2 += gap_icnt_l2;
 
     // Gap at L2-icnt: spread between the first and the last returned data.
-    bucket.gapL2Icnt +=
+    bucket->gapL2Icnt +=
         op.tFirstData ? static_cast<double>(op.tDone - op.tFirstData) : 0.0;
 }
 
@@ -125,6 +191,29 @@ SimStats::distanceHistogram(const std::vector<uint32_t> &ctas,
     for (size_t i = 0; i < ctas.size(); ++i)
         for (size_t j = i + 1; j < ctas.size(); ++j)
             hist.add(static_cast<int64_t>(ctas[j]) - ctas[i], 1.0);
+}
+
+SimStats::PcHists
+SimStats::pcHists(uint32_t kernel, uint32_t pc_idx, bool non_det)
+{
+    const std::string prefix = "pc." + kernelNames_[kernel] + "#" +
+                               std::to_string(pc_idx) + ".";
+    set_.set(prefix + "nondet", non_det ? 1.0 : 0.0);
+    return {&set_.hist(prefix + "turn_cnt"), &set_.hist(prefix + "turn_sum"),
+            &set_.hist(prefix + "gap_l1d"),
+            &set_.hist(prefix + "gap_icnt_l2"),
+            &set_.hist(prefix + "gap_l2icnt")};
+}
+
+void
+SimStats::addPcBucket(const PcHists &hists, uint32_t nreq,
+                      const PcBucket &bucket)
+{
+    hists.cnt->add(nreq, static_cast<double>(bucket.cnt));
+    hists.turn->add(nreq, bucket.turn);
+    hists.gapL1d->add(nreq, bucket.gapL1d);
+    hists.gapIcntL2->add(nreq, bucket.gapIcntL2);
+    hists.gapL2Icnt->add(nreq, bucket.gapL2Icnt);
 }
 
 void
@@ -192,24 +281,25 @@ SimStats::finalize()
     }
 
     // --- Per-pc aggregates (Figs 6 and 7) ---
-    for (const auto &[key, pc] : pcAggs_) {
-        const uint32_t kernel = static_cast<uint32_t>(key >> 32);
-        const auto pc_idx = static_cast<uint32_t>(key);
-        const std::string prefix = "pc." + kernelNames_[kernel] + "#" +
-                                   std::to_string(pc_idx) + ".";
-        set_.set(prefix + "nondet", pc.nonDet ? 1.0 : 0.0);
-        Histogram &cnt = set_.hist(prefix + "turn_cnt");
-        Histogram &turn = set_.hist(prefix + "turn_sum");
-        Histogram &g1 = set_.hist(prefix + "gap_l1d");
-        Histogram &g2 = set_.hist(prefix + "gap_icnt_l2");
-        Histogram &g3 = set_.hist(prefix + "gap_l2icnt");
-        for (const auto &[nreq, bucket] : pc.byReqs) {
-            cnt.add(nreq, static_cast<double>(bucket.cnt));
-            turn.add(nreq, bucket.turn);
-            g1.add(nreq, bucket.gapL1d);
-            g2.add(nreq, bucket.gapIcntL2);
-            g3.add(nreq, bucket.gapL2Icnt);
+    for (uint32_t kernel = 0; kernel < pcDense_.size(); ++kernel) {
+        const auto &slots = pcDense_[kernel];
+        for (uint32_t pc_idx = 0; pc_idx < slots.size(); ++pc_idx) {
+            const PcSlot &slot = slots[pc_idx];
+            if (!slot.used)
+                continue;
+            const PcHists hists = pcHists(kernel, pc_idx, slot.nonDet);
+            for (uint32_t nreq = 0; nreq <= WarpMemOp::kMaxRequests; ++nreq)
+                if (slot.byReqs[nreq].cnt != 0)
+                    addPcBucket(hists, nreq, slot.byReqs[nreq]);
         }
+    }
+    pcDense_.clear();
+    for (const auto &[key, pc] : pcAggs_) {
+        const auto kernel = static_cast<uint32_t>(key >> 32);
+        const auto pc_idx = static_cast<uint32_t>(key);
+        const PcHists hists = pcHists(kernel, pc_idx, pc.nonDet);
+        for (const auto &[nreq, bucket] : pc.byReqs)
+            addPcBucket(hists, nreq, bucket);
     }
     pcAggs_.clear();
 
@@ -219,8 +309,15 @@ SimStats::finalize()
     Histogram &dist_nondet = set_.hist("cta_distance.nondet");
     Histogram &reuse = set_.hist("block_reuse");
 
-    for (const auto &[addr, block] : blocks_) {
-        (void)addr;
+    for (BlockSlot &slot : blockTable_) {
+        BlockInfo &block = slot.info;
+        if (block.accesses == 0)
+            continue;
+        // The CTA lists accumulate unsorted; the distance histograms need
+        // ascending order (distances are ctas[j] - ctas[i] over i < j).
+        std::sort(block.ctas.begin(), block.ctas.end());
+        std::sort(block.ctasDet.begin(), block.ctasDet.end());
+        std::sort(block.ctasNondet.begin(), block.ctasNondet.end());
         set_.inc("blocks.count");
         set_.inc("blocks.accesses", static_cast<double>(block.accesses));
         reuse.add(static_cast<int64_t>(block.accesses), 1.0);
@@ -237,7 +334,8 @@ SimStats::finalize()
         if (block.ctasNondet.size() >= 2)
             distanceHistogram(block.ctasNondet, dist_nondet);
     }
-    blocks_.clear();
+    blockTable_.clear();
+    blockCount_ = 0;
 }
 
 } // namespace gcl::sim

@@ -6,6 +6,18 @@
  * plain counters; finalize() folds everything into a flat string-keyed
  * StatsSet that the harness serializes into the benchmark run cache.
  *
+ * The per-request structures are laid out for the hot path:
+ *  - per-pc turnaround aggregates live in dense per-kernel arrays indexed
+ *    by pc (a hash map only catches pathological pcs past the dense limit);
+ *  - per-line block info lives in an open-addressed table keyed by line
+ *    address (insert/find only — it is swept once at finalize);
+ *  - the per-block CTA lists stay unsorted during the run and are sorted
+ *    once at finalize, before the distance histograms are computed.
+ * All of this is observationally identical to the straightforward
+ * map-based bookkeeping: every finalize key is distinct and every
+ * accumulated double is integer-valued, so order of accumulation and
+ * iteration cannot change the serialized output.
+ *
  * Scalar key map after finalize() (all monotonically accumulated):
  *   cycles, launches, ctas_launched, threads_per_cta
  *   warp_insts, thread_insts
@@ -142,6 +154,17 @@ class SimStats
         double gapL2Icnt = 0;
     };
 
+    /** Dense per-pc aggregate: one bucket per possible request count. */
+    struct PcSlot
+    {
+        bool used = false;
+        bool nonDet = false;
+        PcBucket byReqs[WarpMemOp::kMaxRequests + 1];
+    };
+
+    /** pcs below this index use the dense per-kernel arrays. */
+    static constexpr uint32_t kDensePcLimit = 4096;
+
     struct PcAgg
     {
         bool nonDet = false;
@@ -151,14 +174,33 @@ class SimStats
     struct BlockInfo
     {
         uint64_t accesses = 0;
-        std::vector<uint32_t> ctas;        //!< sorted unique CTA ids
+        std::vector<uint32_t> ctas;        //!< unique CTA ids (unsorted)
         std::vector<uint32_t> ctasDet;     //!< via deterministic loads
         std::vector<uint32_t> ctasNondet;  //!< via non-deterministic loads
+    };
+
+    struct BlockSlot
+    {
+        uint64_t lineAddr = 0;
+        BlockInfo info;                    //!< accesses == 0 => slot empty
     };
 
     static void insertCta(std::vector<uint32_t> &ctas, uint32_t cta);
     static void distanceHistogram(const std::vector<uint32_t> &ctas,
                                   Histogram &hist);
+
+    /** Find-or-insert into the open-addressed block table. */
+    BlockInfo &blockFor(uint64_t line_addr);
+    void growBlockTable();
+
+    /** The five output histograms of one pc (finalize helper). */
+    struct PcHists
+    {
+        Histogram *cnt, *turn, *gapL1d, *gapIcntL2, *gapL2Icnt;
+    };
+    PcHists pcHists(uint32_t kernel, uint32_t pc_idx, bool non_det);
+    static void addPcBucket(const PcHists &hists, uint32_t nreq,
+                            const PcBucket &bucket);
 
     const GpuConfig &config_;
     StatsSet set_;
@@ -168,8 +210,13 @@ class SimStats
     ClassAgg cls_[2];
     std::vector<std::string> kernelNames_;
     std::unordered_map<std::string, uint32_t> kernelIds_;
+    /** Dense per-kernel, per-pc aggregates (grown on demand). */
+    std::vector<std::vector<PcSlot>> pcDense_;
+    /** Spill for pcs past kDensePcLimit; keyed (kernel_id << 32) | pc. */
     std::unordered_map<uint64_t, PcAgg> pcAggs_;
-    std::unordered_map<uint64_t, BlockInfo> blocks_;
+    /** Open-addressed power-of-two table of per-line block info. */
+    std::vector<BlockSlot> blockTable_;
+    size_t blockCount_ = 0;
     bool finalized_ = false;
 };
 

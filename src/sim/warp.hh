@@ -45,6 +45,35 @@ struct LaunchContext
     /** Per-pc flag: is the global load at this pc non-deterministic? */
     std::vector<bool> nonDetPc;
 
+    /**
+     * Per-pc scoreboard dependence masks, flattened [pc * sbWords + w]:
+     * the union of every register the instruction at pc reads or writes
+     * (sources, guard predicate, destination), in scoreboard bit layout.
+     * Lets the issue check reduce to `scoreboard[w] & sbMask[pc][w]`
+     * instead of testing operands one register at a time. Built once per
+     * launch by Gpu::launch; empty when the kernel has no instructions.
+     */
+    std::vector<uint64_t> sbMask;
+    unsigned sbWords = 0;         //!< scoreboard words per pc
+
+    /** Which pipeline an instruction issues to (warpReady dispatch). */
+    enum IssueClass : uint8_t
+    {
+        IssueSp = 0,
+        IssueSfu,
+        IssueMemory,
+        IssueBarrier,
+        IssueExit,
+    };
+
+    /**
+     * Per-pc issue class, built alongside sbMask: the per-cycle scheduler
+     * scan only needs "which unit must be free", and reading one byte
+     * from a dense array beats pulling the whole ~130-byte Instruction
+     * into cache for every candidate warp every cycle.
+     */
+    std::vector<uint8_t> issueClass;
+
     /** Warps needed per CTA. */
     unsigned
     warpsPerCta(unsigned warp_size) const

@@ -15,13 +15,31 @@ namespace
 
 using namespace gcl::sim;
 
-MemRequestPtr
-makeReq(uint64_t line_addr)
+/** Pool-backed request factory shared by every test in this file. */
+class CacheTest : public ::testing::Test
 {
-    auto req = std::make_shared<MemRequest>();
-    req->lineAddr = line_addr;
-    return req;
-}
+  protected:
+    ReqHandle
+    makeReq(uint64_t line_addr)
+    {
+        const ReqHandle req = pools.reqs.alloc();
+        pools.reqs.get(req).lineAddr = line_addr;
+        return req;
+    }
+
+    /** Walk a fill/release chain into a vector (head first). */
+    std::vector<ReqHandle>
+    chain(ReqHandle head)
+    {
+        std::vector<ReqHandle> out;
+        for (ReqHandle r = head; r != kNullHandle;
+             r = pools.reqs.get(r).nextWaiting)
+            out.push_back(r);
+        return out;
+    }
+
+    MemPools pools;
+};
 
 CacheConfig
 smallConfig()
@@ -36,41 +54,41 @@ smallConfig()
     return config;
 }
 
-TEST(CacheTest, ColdMissThenHitAfterFill)
+TEST_F(CacheTest, ColdMissThenHitAfterFill)
 {
-    Cache cache("t", smallConfig());
-    auto req = makeReq(0);
+    Cache cache("t", smallConfig(), pools);
+    const ReqHandle req = makeReq(0);
     EXPECT_EQ(cache.access(req, true), AccessOutcome::Miss);
     EXPECT_FALSE(cache.isHit(0));
-    const auto merged = cache.fill(0);
+    const auto merged = chain(cache.fill(0));
     ASSERT_EQ(merged.size(), 1u);
-    EXPECT_EQ(merged[0].get(), req.get());
+    EXPECT_EQ(merged[0], req);
     EXPECT_TRUE(cache.isHit(0));
     EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::Hit);
 }
 
-TEST(CacheTest, ReservedLineMergesSecondaryMisses)
+TEST_F(CacheTest, ReservedLineMergesSecondaryMisses)
 {
-    Cache cache("t", smallConfig());
-    auto first = makeReq(0);
-    auto second = makeReq(0);
+    Cache cache("t", smallConfig(), pools);
+    const ReqHandle first = makeReq(0);
+    const ReqHandle second = makeReq(0);
     EXPECT_EQ(cache.access(first, true), AccessOutcome::Miss);
     EXPECT_EQ(cache.access(second, true), AccessOutcome::HitReserved);
-    const auto merged = cache.fill(0);
+    const auto merged = chain(cache.fill(0));
     ASSERT_EQ(merged.size(), 2u);
 }
 
-TEST(CacheTest, MergeListOverflowIsMshrFail)
+TEST_F(CacheTest, MergeListOverflowIsMshrFail)
 {
-    Cache cache("t", smallConfig());  // merge depth 2
+    Cache cache("t", smallConfig(), pools);  // merge depth 2
     EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::Miss);
     EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::HitReserved);
     EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::FailMshr);
 }
 
-TEST(CacheTest, MshrExhaustionIsMshrFail)
+TEST_F(CacheTest, MshrExhaustionIsMshrFail)
 {
-    Cache cache("t", smallConfig());  // 2 MSHR entries
+    Cache cache("t", smallConfig(), pools);  // 2 MSHR entries
     // Two primary misses in different sets take both entries.
     EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::Miss);
     EXPECT_EQ(cache.access(makeReq(128), true), AccessOutcome::Miss);
@@ -78,11 +96,11 @@ TEST(CacheTest, MshrExhaustionIsMshrFail)
     EXPECT_EQ(cache.access(makeReq(256), true), AccessOutcome::FailMshr);
 }
 
-TEST(CacheTest, AllWaysReservedIsTagFail)
+TEST_F(CacheTest, AllWaysReservedIsTagFail)
 {
     auto config = smallConfig();
     config.mshrEntries = 8;  // plenty of MSHRs: isolate the tag fail
-    Cache cache("t", config);
+    Cache cache("t", config, pools);
     // Set 0 holds lines 0, 256, 512, ... (2 sets). Reserve both ways.
     EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::Miss);
     EXPECT_EQ(cache.access(makeReq(256), true), AccessOutcome::Miss);
@@ -91,29 +109,29 @@ TEST(CacheTest, AllWaysReservedIsTagFail)
     EXPECT_EQ(cache.access(makeReq(128), true), AccessOutcome::Miss);
 }
 
-TEST(CacheTest, NoInterconnectSpaceIsIcntFail)
+TEST_F(CacheTest, NoInterconnectSpaceIsIcntFail)
 {
-    Cache cache("t", smallConfig());
+    Cache cache("t", smallConfig(), pools);
     EXPECT_EQ(cache.access(makeReq(0), false), AccessOutcome::FailIcnt);
     // Nothing was reserved by the failed attempt.
     EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::Miss);
 }
 
-TEST(CacheTest, FailedAccessHasNoSideEffects)
+TEST_F(CacheTest, FailedAccessHasNoSideEffects)
 {
-    Cache cache("t", smallConfig());
+    Cache cache("t", smallConfig(), pools);
     EXPECT_EQ(cache.access(makeReq(0), true), AccessOutcome::Miss);
     EXPECT_EQ(cache.access(makeReq(256), true), AccessOutcome::Miss);
     // Tag fail must not consume an MSHR or evict anything.
     EXPECT_EQ(cache.access(makeReq(512), true), AccessOutcome::FailTag);
-    const auto merged0 = cache.fill(0);
+    const auto merged0 = chain(cache.fill(0));
     EXPECT_EQ(merged0.size(), 1u);
     EXPECT_TRUE(cache.isHit(0));
 }
 
-TEST(CacheTest, LruEvictsLeastRecentlyUsed)
+TEST_F(CacheTest, LruEvictsLeastRecentlyUsed)
 {
-    Cache cache("t", smallConfig());
+    Cache cache("t", smallConfig(), pools);
     // Fill both ways of set 0 with lines 0 and 256.
     cache.access(makeReq(0), true);
     cache.fill(0);
@@ -129,25 +147,25 @@ TEST(CacheTest, LruEvictsLeastRecentlyUsed)
     EXPECT_FALSE(cache.isHit(256));
 }
 
-TEST(CacheTest, ReservedLineIsNotEvictable)
+TEST_F(CacheTest, ReservedLineIsNotEvictable)
 {
-    Cache cache("t", smallConfig());
+    Cache cache("t", smallConfig(), pools);
     // Reserve line 0 (in flight), fill line 256: both ways of set 0 used.
     cache.access(makeReq(0), true);
     cache.access(makeReq(256), true);
     cache.fill(256);
     // A new miss in set 0 must evict 256 (valid), never the reserved 0.
     EXPECT_EQ(cache.access(makeReq(512), true), AccessOutcome::Miss);
-    const auto merged = cache.fill(0);  // the original fill still lands
+    const auto merged = chain(cache.fill(0));  // the original fill still lands
     EXPECT_EQ(merged.size(), 1u);
     EXPECT_TRUE(cache.isHit(0));
 }
 
-TEST(CacheTest, FillWithoutReservationIsRecoverableError)
+TEST_F(CacheTest, FillWithoutReservationIsRecoverableError)
 {
     // A stray fill means the cache/MSHR handshake is broken: the run dies
     // with SimError{Invariant}, not a process abort (gcl::guard taxonomy).
-    Cache cache("t", smallConfig());
+    Cache cache("t", smallConfig(), pools);
     try {
         cache.fill(0);
         FAIL() << "fill without a reservation accepted";
@@ -160,7 +178,8 @@ TEST(CacheTest, FillWithoutReservationIsRecoverableError)
 
 /** Parameterized sweep: geometry invariants hold across shapes. */
 class CacheGeometry
-    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
+    : public CacheTest,
+      public ::testing::WithParamInterface<std::tuple<uint32_t, uint32_t>>
 {
 };
 
@@ -173,7 +192,7 @@ TEST_P(CacheGeometry, FillsWholeCapacityWithoutEviction)
     config.assoc = assoc;
     config.mshrEntries = 4096;
     config.mshrMaxMerge = 4;
-    Cache cache("t", config);
+    Cache cache("t", config, pools);
 
     const uint32_t lines = config.sizeBytes / config.lineBytes;
     for (uint32_t i = 0; i < lines; ++i) {
@@ -203,9 +222,11 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(8u, 2u),
                       std::make_tuple(64u, 16u)));
 
-TEST(MshrTest, LifecycleAndLimits)
+using MshrTest = CacheTest;
+
+TEST_F(MshrTest, LifecycleAndLimits)
 {
-    Mshr mshr(2, 3);
+    Mshr mshr(2, 3, pools);
     EXPECT_FALSE(mshr.full());
     EXPECT_FALSE(mshr.hasEntry(0));
 
@@ -219,15 +240,15 @@ TEST(MshrTest, LifecycleAndLimits)
     mshr.allocate(128, makeReq(128));
     EXPECT_TRUE(mshr.full());
 
-    const auto released = mshr.release(0);
+    const auto released = chain(mshr.release(0));
     EXPECT_EQ(released.size(), 3u);
     EXPECT_FALSE(mshr.hasEntry(0));
     EXPECT_FALSE(mshr.full());
 }
 
-TEST(MshrTest, DoubleAllocateIsRecoverableError)
+TEST_F(MshrTest, DoubleAllocateIsRecoverableError)
 {
-    Mshr mshr(4, 4);
+    Mshr mshr(4, 4, pools);
     mshr.allocate(0, makeReq(0));
     try {
         mshr.allocate(0, makeReq(0));

@@ -15,15 +15,28 @@ namespace
 
 using namespace gcl::sim;
 
-MemRequestPtr
-makeReq(int sm, int partition, uint64_t line = 0)
+/** Pool-backed request factory shared by every test in this file. */
+class PoolTestBase : public ::testing::Test
 {
-    auto req = std::make_shared<MemRequest>();
-    req->smId = sm;
-    req->partition = partition;
-    req->lineAddr = line;
-    return req;
-}
+  protected:
+    ReqHandle
+    makeReq(int sm, int partition, uint64_t line = 0)
+    {
+        const ReqHandle req = pools.reqs.alloc();
+        MemRequest &r = pools.reqs.get(req);
+        r.smId = sm;
+        r.partition = partition;
+        r.lineAddr = line;
+        return req;
+    }
+
+    MemRequest &get(ReqHandle req) { return pools.reqs.get(req); }
+
+    MemPools pools;
+};
+
+using DramTest = PoolTestBase;
+using IcntTest = PoolTestBase;
 
 GpuConfig
 testConfig()
@@ -40,22 +53,22 @@ testConfig()
     return config;
 }
 
-TEST(DramTest, SingleRequestLatency)
+TEST_F(DramTest, SingleRequestLatency)
 {
     const auto config = testConfig();
-    DramChannel dram(config);
+    DramChannel dram(config, pools);
     dram.push(makeReq(0, 0), 10);
     EXPECT_FALSE(dram.headReady(10 + config.dramLatency - 1));
     EXPECT_TRUE(dram.headReady(10 + config.dramLatency));
-    EXPECT_EQ(dram.pop()->smId, 0);
+    EXPECT_EQ(get(dram.pop()).smId, 0);
     EXPECT_TRUE(dram.empty());
     EXPECT_EQ(dram.serviced(), 1u);
 }
 
-TEST(DramTest, BackToBackRequestsSerializeOnTheBurst)
+TEST_F(DramTest, BackToBackRequestsSerializeOnTheBurst)
 {
     const auto config = testConfig();
-    DramChannel dram(config);
+    DramChannel dram(config, pools);
     dram.push(makeReq(0, 0), 0);
     dram.push(makeReq(1, 0), 0);
     dram.push(makeReq(2, 0), 0);
@@ -68,10 +81,10 @@ TEST(DramTest, BackToBackRequestsSerializeOnTheBurst)
     EXPECT_TRUE(dram.headReady(108));
 }
 
-TEST(DramTest, IdleChannelRestartsCleanly)
+TEST_F(DramTest, IdleChannelRestartsCleanly)
 {
     const auto config = testConfig();
-    DramChannel dram(config);
+    DramChannel dram(config, pools);
     dram.push(makeReq(0, 0), 0);
     dram.pop();
     // Much later: latency measured from arrival, not from channelFreeAt.
@@ -80,10 +93,10 @@ TEST(DramTest, IdleChannelRestartsCleanly)
     EXPECT_TRUE(dram.headReady(1100));
 }
 
-TEST(DramTest, QueueDepthEnforced)
+TEST_F(DramTest, QueueDepthEnforced)
 {
     const auto config = testConfig();  // depth 3
-    DramChannel dram(config);
+    DramChannel dram(config, pools);
     dram.push(makeReq(0, 0), 0);
     dram.push(makeReq(1, 0), 0);
     dram.push(makeReq(2, 0), 0);
@@ -99,36 +112,36 @@ TEST(DramTest, QueueDepthEnforced)
     }
 }
 
-TEST(IcntTest, RequestTraversalLatency)
+TEST_F(IcntTest, RequestTraversalLatency)
 {
     const auto config = testConfig();
-    Interconnect icnt(config);
-    auto req = makeReq(1, 0);
+    Interconnect icnt(config, pools);
+    const ReqHandle req = makeReq(1, 0);
     ASSERT_TRUE(icnt.canInject(1));
     icnt.inject(req, 5);
-    EXPECT_EQ(req->tInjected, 5u);
+    EXPECT_EQ(get(req).tInjected, 5u);
 
     icnt.cycle(5);  // crossbar moves the flit; arrives at 5 + latency
     EXPECT_FALSE(icnt.hasRequest(0, 5 + config.icntLatency - 1));
     EXPECT_TRUE(icnt.hasRequest(0, 5 + config.icntLatency));
-    EXPECT_EQ(icnt.popRequest(0, 5 + config.icntLatency).get(), req.get());
+    EXPECT_EQ(icnt.popRequest(0, 5 + config.icntLatency), req);
     EXPECT_TRUE(icnt.idle());
 }
 
-TEST(IcntTest, InjectQueueDepthGivesBackpressure)
+TEST_F(IcntTest, InjectQueueDepthGivesBackpressure)
 {
     const auto config = testConfig();  // depth 2
-    Interconnect icnt(config);
+    Interconnect icnt(config, pools);
     icnt.inject(makeReq(0, 0), 0);
     icnt.inject(makeReq(0, 0), 0);
     EXPECT_FALSE(icnt.canInject(0));
     EXPECT_TRUE(icnt.canInject(1));  // per-SM queues
 }
 
-TEST(IcntTest, OnePartitionAcceptsOneFlitPerCycle)
+TEST_F(IcntTest, OnePartitionAcceptsOneFlitPerCycle)
 {
     const auto config = testConfig();
-    Interconnect icnt(config);
+    Interconnect icnt(config, pools);
     // Two SMs target partition 0 simultaneously.
     icnt.inject(makeReq(0, 0), 0);
     icnt.inject(makeReq(1, 0), 0);
@@ -142,10 +155,10 @@ TEST(IcntTest, OnePartitionAcceptsOneFlitPerCycle)
     EXPECT_FALSE(icnt.hasRequest(0, t));
 }
 
-TEST(IcntTest, DistinctPartitionsTransferInParallel)
+TEST_F(IcntTest, DistinctPartitionsTransferInParallel)
 {
     const auto config = testConfig();
-    Interconnect icnt(config);
+    Interconnect icnt(config, pools);
     icnt.inject(makeReq(0, 0), 0);
     icnt.inject(makeReq(1, 1), 0);
     icnt.cycle(0);
@@ -154,39 +167,38 @@ TEST(IcntTest, DistinctPartitionsTransferInParallel)
     EXPECT_TRUE(icnt.hasRequest(1, t));
 }
 
-TEST(IcntTest, ResponsePathRoundTrip)
+TEST_F(IcntTest, ResponsePathRoundTrip)
 {
     const auto config = testConfig();
-    Interconnect icnt(config);
-    auto req = makeReq(2, 1);
+    Interconnect icnt(config, pools);
+    const ReqHandle req = makeReq(2, 1);
     ASSERT_TRUE(icnt.canRespond(1));
     icnt.respond(req, 50);
-    EXPECT_EQ(req->tRespDepart, 50u);
+    EXPECT_EQ(get(req).tRespDepart, 50u);
     icnt.cycle(50);
     EXPECT_TRUE(icnt.hasResponse(2, 50 + config.icntLatency));
-    EXPECT_EQ(icnt.popResponse(2, 50 + config.icntLatency).get(),
-              req.get());
+    EXPECT_EQ(icnt.popResponse(2, 50 + config.icntLatency), req);
 }
 
-TEST(IcntTest, PerSmOrderIsFifo)
+TEST_F(IcntTest, PerSmOrderIsFifo)
 {
     const auto config = testConfig();
-    Interconnect icnt(config);
-    auto first = makeReq(0, 0, 0x100);
-    auto second = makeReq(0, 0, 0x200);
+    Interconnect icnt(config, pools);
+    const ReqHandle first = makeReq(0, 0, 0x100);
+    const ReqHandle second = makeReq(0, 0, 0x200);
     icnt.inject(first, 0);
     icnt.inject(second, 0);
     icnt.cycle(0);
     icnt.cycle(1);
     const Cycle t = 1 + config.icntLatency;
-    EXPECT_EQ(icnt.popRequest(0, t)->lineAddr, 0x100u);
-    EXPECT_EQ(icnt.popRequest(0, t)->lineAddr, 0x200u);
+    EXPECT_EQ(get(icnt.popRequest(0, t)).lineAddr, 0x100u);
+    EXPECT_EQ(get(icnt.popRequest(0, t)).lineAddr, 0x200u);
 }
 
-TEST(IcntTest, RoundRobinIsFairUnderContention)
+TEST_F(IcntTest, RoundRobinIsFairUnderContention)
 {
     const auto config = testConfig();
-    Interconnect icnt(config);
+    Interconnect icnt(config, pools);
     // SMs 0 and 1 keep injecting to partition 0; both must make progress
     // within a bounded window.
     int delivered[2] = {0, 0};
@@ -199,7 +211,7 @@ TEST(IcntTest, RoundRobinIsFairUnderContention)
         icnt.cycle(now);
         const Cycle arrival = now + config.icntLatency;
         while (icnt.hasRequest(0, arrival))
-            ++delivered[icnt.popRequest(0, arrival)->smId];
+            ++delivered[get(icnt.popRequest(0, arrival)).smId];
         ++now;
     }
     EXPECT_GT(delivered[0], 3);

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * HandlePool unit tests: alloc/free lifecycle, LIFO slot reuse,
+ * generation bumping across reuse, exhaustion behavior, and — in
+ * checked builds (GCL_POOL_CHECKED, wired into the ASan preset) — the
+ * stale-handle panics that turn use-after-free and double-free into
+ * immediate failures at the offending dereference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/mem_request.hh"
+#include "util/pool.hh"
+
+namespace
+{
+
+using gcl::HandlePool;
+using gcl::kNullHandle;
+using gcl::PoolHandle;
+
+TEST(Pool, AllocReturnsDistinctLiveHandles)
+{
+    HandlePool<uint64_t> pool("t");
+    const PoolHandle a = pool.alloc();
+    const PoolHandle b = pool.alloc();
+    EXPECT_NE(a, kNullHandle);
+    EXPECT_NE(b, kNullHandle);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(pool.live(), 2u);
+
+    pool.get(a) = 11;
+    pool.get(b) = 22;
+    EXPECT_EQ(pool.get(a), 11u);
+    EXPECT_EQ(pool.get(b), 22u);
+}
+
+TEST(Pool, ObjectsAreDefaultInitializedOnAlloc)
+{
+    HandlePool<gcl::sim::MemRequest> pool("t");
+    const PoolHandle first = pool.alloc();
+    pool.get(first).lineAddr = 0xdead;
+    pool.get(first).nextWaiting = 7;
+    pool.get(first).nextWaitingL2 = 9;
+    pool.free(first);
+
+    // The recycled slot must come back value-initialized, not with the
+    // previous occupant's fields.
+    const PoolHandle second = pool.alloc();
+    EXPECT_EQ(pool.get(second).lineAddr, 0u);
+    EXPECT_EQ(pool.get(second).nextWaiting, kNullHandle);
+    EXPECT_EQ(pool.get(second).nextWaitingL2, kNullHandle);
+}
+
+TEST(Pool, FreeThenAllocReusesTheSlotWithoutGrowing)
+{
+    HandlePool<uint64_t> pool("t");
+    std::vector<PoolHandle> handles;
+    for (int i = 0; i < 100; ++i)
+        handles.push_back(pool.alloc());
+    EXPECT_EQ(pool.capacity(), 100u);
+
+    // Steady-state churn: the pool reuses freed slots (LIFO, so the
+    // just-freed cache-hot slot first) and the high-water mark stays put.
+    for (int i = 0; i < 1000; ++i) {
+        pool.free(handles.back());
+        handles.back() = pool.alloc();
+    }
+    EXPECT_EQ(pool.capacity(), 100u);
+    EXPECT_EQ(pool.live(), 100u);
+}
+
+TEST(Pool, GenerationChangesAcrossReuse)
+{
+    HandlePool<uint64_t> pool("t");
+    const PoolHandle first = pool.alloc();
+    pool.free(first);
+    const PoolHandle second = pool.alloc();
+    // Same slot, bumped generation: the stale handle can never compare
+    // equal to the live one (until the 12-bit generation wraps).
+    EXPECT_EQ(first & HandlePool<uint64_t>::kSlotMask,
+              second & HandlePool<uint64_t>::kSlotMask);
+    EXPECT_NE(first, second);
+}
+
+TEST(Pool, ExhaustionThrowsLengthError)
+{
+    // The handle encoding bounds the population; filling it must fail
+    // loudly, not hand out an aliased handle. ~1M uint32 slots is cheap.
+    HandlePool<uint32_t> pool("t");
+    for (size_t i = 0; i < HandlePool<uint32_t>::kMaxSlots; ++i)
+        pool.alloc();
+    EXPECT_EQ(pool.live(), HandlePool<uint32_t>::kMaxSlots);
+    EXPECT_THROW(pool.alloc(), std::length_error);
+}
+
+#if GCL_POOL_CHECKED
+
+using PoolDeathTest = ::testing::Test;
+
+TEST(PoolDeathTest, StaleHandleDereferencePanics)
+{
+    HandlePool<uint64_t> pool("t");
+    const PoolHandle handle = pool.alloc();
+    pool.free(handle);
+    EXPECT_DEATH(pool.get(handle), "stale handle");
+}
+
+TEST(PoolDeathTest, DoubleFreePanics)
+{
+    HandlePool<uint64_t> pool("t");
+    const PoolHandle handle = pool.alloc();
+    pool.free(handle);
+    EXPECT_DEATH(pool.free(handle), "stale handle");
+}
+
+TEST(PoolDeathTest, HandleFromPreviousGenerationPanics)
+{
+    HandlePool<uint64_t> pool("t");
+    const PoolHandle stale = pool.alloc();
+    pool.free(stale);
+    const PoolHandle live = pool.alloc();  // same slot, new generation
+    ASSERT_NE(stale, live);
+    EXPECT_DEATH(pool.get(stale), "generation");
+}
+
+TEST(PoolDeathTest, NullHandleDereferencePanics)
+{
+    HandlePool<uint64_t> pool("t");
+    EXPECT_DEATH(pool.get(kNullHandle), "null handle");
+}
+
+#endif // GCL_POOL_CHECKED
+
+} // namespace

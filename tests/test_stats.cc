@@ -4,6 +4,8 @@
  * inter-CTA block tracking and the finalize() fold.
  */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "sim/stats.hh"
@@ -28,12 +30,15 @@ makeOp(bool non_det, unsigned nreq, Cycle issue, Cycle first_accept,
     op.tFirstData = done;
     op.tDone = done;
     op.deepest = deepest;
-    for (unsigned i = 0; i < nreq; ++i) {
-        auto req = std::make_shared<MemRequest>();
-        req->level = deepest;
-        req->tAccepted = first_accept;
-        req->tArriveL2 = first_accept + 100;
-        op.requests.push_back(std::move(req));
+    op.numRequests = nreq;
+    // What Sm::completeRequest accumulates per request that went past L1:
+    // each of the nreq requests was accepted at first_accept and reached
+    // its L2 at first_accept + 100.
+    if (deepest != ServiceLevel::L1) {
+        const GpuConfig config;
+        const double nominal = config.icntLatency + config.ropLatency;
+        op.gapIcntL2Sum = nreq * std::max(0.0, 100.0 - nominal);
+        op.missedReqs = nreq;
     }
     return op;
 }

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Compare two BENCH_perf.json snapshots (bench/perf_sweep output) and
+ * fail on a throughput regression.
+ *
+ *   perf_diff <baseline.json> <current.json> [--tolerance=0.10]
+ *
+ * Prints a per-app and total delta table; exits 1 if total
+ * cycles_per_sec regressed by more than the tolerance (default 10%).
+ * scripts/check.sh runs this non-fatally by default and fatally under
+ * --perf, against the committed baseline in bench/baselines/.
+ *
+ * The parser is deliberately a scanner, not a JSON library: perf_sweep
+ * emits a fixed shape, and this tool must keep working inside the
+ * dependency-free toolchain.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+struct Snapshot
+{
+    std::map<std::string, double> appCps;  // per-app cycles_per_sec
+    double totalCps = 0.0;
+    double nsPerCycle = 0.0;
+    long peakRssKb = 0;
+};
+
+/** Find `"key": <number>` after position `from`; returns NaN if absent. */
+double
+numberAfter(const std::string &text, const std::string &key, size_t from,
+            size_t *pos_out = nullptr)
+{
+    const std::string needle = "\"" + key + "\":";
+    const size_t at = text.find(needle, from);
+    if (at == std::string::npos)
+        return std::nan("");
+    if (pos_out)
+        *pos_out = at;
+    return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+std::string
+stringAfter(const std::string &text, const std::string &key, size_t from)
+{
+    const std::string needle = "\"" + key + "\": \"";
+    const size_t at = text.find(needle, from);
+    if (at == std::string::npos)
+        return "";
+    const size_t begin = at + needle.size();
+    const size_t end = text.find('"', begin);
+    return text.substr(begin, end - begin);
+}
+
+Snapshot
+load(const char *path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "perf_diff: cannot read '%s'\n", path);
+        std::exit(2);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    Snapshot snap;
+    // Per-app entries all precede the "total" object.
+    const size_t total_at = text.find("\"total\":");
+    if (total_at == std::string::npos) {
+        std::fprintf(stderr, "perf_diff: '%s' has no \"total\" object\n",
+                     path);
+        std::exit(2);
+    }
+    size_t cursor = 0;
+    while (true) {
+        const std::string name = stringAfter(text, "name", cursor);
+        if (name.empty())
+            break;
+        size_t name_at = 0;
+        numberAfter(text, "sim_cycles", cursor, &name_at);
+        if (name_at >= total_at)
+            break;
+        const double cps = numberAfter(text, "cycles_per_sec", cursor);
+        snap.appCps[name] = cps;
+        cursor = text.find('}', name_at);
+        if (cursor == std::string::npos)
+            break;
+    }
+    snap.totalCps = numberAfter(text, "cycles_per_sec", total_at);
+    snap.nsPerCycle = numberAfter(text, "ns_per_cycle", total_at);
+    snap.peakRssKb =
+        static_cast<long>(numberAfter(text, "peak_rss_kb", total_at));
+    if (std::isnan(snap.totalCps) || snap.totalCps <= 0) {
+        std::fprintf(stderr,
+                     "perf_diff: '%s' has no total cycles_per_sec\n", path);
+        std::exit(2);
+    }
+    return snap;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *base_path = nullptr;
+    const char *cur_path = nullptr;
+    double tolerance = 0.10;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
+            tolerance = std::strtod(argv[i] + 12, nullptr);
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            std::printf("usage: perf_diff <baseline.json> <current.json> "
+                        "[--tolerance=0.10]\n"
+                        "Exits 1 if total cycles_per_sec regressed by more "
+                        "than the tolerance.\n");
+            return 0;
+        } else if (!base_path) {
+            base_path = argv[i];
+        } else if (!cur_path) {
+            cur_path = argv[i];
+        } else {
+            std::fprintf(stderr, "perf_diff: too many arguments\n");
+            return 2;
+        }
+    }
+    if (!base_path || !cur_path) {
+        std::fprintf(stderr,
+                     "usage: perf_diff <baseline.json> <current.json> "
+                     "[--tolerance=0.10]\n");
+        return 2;
+    }
+
+    const Snapshot base = load(base_path);
+    const Snapshot cur = load(cur_path);
+
+    std::printf("== perf_diff: %s -> %s ==\n", base_path, cur_path);
+    std::printf("%-8s %14s %14s %9s\n", "app", "base c/s", "cur c/s",
+                "delta");
+    for (const auto &[name, base_cps] : base.appCps) {
+        const auto it = cur.appCps.find(name);
+        if (it == cur.appCps.end()) {
+            std::printf("%-8s %14.0f %14s %9s\n", name.c_str(), base_cps,
+                        "-", "gone");
+            continue;
+        }
+        std::printf("%-8s %14.0f %14.0f %+8.1f%%\n", name.c_str(), base_cps,
+                    it->second, (it->second / base_cps - 1.0) * 100.0);
+    }
+    for (const auto &[name, cur_cps] : cur.appCps)
+        if (base.appCps.find(name) == base.appCps.end())
+            std::printf("%-8s %14s %14.0f %9s\n", name.c_str(), "-", cur_cps,
+                        "new");
+
+    const double speedup = cur.totalCps / base.totalCps;
+    std::printf("%-8s %14.0f %14.0f %+8.1f%%\n", "TOTAL", base.totalCps,
+                cur.totalCps, (speedup - 1.0) * 100.0);
+    std::printf("ns/cycle: %.3f -> %.3f   peak RSS: %ld KB -> %ld KB\n",
+                base.nsPerCycle, cur.nsPerCycle, base.peakRssKb,
+                cur.peakRssKb);
+
+    if (speedup < 1.0 - tolerance) {
+        std::printf("perf_diff: REGRESSION: total throughput %.2fx of "
+                    "baseline (tolerance %.0f%%)\n",
+                    speedup, tolerance * 100.0);
+        return 1;
+    }
+    std::printf("perf_diff: ok (%.2fx of baseline)\n", speedup);
+    return 0;
+}
