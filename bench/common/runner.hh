@@ -21,13 +21,21 @@
  *   --jobs=N                  simulate up to N applications concurrently
  *                             (0 = one per hardware thread; default
  *                             GCL_BENCH_JOBS, else 1)
+ *   --sim-threads=N           tick threads *inside* each simulation
+ *                             (deterministic; 0 = hardware threads minus
+ *                             sweep jobs, clamped >= 1; default
+ *                             GCL_SIM_THREADS, else 1)
  * Tracing always simulates fresh: a cached stats file has no events.
  *
- * Parallelism is *across* applications, never within one simulation: each
- * run is a thread-confined workloads::SimContext scheduled on a gcl::exec
- * pool, results land in canonical (Table I) order, and per-run trace
- * sinks are merged into one well-formed Chrome trace — so every artifact
- * is bit-identical to a --jobs=1 sweep.
+ * Two parallelism axes compose multiplicatively. --jobs spreads the sweep
+ * *across* applications: each run is a thread-confined
+ * workloads::SimContext scheduled on a gcl::exec pool, results land in
+ * canonical (Table I) order, and per-run trace sinks are merged into one
+ * well-formed Chrome trace — so every artifact is bit-identical to a
+ * --jobs=1 sweep. --sim-threads additionally parallelizes the cycle loop
+ * *within* each simulation (the Gpu's deterministic two-phase tick); it
+ * changes wall-clock only, never results, so cache entries, stats, traces
+ * and figures are byte-identical at any thread count.
  */
 
 #ifndef GCL_BENCH_COMMON_RUNNER_HH
@@ -66,6 +74,7 @@ struct Options
     bool fresh = false;            //!< bypass the run cache
     std::vector<std::string> apps; //!< runSuite() filter (empty = all)
     unsigned jobs = 0;             //!< --jobs value (0 = unset/env/serial)
+    int simThreads = -1;           //!< --sim-threads (-1 = unset/env/serial)
     uint64_t maxCycles = 0;        //!< per-run cycle budget (0 = default)
     std::string simConfig;         //!< key=value config overrides
     std::string faultPlan;         //!< guard::FaultPlan spec
@@ -94,6 +103,14 @@ std::vector<AppResult> runSuite(const sim::GpuConfig &config);
 
 /** The job count runSuite() will use: --jobs, else GCL_BENCH_JOBS, else 1. */
 unsigned effectiveJobs();
+
+/**
+ * The per-simulation tick-thread count every run gets: --sim-threads, else
+ * GCL_SIM_THREADS, else 1. A request of 0 ("auto") was already resolved by
+ * initBench() to hardware threads minus the sweep's job count, clamped to
+ * at least 1 (with a warning when the clamp engages).
+ */
+unsigned effectiveSimThreads();
 
 /** Default Table II configuration. */
 sim::GpuConfig defaultConfig();

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/scheduler.hh"
 #include "sim/config.hh"
 #include "util/logging.hh"
 #include "workloads/sim_context.hh"
@@ -79,7 +80,8 @@ peakRssKb()
 
 void
 writeJson(const std::string &path, const std::string &label,
-          const std::vector<AppPerf> &apps, unsigned repeat)
+          const std::vector<AppPerf> &apps, unsigned repeat,
+          unsigned sim_threads)
 {
     uint64_t total_cycles = 0, total_insts = 0;
     double total_seconds = 0.0;
@@ -104,6 +106,7 @@ writeJson(const std::string &path, const std::string &label,
     out << "  \"bench\": \"perf_sweep\",\n";
     out << "  \"label\": \"" << label << "\",\n";
     out << "  \"repeat\": " << repeat << ",\n";
+    out << "  \"sim_threads\": " << sim_threads << ",\n";
     out << "  \"per_app\": [\n";
     for (size_t i = 0; i < apps.size(); ++i) {
         const AppPerf &app = apps[i];
@@ -141,6 +144,7 @@ main(int argc, char **argv)
     unsigned repeat = 3;
     std::string out_path = "BENCH_perf.json";
     std::string label = "perf_sweep";
+    int sim_threads = -1;  // -1 = unset: GCL_SIM_THREADS, else 1
 
     auto value = [](const char *arg, const char *flag) -> const char * {
         const size_t n = std::strlen(flag);
@@ -164,13 +168,24 @@ main(int argc, char **argv)
             out_path = v;
         } else if (const char *v = value(arg, "--label")) {
             label = v;
+        } else if (const char *v = value(arg, "--sim-threads")) {
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(v, &end, 10);
+            if (end == v || *end != '\0')
+                gcl_fatal("--sim-threads=", v, " is not a thread count");
+            sim_threads = static_cast<int>(n);
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             std::printf("usage: %s [--apps=a,b,c] [--repeat=N] "
                         "[--out=FILE] [--label=STR]\n"
+                        "          [--sim-threads=N]\n"
                         "Times fresh simulations of the pinned app subset "
                         "and writes a\nBENCH_perf.json throughput snapshot "
-                        "(compare with tools/perf_diff).\n",
+                        "(compare with tools/perf_diff).\n"
+                        "--sim-threads parallelizes the tick loop inside "
+                        "each run;\nresults stay bit-identical (0 = all "
+                        "hardware threads;\ndefault GCL_SIM_THREADS, "
+                        "else 1).\n",
                         argv[0]);
             return 0;
         } else {
@@ -184,11 +199,32 @@ main(int argc, char **argv)
             gcl_fatal("--apps: unknown application '", name,
                       "' (known: ", gcl::workloads::knownNames(), ")");
 
-    const GpuConfig config{};
+    if (sim_threads < 0) {
+        if (const char *env = std::getenv("GCL_SIM_THREADS")) {
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(env, &end, 10);
+            if (end == env || *end != '\0')
+                gcl_fatal("GCL_SIM_THREADS=", env,
+                          " is not a thread count");
+            sim_threads = static_cast<int>(n);
+        } else {
+            sim_threads = 1;
+        }
+    }
+    // This bench runs apps one at a time (no sweep jobs to subtract), so
+    // auto simply takes the whole machine.
+    if (sim_threads == 0)
+        sim_threads = static_cast<int>(gcl::exec::hardwareThreads());
+
+    GpuConfig config{};
+    config.simThreads = static_cast<unsigned>(sim_threads);
     std::vector<AppPerf> results;
     results.reserve(apps.size());
 
     std::printf("== perf_sweep: simulator throughput ==\n");
+    if (config.simThreads != 1)
+        std::printf("sim-threads: %u (deterministic tick)\n",
+                    config.simThreads);
     std::printf("%-8s %12s %12s %10s %14s\n", "app", "sim_cycles",
                 "warp_insts", "best_sec", "cycles/sec");
 
@@ -243,7 +279,7 @@ main(int argc, char **argv)
                 static_cast<double>(total_cycles) / total_seconds);
     std::printf("peak RSS: %ld KB\n", peakRssKb());
 
-    writeJson(out_path, label, results, repeat);
+    writeJson(out_path, label, results, repeat, config.simThreads);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

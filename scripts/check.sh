@@ -74,6 +74,17 @@ GCL_BENCH_CACHE="$tmp/cache-j3t" "$BUILD_DIR/bench/fig1_load_classes" \
 "$BUILD_DIR/tools/trace_check" \
     --trace="$tmp/trace-par.json" --stats="$tmp/stats-par.json"
 
+# Intra-run parallel-tick determinism: a --sim-threads=4 fresh sweep must
+# leave byte-identical cache entries to --sim-threads=1 (mirroring the
+# jobs=1-vs-3 stage above — sim_threads is likewise excluded from the
+# config fingerprint, so both runs share cache keys).
+GCL_BENCH_CACHE="$tmp/cache-t1" "$BUILD_DIR/bench/fig1_load_classes" \
+    --apps=$SMALL_APPS --fresh --sim-threads=1 > /dev/null 2> /dev/null
+GCL_BENCH_CACHE="$tmp/cache-t4" "$BUILD_DIR/bench/fig1_load_classes" \
+    --apps=$SMALL_APPS --fresh --sim-threads=4 > /dev/null 2> /dev/null
+diff -r "$tmp/cache-t1" "$tmp/cache-t4" \
+    || { echo "check: parallel tick diverged from serial" >&2; exit 1; }
+
 # Idle-unit gating (Gpu::tick skipping quiescent partitions and response
 # drains) is a pure host-side optimization: a sweep with the gate forced
 # off must leave byte-identical cache entries. idle_gating is deliberately
@@ -138,12 +149,20 @@ GCL_BENCH_CACHE="$tmp/cache-hang" "$BUILD_DIR/bench/fig1_load_classes" \
 grep -q '"hang"' "$tmp/stats-hang.json" \
     || { echo "check: livelock not reported as a hang" >&2; exit 1; }
 
-# Perf trajectory: run the pinned-subset throughput sweep and print the
-# delta against the committed baseline. Informational by default (hosts
-# differ; so does their load); --perf makes a >10% regression fatal so a
-# perf-focused PR can gate on it.
+# Perf trajectory: run the pinned-subset throughput sweep serially and
+# with the parallel tick, report both, and print the serial delta against
+# the committed baseline (the baseline is a sim_threads=1 snapshot).
+# Informational by default (hosts differ; so does their load); --perf
+# makes a >10% regression fatal so a perf-focused PR can gate on it.
 "$BUILD_DIR/bench/perf_sweep" --repeat=1 --out="$tmp/perf.json" \
-    --label=check > /dev/null
+    --label=check --sim-threads=1 > /dev/null
+"$BUILD_DIR/bench/perf_sweep" --repeat=1 --out="$tmp/perf-t4.json" \
+    --label=check-t4 --sim-threads=4 > /dev/null
+serial_cps=$(grep -o '"cycles_per_sec": [0-9.]*' "$tmp/perf.json" \
+    | tail -1 | grep -o '[0-9.]*')
+par_cps=$(grep -o '"cycles_per_sec": [0-9.]*' "$tmp/perf-t4.json" \
+    | tail -1 | grep -o '[0-9.]*')
+echo "check: total cycles/sec: $serial_cps serial, $par_cps at sim-threads=4"
 if [ "$PERF" = 1 ]; then
     "$BUILD_DIR/tools/perf_diff" \
         bench/baselines/BENCH_perf_baseline.json "$tmp/perf.json"
@@ -156,8 +175,13 @@ fi
 if [ "$TSAN" = 1 ]; then
     TSAN_DIR=${TSAN_BUILD_DIR:-build-tsan}
     cmake -B "$TSAN_DIR" -S . -DGCL_TSAN=ON
-    cmake --build "$TSAN_DIR" -j"$JOBS" --target gcl_tests
-    "$TSAN_DIR/tests/gcl_tests" --gtest_filter='Exec*:ParallelSweep*'
+    cmake --build "$TSAN_DIR" -j"$JOBS" --target gcl_tests fig1_load_classes
+    "$TSAN_DIR/tests/gcl_tests" \
+        --gtest_filter='Exec*:ParallelSweep*:ParallelTick*'
+    # A threaded bench sweep end to end under TSan: the parallel tick with
+    # tracing, the exact configuration the determinism stages diff above.
+    GCL_BENCH_CACHE="$tmp/cache-tsan" "$TSAN_DIR/bench/fig1_load_classes" \
+        --apps=$SMALL_APPS --fresh --sim-threads=4 > /dev/null
 fi
 
 if [ "$ASAN" = 1 ]; then

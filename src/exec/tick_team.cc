@@ -1,0 +1,95 @@
+#include "tick_team.hh"
+
+#include "util/logging.hh"
+
+namespace gcl::exec
+{
+
+TickTeam::TickTeam(unsigned participants)
+    : participants_(participants == 0 ? 1 : participants)
+{
+    if (std::thread::hardware_concurrency() <= 1)
+        spinIters_ = 0;
+    workers_.reserve(participants_ - 1);
+    for (unsigned p = 1; p < participants_; ++p)
+        workers_.emplace_back([this, p] { workerLoop(p); });
+}
+
+TickTeam::~TickTeam()
+{
+    shutdown_.store(true, std::memory_order_relaxed);
+    // The release bump publishes the shutdown flag to waking workers.
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+TickTeam::cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+void
+TickTeam::run(TaskFn fn, void *ctx)
+{
+    if (participants_ == 1) {
+        fn(ctx, 0);
+        return;
+    }
+    fn_ = fn;
+    ctx_ = ctx;
+    pending_.store(participants_ - 1, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+
+    fn(ctx, 0);
+
+    // Join: spin while siblings are likely mid-cycle, then futex-wait.
+    for (int spin = 0; spin < spinIters_; ++spin) {
+        if (pending_.load(std::memory_order_acquire) == 0)
+            return;
+        cpuRelax();
+    }
+    uint32_t left = pending_.load(std::memory_order_acquire);
+    while (left != 0) {
+        pending_.wait(left, std::memory_order_acquire);
+        left = pending_.load(std::memory_order_acquire);
+    }
+}
+
+void
+TickTeam::workerLoop(unsigned participant)
+{
+    // Start from the construction-time epoch (0), not a load: a worker
+    // whose thread comes up after the coordinator already opened epoch 1
+    // would otherwise adopt it as "seen" and sleep through it, deadlocking
+    // the first join.
+    uint64_t seen = 0;
+    for (;;) {
+        uint64_t epoch = epoch_.load(std::memory_order_acquire);
+        for (int spin = 0; epoch == seen && spin < spinIters_; ++spin) {
+            cpuRelax();
+            epoch = epoch_.load(std::memory_order_acquire);
+        }
+        while (epoch == seen) {
+            epoch_.wait(seen, std::memory_order_acquire);
+            epoch = epoch_.load(std::memory_order_acquire);
+        }
+        seen = epoch;
+        if (shutdown_.load(std::memory_order_relaxed))
+            return;
+        fn_(ctx_, participant);
+        if (pending_.fetch_sub(1, std::memory_order_release) == 1)
+            pending_.notify_one();
+    }
+}
+
+} // namespace gcl::exec

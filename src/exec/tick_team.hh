@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Persistent worker team for per-cycle fork/join inside one simulation.
+ *
+ * The sweep scheduler (scheduler.hh) parallelizes *across* runs: each job
+ * is milliseconds long, so a mutex/condvar pool is fine. Intra-run
+ * parallelism forks and joins every simulated cycle (~7.5 us of work at
+ * HEAD), where a condvar round trip or a task allocation per cycle would
+ * swamp the work being parallelized. TickTeam therefore keeps one set of
+ * threads alive for the whole launch and dispatches with an epoch-counter
+ * barrier: workers spin briefly on the epoch word (staying in userspace
+ * when cycles come back to back) and fall back to a futex wait
+ * (std::atomic::wait) when the coordinator goes quiet.
+ *
+ * Dispatch contract:
+ *  - run(fn, ctx) invokes fn(ctx, p) for every participant p in
+ *    [0, participants()), with p == 0 executed inline on the calling
+ *    (coordinator) thread and the rest on team threads;
+ *  - run() returns only after every participant finished; all memory
+ *    effects of the tasks happen-before the return (release/acquire on the
+ *    pending counter), and everything the coordinator wrote before run()
+ *    happens-before the tasks (release/acquire on the epoch counter);
+ *  - tasks must not throw (catch into per-task state and rethrow after
+ *    run() returns — see Gpu::launch);
+ *  - run() is not reentrant and must always be called from the same
+ *    coordinator thread.
+ */
+
+#ifndef GCL_EXEC_TICK_TEAM_HH
+#define GCL_EXEC_TICK_TEAM_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace gcl::exec
+{
+
+/** Spin/futex fork-join team of participants() cycle workers. */
+class TickTeam
+{
+  public:
+    using TaskFn = void (*)(void *ctx, unsigned participant);
+
+    /** Spawns @p participants - 1 threads (the caller is participant 0). */
+    explicit TickTeam(unsigned participants);
+    ~TickTeam();
+
+    TickTeam(const TickTeam &) = delete;
+    TickTeam &operator=(const TickTeam &) = delete;
+
+    /** Run one epoch: fn(ctx, p) on all participants; joins before return. */
+    void run(TaskFn fn, void *ctx);
+
+    unsigned participants() const { return participants_; }
+
+  private:
+    /** Spin iterations before falling back to a futex wait. */
+    static constexpr int kSpinIters = 4096;
+
+    static void cpuRelax();
+    void workerLoop(unsigned participant);
+
+    /**
+     * Effective spin budget: kSpinIters with real parallel hardware, 0 on
+     * a single-CPU host — there, the partner can only make progress once
+     * the spinner yields, so every spin iteration is pure delay.
+     */
+    int spinIters_ = kSpinIters;
+
+    TaskFn fn_ = nullptr;  //!< current epoch's task (epoch_ fences access)
+    void *ctx_ = nullptr;
+
+    std::atomic<uint64_t> epoch_{0};    //!< bumped to start an epoch
+    std::atomic<uint32_t> pending_{0};  //!< workers still running the epoch
+    std::atomic<bool> shutdown_{false};
+
+    unsigned participants_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace gcl::exec
+
+#endif // GCL_EXEC_TICK_TEAM_HH

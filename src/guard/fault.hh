@@ -42,6 +42,7 @@
 #ifndef GCL_GUARD_FAULT_HH
 #define GCL_GUARD_FAULT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -117,8 +118,10 @@ class FaultPlan
 
 /**
  * Per-run fault oracle consulted from the device's hot paths. Owns the
- * plan plus per-kind injection counters; thread-confined like the Gpu
- * that owns it.
+ * plan plus per-kind injection counters. Whether a fault fires is a pure
+ * function of the cycle, so concurrent units under the parallel tick get
+ * identical answers; the counters are relaxed atomics because they are
+ * bumped from unit tasks and only totalled after the run.
  */
 class FaultInjector
 {
@@ -137,7 +140,8 @@ class FaultInjector
     uint64_t
     injected(FaultKind kind) const
     {
-        return counts_[static_cast<size_t>(kind)];
+        return counts_[static_cast<size_t>(kind)].load(
+            std::memory_order_relaxed);
     }
 
   private:
@@ -146,7 +150,8 @@ class FaultInjector
     {
         for (const auto &w : plan_.windows()) {
             if (w.kind == kind && w.contains(now)) {
-                ++counts_[static_cast<size_t>(kind)];
+                counts_[static_cast<size_t>(kind)].fetch_add(
+                    1, std::memory_order_relaxed);
                 return true;
             }
         }
@@ -154,7 +159,8 @@ class FaultInjector
     }
 
     FaultPlan plan_;
-    uint64_t counts_[static_cast<size_t>(FaultKind::NumKinds)] = {};
+    std::atomic<uint64_t> counts_[static_cast<size_t>(FaultKind::NumKinds)] =
+        {};
 };
 
 } // namespace gcl::guard

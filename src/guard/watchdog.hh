@@ -132,6 +132,13 @@ class Watchdog
         return check(now, insts, reqs);
     }
 
+    /**
+     * True when onCycle(now, ...) would actually run a check. Lets a
+     * caller whose progress counters are expensive to total (the parallel
+     * tick sums per-unit stat shards) skip gathering them off-interval.
+     */
+    bool due(uint64_t now) const { return now >= nextCheck_; }
+
     /** Cycle of the last observed progress (valid after a fire). */
     uint64_t lastProgressCycle() const { return lastProgress_; }
 

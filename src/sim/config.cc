@@ -166,6 +166,7 @@ overrideKeys()
              else
                  badValue("idle_gating", v, "one of 0, 1");
          }},
+        numericKey("sim_threads", &GpuConfig::simThreads),
         // Run control / robustness
         numericKey("max_cycles", &GpuConfig::maxCycles),
         numericKey("watchdog_interval", &GpuConfig::watchdogInterval),
@@ -269,6 +270,11 @@ GpuConfig::describe() const
             << " requests per non-deterministic sub-warp\n";
     if (!idleGating)
         oss << "IdleGating off (every unit ticks every cycle)\n";
+    if (simThreads != 1)
+        oss << "SimThreads "
+            << (simThreads == 0 ? std::string("auto")
+                                : std::to_string(simThreads))
+            << " (deterministic parallel tick)\n";
     if (watchdogInterval)
         oss << "Watchdog   check every " << watchdogInterval
             << " cycles, stall budget " << watchdogBudget << "\n";
@@ -281,9 +287,9 @@ uint64_t
 GpuConfig::fingerprint() const
 {
     // FNV-1a over the numeric fields; any change invalidates cached runs.
-    // Run-control knobs (max_cycles, watchdog_*, idle_gating) are
-    // deliberately NOT mixed in: they never change the stats of a run that
-    // completes, so tightening a budget must not orphan valid cache
+    // Run-control knobs (max_cycles, watchdog_*, idle_gating, sim_threads)
+    // are deliberately NOT mixed in: they never change the stats of a run
+    // that completes, so tightening a budget must not orphan valid cache
     // entries. The fault plan IS mixed in — injected backpressure changes
     // timing.
     uint64_t h = 0xcbf29ce484222325ull;

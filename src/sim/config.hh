@@ -118,6 +118,17 @@ struct GpuConfig
      */
     bool idleGating = true;
 
+    /**
+     * Worker threads for the intra-run parallel tick (SMs and memory
+     * partitions ticking concurrently with a deterministic commit phase).
+     * 1 = the serial loop; 0 = auto (hardware threads minus active sweep
+     * jobs, resolved at the CLI layer, clamped to at least 1). Like
+     * idle_gating this is a pure host-side knob — results are bit-identical
+     * at every thread count (tests/test_parallel_tick.cc) — so it is not
+     * part of the config fingerprint.
+     */
+    unsigned simThreads = 1;
+
     // --- Run control / robustness (gcl::guard) ---
     /**
      * Hard cycle budget for the whole run (the device's global clock,

@@ -16,6 +16,7 @@
 
 #include "config.hh"
 #include "mem_request.hh"
+#include "trace/stage_sink.hh"
 #include "trace/trace.hh"
 
 namespace gcl::sim
@@ -47,8 +48,8 @@ class DramChannel
     /** Total requests serviced (bandwidth accounting). */
     uint64_t serviced() const { return serviced_; }
 
-    /** Event sink + owning partition id, installed by the Gpu. */
-    trace::TraceSink *traceSink = nullptr;
+    /** Event sink + owning partition id, installed by the partition. */
+    trace::StageSink *traceSink = nullptr;
     int16_t traceUnit = -1;
 
   private:

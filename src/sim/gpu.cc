@@ -1,5 +1,7 @@
 #include "gpu.hh"
 
+#include <algorithm>
+
 #include "core/classifier.hh"
 #include "guard/sim_error.hh"
 #include "util/bitutil.hh"
@@ -21,6 +23,10 @@ Gpu::Gpu(GpuConfig config)
                                             gmem_, stats_, pools_));
         sms_.back()->partitionMap = &Gpu::mapPartition;
         sms_.back()->fault = fault_.get();
+        // Global stores/atomics commit at end of cycle at EVERY thread
+        // count — the uniform write protocol is what makes sim_threads=N
+        // bit-identical to sim_threads=1 (see functional.hh).
+        sms_.back()->enableWriteStaging();
     }
     partitions_.reserve(config_.numPartitions);
     for (unsigned p = 0; p < config_.numPartitions; ++p) {
@@ -28,6 +34,30 @@ Gpu::Gpu(GpuConfig config)
             static_cast<int>(p), config_, stats_, pools_));
         partitions_.back()->fault = fault_.get();
     }
+
+    unsigned threads = config_.simThreads == 0 ? 1 : config_.simThreads;
+    threads = std::min(threads, numUnits());
+    if (threads > 1 && config_.icntLatency == 0) {
+        gcl_warn("sim_threads ", config_.simThreads,
+                 " requires icnt_latency >= 1; running serial");
+        threads = 1;
+    }
+    threads_ = std::max(1u, threads);
+    parallel_ = threads_ > 1;
+    if (parallel_) {
+        pools_.reqs.setConcurrent(true);
+        pools_.ops.setConcurrent(true);
+        unitErrors_.resize(numUnits());
+        drainErrors_.resize(config_.numSms);
+    }
+    smSinks_.resize(config_.numSms);
+    partSinks_.resize(config_.numPartitions);
+}
+
+unsigned
+Gpu::numUnits() const
+{
+    return config_.numSms + config_.numPartitions;
 }
 
 void
@@ -35,11 +65,20 @@ Gpu::attachTrace(trace::TraceSink *sink, Cycle timeline_interval)
 {
     traceSink_ = sink;
     timelineInterval_ = sink ? timeline_interval : 0;
-    icnt_.traceSink = sink;
-    for (auto &sm : sms_)
-        sm->traceSink = sink;
-    for (auto &part : partitions_)
-        part->setTrace(sink);
+    for (unsigned s = 0; s < config_.numSms; ++s) {
+        if (sink)
+            smSinks_[s].attach(sink, static_cast<int16_t>(s), parallel_);
+        else
+            smSinks_[s].detach();
+        sms_[s]->traceSink = sink ? &smSinks_[s] : nullptr;
+    }
+    for (unsigned p = 0; p < config_.numPartitions; ++p) {
+        if (sink)
+            partSinks_[p].attach(sink, static_cast<int16_t>(p), parallel_);
+        else
+            partSinks_[p].detach();
+        partitions_[p]->setTrace(sink ? &partSinks_[p] : nullptr);
+    }
 }
 
 void
@@ -255,11 +294,16 @@ Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
     GCL_DEBUG("gpu", "launch '", kernel.name(), "': ", grid.count(),
               " CTAs x ", cta.count(), " threads");
 
+    if (parallel_ && !team_)
+        team_ = std::make_unique<exec::TickTeam>(threads_);
+
     // Cycle 0 is reserved as the "unset timestamp" sentinel; the clock is
     // global and monotonic across launches.
     const Cycle start = clock_ + 1;
-    watchdog_.beginLaunch(start, stats_.hot.warpInsts,
-                          stats_.hot.reqsCompleted);
+    {
+        const SimStats::Hot totals = stats_.hotTotals();
+        watchdog_.beginLaunch(start, totals.warpInsts, totals.reqsCompleted);
+    }
     Cycle now = start;
     for (;; ++now) {
         // max_cycles budgets the whole run (the global clock), so a
@@ -272,44 +316,86 @@ Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
             gcl_sim_error(SimError::Kind::FaultInjected, "gpu", now,
                           "fault plan stopped kernel '", kernel.name(),
                           "'");
-        if (watchdog_.onCycle(now, stats_.hot.warpInsts,
-                              stats_.hot.reqsCompleted)) {
-            auto report = std::make_shared<guard::HangReport>(
-                buildHangReport(kernel.name(), now));
-            // Final timeline sample so a Chrome-trace export shows the
-            // queue occupancies of the hung window.
-            if (GCL_TRACE_ACTIVE(traceSink_))
-                sampleTimeline(now);
-            SimError error(SimError::Kind::Hang, "gpu", now,
-                           report->summary());
-            error.hangReport = std::move(report);
-            throw error;
+        // Progress counters now live in per-unit shards, so totalling them
+        // is O(units); the due() gate keeps that off the per-cycle path.
+        if (watchdog_.due(now)) {
+            const SimStats::Hot totals = stats_.hotTotals();
+            if (watchdog_.onCycle(now, totals.warpInsts,
+                                  totals.reqsCompleted)) {
+                auto report = std::make_shared<guard::HangReport>(
+                    buildHangReport(kernel.name(), now));
+                // Final timeline sample so a Chrome-trace export shows the
+                // queue occupancies of the hung window.
+                if (GCL_TRACE_ACTIVE(traceSink_))
+                    sampleTimeline(now);
+                SimError error(SimError::Kind::Hang, "gpu", now,
+                               report->summary());
+                error.hangReport = std::move(report);
+                throw error;
+            }
         }
 
         dispatchCtas(dispatch);
-        for (auto &sm : sms_) {
-            // Idle SMs still tick the Fig 4 denominator but skip the
-            // pipeline walk.
-            if (sm->busy())
-                sm->cycle(now, icnt_);
-            else
-                ++stats_.hot.smCycles;
-        }
-        icnt_.cycle(now);
-        for (unsigned p = 0; p < partitions_.size(); ++p) {
-            // A drained partition with no arriving flit would run a no-op
-            // cycle; skipping it is invisible to timing and stats
-            // (tests/test_gating.cc proves bit-identity).
-            if (config_.idleGating && partitions_[p]->idle() &&
-                !icnt_.hasRequest(static_cast<int>(p), now))
-                continue;
-            partitions_[p]->cycle(now, icnt_);
-        }
-        if (!config_.idleGating || icnt_.anyResponsesInFlight())
+
+        if (parallel_) {
+            // ---- Deterministic parallel tick: compute, then commit ----
+            // Response-side arbitration runs before the compute phase (an
+            // exact hoist — see interconnect.hh); the drain gate is then
+            // identical to the value the serial loop computes after the
+            // partitions, because only that arbitration touches the
+            // SM-bound delay queues.
+            icnt_.beginCycle(now);
+            tickNow_ = now;
+            tickDrainGate_ =
+                !config_.idleGating || icnt_.anyResponsesInFlight();
+            team_->run(&Gpu::tickTask, this);
+
+            const int err_pos = firstErrorPos();
+            commitTrace(err_pos);
+            if (err_pos >= 0) {
+                // Mirror a serial mid-cycle throw: the request-side
+                // arbitration and this cycle's staged writes never happen.
+                const unsigned units = numUnits();
+                std::exception_ptr err =
+                    err_pos < static_cast<int>(units)
+                        ? unitErrors_[static_cast<size_t>(err_pos)]
+                        : drainErrors_[static_cast<size_t>(err_pos) - units];
+                for (auto &e : unitErrors_)
+                    e = nullptr;
+                for (auto &e : drainErrors_)
+                    e = nullptr;
+                std::rethrow_exception(err);
+            }
+            icnt_.commitCycle(now);
             for (auto &sm : sms_)
-                while (icnt_.hasResponse(sm->id(), now))
-                    sm->receiveResponse(icnt_.popResponse(sm->id(), now),
-                                        now);
+                sm->commitStagedWrites();
+        } else {
+            for (auto &sm : sms_) {
+                // Idle SMs still tick the Fig 4 denominator but skip the
+                // pipeline walk.
+                if (sm->busy())
+                    sm->cycle(now, icnt_);
+                else
+                    sm->idleCycle();
+            }
+            icnt_.cycle(now);
+            for (unsigned p = 0; p < partitions_.size(); ++p) {
+                // A drained partition with no arriving flit would run a
+                // no-op cycle; skipping it is invisible to timing and
+                // stats (tests/test_gating.cc proves bit-identity).
+                if (config_.idleGating && partitions_[p]->idle() &&
+                    !icnt_.hasRequest(static_cast<int>(p), now))
+                    continue;
+                partitions_[p]->cycle(now, icnt_);
+            }
+            if (!config_.idleGating || icnt_.anyResponsesInFlight())
+                for (auto &sm : sms_)
+                    sm->drainResponses(now, icnt_);
+            // End-of-cycle write commit, same protocol as the parallel
+            // tick (and the reason both thread counts agree bit-for-bit).
+            for (auto &sm : sms_)
+                sm->commitStagedWrites();
+        }
 
         if (timelineInterval_ != 0 && GCL_TRACE_ACTIVE(traceSink_) &&
             (now - start) % timelineInterval_ == 0)
@@ -321,17 +407,152 @@ Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
 
     // Conservation: every data-expecting request the L1s accepted must
     // have completed by the time the device drained.
-    gcl_sim_check(stats_.hot.reqsIssued == stats_.hot.reqsCompleted, "gpu",
-                  now, stats_.hot.reqsIssued, " requests issued but ",
-                  stats_.hot.reqsCompleted,
-                  " completed at the end of launch of '", kernel.name(),
-                  "'");
+    {
+        const SimStats::Hot totals = stats_.hotTotals();
+        gcl_sim_check(totals.reqsIssued == totals.reqsCompleted, "gpu",
+                      now, totals.reqsIssued, " requests issued but ",
+                      totals.reqsCompleted,
+                      " completed at the end of launch of '", kernel.name(),
+                      "'");
+    }
 
     clock_ = now;
     lastLaunchCycles_ = now - start + 1;
     stats_.set().inc("cycles", static_cast<double>(lastLaunchCycles_));
     GCL_DEBUG("gpu", "launch '", kernel.name(), "' retired after ",
               lastLaunchCycles_, " cycles");
+}
+
+void
+Gpu::tickTask(void *ctx, unsigned participant)
+{
+    static_cast<Gpu *>(ctx)->tickParticipant(participant);
+}
+
+void
+Gpu::tickParticipant(unsigned participant)
+{
+    // unit % threads interleaves heavy SMs and light partitions across
+    // the participants instead of handing all partitions to one of them.
+    const unsigned units = numUnits();
+    for (unsigned unit = participant; unit < units; unit += threads_)
+        unitTick(unit);
+}
+
+void
+Gpu::unitTick(unsigned unit)
+{
+    const Cycle now = tickNow_;
+    if (unit < config_.numSms) {
+        Sm &sm = *sms_[unit];
+        try {
+            if (sm.busy())
+                sm.cycle(now, icnt_);
+            else
+                sm.idleCycle();
+        } catch (...) {
+            unitErrors_[unit] = std::current_exception();
+            return;
+        }
+        if (!tickDrainGate_)
+            return;
+        // Response-drain events sit after every unit's cycle events in the
+        // serial emission order; stage them in their own segment.
+        if (sm.traceSink)
+            sm.traceSink->beginSegment(trace::StageSink::kSegDrain);
+        try {
+            sm.drainResponses(now, icnt_);
+        } catch (...) {
+            drainErrors_[unit] = std::current_exception();
+        }
+        return;
+    }
+    const unsigned p = unit - config_.numSms;
+    try {
+        // The partition's own idle gate: every input (its queues, its
+        // arrived-flit check) is unit-confined state, and the request-side
+        // arbitration that could change hasRequest() only lands flits
+        // poppable next cycle — so this decision equals the serial one.
+        if (config_.idleGating && partitions_[p]->idle() &&
+            !icnt_.hasRequest(static_cast<int>(p), now))
+            return;
+        partitions_[p]->cycle(now, icnt_);
+    } catch (...) {
+        unitErrors_[unit] = std::current_exception();
+    }
+}
+
+int
+Gpu::firstErrorPos() const
+{
+    if (!parallel_)
+        return -1;
+    const unsigned units = numUnits();
+    for (unsigned u = 0; u < units; ++u)
+        if (unitErrors_[u])
+            return static_cast<int>(u);
+    for (unsigned s = 0; s < config_.numSms; ++s)
+        if (drainErrors_[s])
+            return static_cast<int>(units + s);
+    return -1;
+}
+
+void
+Gpu::commitTrace(int err_pos)
+{
+    if (!GCL_TRACE_ACTIVE(traceSink_))
+        return;
+
+    // 1. Draw real ids in SM-id order — the order a serial tick allocates
+    //    them — and patch the live pool objects that carry provisional
+    //    ids. Only partitions never allocate: every request they see is at
+    //    least icnt_latency cycles old and was patched at issue.
+    for (auto &sink : smSinks_) {
+        auto &records = sink.records();
+        sink.prepareRealIds();
+        for (size_t i = 0; i < records.size(); ++i) {
+            const trace::StageSink::IdRecord &rec = records[i];
+            const uint64_t real = traceSink_->newId();
+            sink.setReal(i, real);
+            // The object may have been freed (and the slot reused) since
+            // the id was handed out; only patch while the field still
+            // holds this exact provisional value.
+            if (rec.kind == trace::StageSink::kIdReq) {
+                MemRequest &r = pools_.reqs.getRaw(rec.handle);
+                if (r.id == rec.prov)
+                    r.id = real;
+            } else {
+                WarpMemOp &o = pools_.ops.getRaw(rec.handle);
+                if (o.id == rec.prov)
+                    o.id = real;
+            }
+        }
+    }
+
+    // 2. Forward staged events in the serial within-cycle order: SM cycle
+    //    segments, partition events, SM drain segments. A unit error
+    //    truncates the stream exactly where a serial tick would have
+    //    stopped emitting (err_pos is a serial position; the erroring
+    //    unit's own buffer already ends at its throw point).
+    const int units = static_cast<int>(numUnits());
+    const int limit = err_pos < 0 ? units + static_cast<int>(config_.numSms)
+                                  : err_pos;
+    for (int s = 0; s < static_cast<int>(config_.numSms); ++s)
+        if (s <= limit)
+            smSinks_[static_cast<size_t>(s)].forward(
+                trace::StageSink::kSegCycle);
+    for (int p = 0; p < static_cast<int>(config_.numPartitions); ++p)
+        if (static_cast<int>(config_.numSms) + p <= limit)
+            partSinks_[static_cast<size_t>(p)].forward(0);
+    for (int s = 0; s < static_cast<int>(config_.numSms); ++s)
+        if (units + s <= limit)
+            smSinks_[static_cast<size_t>(s)].forward(
+                trace::StageSink::kSegDrain);
+
+    for (auto &sink : smSinks_)
+        sink.clearCycle();
+    for (auto &sink : partSinks_)
+        sink.clearCycle();
 }
 
 guard::HangReport
@@ -342,9 +563,10 @@ Gpu::buildHangReport(const std::string &kernel, Cycle now) const
     report.cycle = now;
     report.lastProgressCycle = watchdog_.lastProgressCycle();
     report.stallCycles = now - report.lastProgressCycle;
-    report.instsIssued = stats_.hot.warpInsts;
-    report.reqsIssued = stats_.hot.reqsIssued;
-    report.reqsCompleted = stats_.hot.reqsCompleted;
+    const SimStats::Hot totals = stats_.hotTotals();
+    report.instsIssued = totals.warpInsts;
+    report.reqsIssued = totals.reqsIssued;
+    report.reqsCompleted = totals.reqsCompleted;
     report.icntReqQueued = icnt_.reqQueued();
     report.icntRespQueued = icnt_.respQueued();
     report.sms.reserve(sms_.size());

@@ -8,10 +8,12 @@
 #ifndef GCL_SIM_GPU_HH
 #define GCL_SIM_GPU_HH
 
+#include <exception>
 #include <memory>
 #include <vector>
 
 #include "config.hh"
+#include "exec/tick_team.hh"
 #include "guard/fault.hh"
 #include "guard/watchdog.hh"
 #include "interconnect.hh"
@@ -19,6 +21,7 @@
 #include "memory.hh"
 #include "sm.hh"
 #include "stats.hh"
+#include "trace/stage_sink.hh"
 #include "warp.hh"
 
 namespace gcl::sim
@@ -85,6 +88,9 @@ class Gpu
     static int mapPartition(uint64_t line_addr, int sm_id,
                             const GpuConfig &config);
 
+    /** Worker threads the tick loop actually uses (after clamping). */
+    unsigned effectiveSimThreads() const { return threads_; }
+
   private:
     struct DispatchState
     {
@@ -99,6 +105,29 @@ class Gpu
     void sampleTimeline(Cycle now) const;
     guard::HangReport buildHangReport(const std::string &kernel,
                                       Cycle now) const;
+
+    // ---- Deterministic parallel tick (sim_threads > 1) ----
+
+    /** Total tickable units: numSms SMs then numPartitions partitions. */
+    unsigned numUnits() const;
+
+    /** TickTeam entry: tick every unit mapped to @p participant. */
+    static void tickTask(void *ctx, unsigned participant);
+    void tickParticipant(unsigned participant);
+
+    /** Compute-phase body for one unit; exceptions land in unitErrors_. */
+    void unitTick(unsigned unit);
+
+    /** Commit staged trace events/ids; no-op when untraced. */
+    void commitTrace(int err_pos);
+
+    /**
+     * Serial position of the lowest-positioned captured unit error, or -1.
+     * Positions order errors the way a serial tick would have hit them:
+     * SM i's cycle = i, partition p = numSms + p, SM i's response drain =
+     * numSms + numPartitions + i.
+     */
+    int firstErrorPos() const;
 
     GpuConfig config_;
     GlobalMemory gmem_;
@@ -125,6 +154,31 @@ class Gpu
 
     guard::Watchdog watchdog_;
     std::unique_ptr<guard::FaultInjector> fault_;
+
+    /**
+     * Effective tick-thread count: config_.simThreads clamped to the unit
+     * count, forced to 1 when icnt_latency is 0 (the commit-phase request
+     * arbitration assumes its pushes only become poppable next cycle).
+     */
+    unsigned threads_ = 1;
+    bool parallel_ = false;    //!< threads_ > 1
+
+    /** Persistent worker team, created at the first parallel launch. */
+    std::unique_ptr<exec::TickTeam> team_;
+
+    /** Per-unit trace staging (attachTrace); SMs then partitions. */
+    std::vector<trace::StageSink> smSinks_;
+    std::vector<trace::StageSink> partSinks_;
+
+    // Compute-phase inputs, published to the workers by TickTeam::run's
+    // release/acquire handshake.
+    Cycle tickNow_ = 0;
+    bool tickDrainGate_ = false;
+
+    /** Compute-phase unit errors, written at disjoint indices. */
+    std::vector<std::exception_ptr> unitErrors_;
+    /** SM response-drain errors (a later serial position than the cycle). */
+    std::vector<std::exception_ptr> drainErrors_;
 };
 
 } // namespace gcl::sim

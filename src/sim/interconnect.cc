@@ -14,6 +14,7 @@ Interconnect::Interconnect(const GpuConfig &config, MemPools &pools)
       toPart_(config.numPartitions),
       respQ_(config.numPartitions),
       toSm_(config.numSms),
+      popsThisCycle_(config.numPartitions, 0),
       smUsed_(config.numSms, 0),
       partUsed_(config.numPartitions, 0)
 {
@@ -34,17 +35,16 @@ Interconnect::canInject(int sm) const
 }
 
 void
-Interconnect::inject(ReqHandle req, Cycle now)
+Interconnect::inject(ReqHandle req, Cycle now, trace::StageSink *sink)
 {
     MemRequest &r = pools_.reqs.get(req);
     gcl_sim_check(canInject(r.smId), "icnt", now,
                   "inject into a full queue");
     r.tInjected = now;
-    GCL_TRACE(traceSink, trace::EventKind::ReqInject, now, r.id,
+    GCL_TRACE(sink, trace::EventKind::ReqInject, now, r.id,
               r.lineAddr, tracePc(r),
               static_cast<int16_t>(r.smId), traceFlags(r));
     injectQ_[static_cast<size_t>(r.smId)].push_back(req);
-    ++injectTotal_;
 }
 
 bool
@@ -58,7 +58,7 @@ Interconnect::popRequest(int part, Cycle now)
 {
     gcl_sim_check(hasRequest(part, now), "icnt", now,
                   "popRequest with none ready");
-    --toPartTotal_;
+    ++popsThisCycle_[static_cast<size_t>(part)];
     return toPart_[static_cast<size_t>(part)].pop();
 }
 
@@ -70,17 +70,16 @@ Interconnect::canRespond(int part) const
 }
 
 void
-Interconnect::respond(ReqHandle req, Cycle now)
+Interconnect::respond(ReqHandle req, Cycle now, trace::StageSink *sink)
 {
     MemRequest &r = pools_.reqs.get(req);
     gcl_sim_check(canRespond(r.partition), "icnt", now,
                   "respond into a full queue");
     r.tRespDepart = now;
-    GCL_TRACE(traceSink, trace::EventKind::ReqRespDepart, now, r.id,
+    GCL_TRACE(sink, trace::EventKind::ReqRespDepart, now, r.id,
               r.lineAddr, tracePc(r),
               static_cast<int16_t>(r.partition), traceFlags(r));
     respQ_[static_cast<size_t>(r.partition)].push_back(req);
-    ++respTotal_;
 }
 
 bool
@@ -94,12 +93,11 @@ Interconnect::popResponse(int sm, Cycle now)
 {
     gcl_sim_check(hasResponse(sm, now), "icnt", now,
                   "popResponse with none ready");
-    --toSmTotal_;
     return toSm_[static_cast<size_t>(sm)].pop();
 }
 
 void
-Interconnect::cycle(Cycle now)
+Interconnect::requestArbitration(Cycle now, bool add_back_pops)
 {
     // Request side: every partition accepts at most one flit, every SM
     // transmits at most one flit, round-robin over SMs for fairness.
@@ -107,9 +105,12 @@ Interconnect::cycle(Cycle now)
     // idle cycle must leave arbitration state exactly as if the loop had
     // executed and matched nothing.
     const unsigned num_sms = config_.numSms;
-    const unsigned num_parts = config_.numPartitions;
 
-    if (injectTotal_ != 0) {
+    size_t inject_total = 0;
+    for (const auto &q : injectQ_)
+        inject_total += q.size();
+
+    if (inject_total != 0) {
         std::fill(smUsed_.begin(), smUsed_.end(), 0);
         std::fill(partUsed_.begin(), partUsed_.end(), 0);
         for (unsigned i = 0; i < num_sms; ++i) {
@@ -123,23 +124,36 @@ Interconnect::cycle(Cycle now)
             // Finite partition input buffers: without a credit the flit
             // stays in the SM's injection queue, which eventually surfaces
             // at the L1 as a reservation fail by interconnection
-            // (Section VI).
-            if (toPart_[static_cast<size_t>(part)].size() >=
-                config_.partQueueDepth)
+            // (Section VI). When arbitrating after the partitions ran
+            // (commitCycle), add this cycle's pops back: the serial
+            // arbitration point precedes them.
+            const size_t occupancy =
+                toPart_[static_cast<size_t>(part)].size() +
+                (add_back_pops ? popsThisCycle_[static_cast<size_t>(part)]
+                               : 0);
+            if (occupancy >= config_.partQueueDepth)
                 continue;
             partUsed_[static_cast<size_t>(part)] = 1;
             smUsed_[sm] = 1;
             toPart_[static_cast<size_t>(part)].push(
                 q.front(), now + config_.icntLatency);
             q.pop_front();
-            --injectTotal_;
-            ++toPartTotal_;
         }
     }
     reqRrSm_ = (reqRrSm_ + 1) % num_sms;
+}
 
+void
+Interconnect::responseArbitration(Cycle now)
+{
     // Response side, symmetric, round-robin over partitions.
-    if (respTotal_ != 0) {
+    const unsigned num_parts = config_.numPartitions;
+
+    size_t resp_total = 0;
+    for (const auto &q : respQ_)
+        resp_total += q.size();
+
+    if (resp_total != 0) {
         std::fill(smUsed_.begin(), smUsed_.end(), 0);
         std::fill(partUsed_.begin(), partUsed_.end(), 0);
         for (unsigned i = 0; i < num_parts; ++i) {
@@ -155,18 +169,67 @@ Interconnect::cycle(Cycle now)
             toSm_[static_cast<size_t>(sm)].push(q.front(),
                                                 now + config_.icntLatency);
             q.pop_front();
-            --respTotal_;
-            ++toSmTotal_;
         }
     }
     respRrPart_ = (respRrPart_ + 1) % num_parts;
 }
 
+void
+Interconnect::cycle(Cycle now)
+{
+    std::fill(popsThisCycle_.begin(), popsThisCycle_.end(), 0);
+    requestArbitration(now, /*add_back_pops=*/false);
+    responseArbitration(now);
+}
+
+void
+Interconnect::beginCycle(Cycle now)
+{
+    std::fill(popsThisCycle_.begin(), popsThisCycle_.end(), 0);
+    responseArbitration(now);
+}
+
+void
+Interconnect::commitCycle(Cycle now)
+{
+    requestArbitration(now, /*add_back_pops=*/true);
+}
+
+size_t
+Interconnect::reqQueued() const
+{
+    size_t total = 0;
+    for (const auto &q : injectQ_)
+        total += q.size();
+    for (const auto &q : toPart_)
+        total += q.size();
+    return total;
+}
+
+size_t
+Interconnect::respQueued() const
+{
+    size_t total = 0;
+    for (const auto &q : respQ_)
+        total += q.size();
+    for (const auto &q : toSm_)
+        total += q.size();
+    return total;
+}
+
+bool
+Interconnect::anyResponsesInFlight() const
+{
+    for (const auto &q : toSm_)
+        if (!q.empty())
+            return true;
+    return false;
+}
+
 bool
 Interconnect::idle() const
 {
-    return injectTotal_ == 0 && toPartTotal_ == 0 && respTotal_ == 0 &&
-           toSmTotal_ == 0;
+    return reqQueued() == 0 && respQueued() == 0;
 }
 
 } // namespace gcl::sim

@@ -8,10 +8,30 @@
  * flit; transfers take icntLatency cycles. The response side is symmetric
  * with per-partition bounded response queues.
  *
- * Occupancy counters shadow the queues so cycle()/idle() answer "anything
- * to do?" in O(1); the arbitration loops only run when flits exist. The
- * round-robin pointers still advance every cycle — arbitration fairness
- * must not depend on whether an idle cycle's loop was skipped.
+ * Threading (sim_threads > 1): the endpoint queues are strictly
+ * per-unit — an SM only touches injectQ_/toSm_ of its own id, a partition
+ * only toPart_/respQ_ of its own id — so the compute phase mutates
+ * disjoint state. The arbitration that moves flits *between* units runs on
+ * the coordinator, split around the compute phase:
+ *
+ *  - beginCycle() runs the response-side arbitration. In a serial tick it
+ *    runs after the SMs, but neither SMs nor partitions touch respQ_/toSm_
+ *    mid-cycle (responses enter respQ_ only in *earlier* cycles and leave
+ *    toSm_ only via this cycle's drain, which sees entries icnt_latency
+ *    cycles old), so hoisting it before the compute phase is exact.
+ *  - commitCycle() runs the request-side arbitration after the compute
+ *    phase, when this cycle's injections exist — the position a serial
+ *    tick gives it. One correction: serially it runs *before* partitions
+ *    pop their head request, so the credit check adds back this cycle's
+ *    pops (popsThisCycle_) to see the same toPart_ occupancy.
+ *
+ * The legacy cycle() (request then response arbitration, between SMs and
+ * partitions) remains the serial path; both orderings are cycle-exact to
+ * it, which is what makes sim_threads a pure wall-clock knob.
+ *
+ * Trace events are emitted through the calling unit's sink (inject() from
+ * the SM, respond() from the partition) so staged event order matches the
+ * serial emission order.
  */
 
 #ifndef GCL_SIM_INTERCONNECT_HH
@@ -23,6 +43,7 @@
 #include "config.hh"
 #include "delay_queue.hh"
 #include "mem_request.hh"
+#include "trace/stage_sink.hh"
 #include "trace/trace.hh"
 
 namespace gcl::sim
@@ -40,7 +61,7 @@ class Interconnect
     bool canInject(int sm) const;
 
     /** Queue @p req for transport; stamps tInjected. */
-    void inject(ReqHandle req, Cycle now);
+    void inject(ReqHandle req, Cycle now, trace::StageSink *sink = nullptr);
 
     // ---- Request path (partition side) ----
 
@@ -56,35 +77,41 @@ class Interconnect
     bool canRespond(int part) const;
 
     /** Queue @p req's response for transport; stamps tRespDepart. */
-    void respond(ReqHandle req, Cycle now);
+    void respond(ReqHandle req, Cycle now, trace::StageSink *sink = nullptr);
 
     // ---- Response path (SM side) ----
 
     bool hasResponse(int sm, Cycle now) const;
     ReqHandle popResponse(int sm, Cycle now);
 
-    /** Advance arbitration: move flits across the crossbar. */
+    /** Advance arbitration serially: request side, then response side. */
     void cycle(Cycle now);
+
+    /** Parallel tick, pre-compute half: response-side arbitration. */
+    void beginCycle(Cycle now);
+
+    /** Parallel tick, commit half: request-side arbitration. */
+    void commitCycle(Cycle now);
 
     /** All queues drained (used by the GPU's termination check). */
     bool idle() const;
 
     /** Requests anywhere in the request network (timeline sampling). */
-    size_t reqQueued() const { return injectTotal_ + toPartTotal_; }
+    size_t reqQueued() const;
 
     /** Responses anywhere in the response network (timeline sampling). */
-    size_t respQueued() const { return respTotal_ + toSmTotal_; }
+    size_t respQueued() const;
 
     /**
-     * True when any SM-bound response is in flight or deliverable — O(1)
+     * True when any SM-bound response is in flight or deliverable — the
      * gate for the GPU's per-cycle response drain loop.
      */
-    bool anyResponsesInFlight() const { return toSmTotal_ != 0; }
-
-    /** Event sink installed by the Gpu; null when untraced. */
-    trace::TraceSink *traceSink = nullptr;
+    bool anyResponsesInFlight() const;
 
   private:
+    void requestArbitration(Cycle now, bool add_back_pops);
+    void responseArbitration(Cycle now);
+
     const GpuConfig &config_;
     MemPools &pools_;
 
@@ -93,11 +120,12 @@ class Interconnect
     std::vector<std::deque<ReqHandle>> respQ_;     //!< per partition
     std::vector<DelayQueue<ReqHandle>> toSm_;      //!< per SM
 
-    // Occupancy shadows of the four queue arrays.
-    size_t injectTotal_ = 0;
-    size_t toPartTotal_ = 0;
-    size_t respTotal_ = 0;
-    size_t toSmTotal_ = 0;
+    /**
+     * Requests each partition popped this cycle; commitCycle() adds them
+     * back so the credit check sees the occupancy the serial arbitration
+     * (which runs before the partitions) would have seen.
+     */
+    std::vector<uint8_t> popsThisCycle_;
 
     // Per-cycle arbitration scratch, sized once in the constructor so the
     // cycle loop never allocates.

@@ -7,7 +7,7 @@ namespace gcl::sim
 
 MemPartition::MemPartition(int id, const GpuConfig &config, SimStats &stats,
                            MemPools &pools)
-    : id_(id), config_(config), stats_(stats), pools_(pools),
+    : id_(id), config_(config), stats_(stats.newShard()), pools_(pools),
       l2_("l2p" + std::to_string(id), config.l2, pools,
           &MemRequest::nextWaitingL2),
       dram_(config, pools)
@@ -16,7 +16,7 @@ MemPartition::MemPartition(int id, const GpuConfig &config, SimStats &stats,
 }
 
 void
-MemPartition::setTrace(trace::TraceSink *sink)
+MemPartition::setTrace(trace::StageSink *sink)
 {
     traceSink_ = sink;
     dram_.traceSink = sink;
@@ -40,7 +40,9 @@ MemPartition::serviceHead(Cycle now)
         // without a fetch) and forwards one burst to DRAM. No response is
         // generated either way.
         if (l2_.writeProbe(req.lineAddr)) {
-            stats_.set().inc("l2.write_absorbed");
+            // Folded into the stats set at finalize; a string-map insert
+            // here would race under the parallel tick.
+            ++stats_.hot.l2WriteAbsorbed;
             ropQ_.pop();
             pools_.reqs.free(req_handle);
             return true;
@@ -163,7 +165,7 @@ MemPartition::cycle(Cycle now, Interconnect &icnt)
 
     // 4. Inject at most one response per cycle into the response network.
     if (!respPending_.empty() && icnt.canRespond(id_)) {
-        icnt.respond(respPending_.front(), now);
+        icnt.respond(respPending_.front(), now, traceSink_);
         respPending_.pop_front();
     }
 }

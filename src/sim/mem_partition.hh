@@ -47,7 +47,7 @@ class MemPartition
     const DramChannel &dram() const { return dram_; }
 
     /** Install the event sink on the partition and its DRAM channel. */
-    void setTrace(trace::TraceSink *sink);
+    void setTrace(trace::StageSink *sink);
 
     // ---- Timeline sampling (gcl::trace) ----
     size_t ropQueued() const { return ropQ_.size(); }
@@ -61,13 +61,13 @@ class MemPartition
     guard::FaultInjector *fault = nullptr;
 
   private:
-    trace::TraceSink *traceSink_ = nullptr;
+    trace::StageSink *traceSink_ = nullptr;
     /** Try to service the head of the ROP queue; false on a stall. */
     bool serviceHead(Cycle now);
 
     int id_;
     const GpuConfig &config_;
-    SimStats &stats_;
+    SimStats::Shard &stats_;    //!< this partition's private counter shard
     MemPools &pools_;
 
     DelayQueue<ReqHandle> ropQ_;

@@ -16,7 +16,8 @@ using ptx::Opcode;
 
 Sm::Sm(int id, const GpuConfig &config, GlobalMemory &gmem, SimStats &stats,
        MemPools &pools)
-    : id_(id), config_(config), stats_(stats), pools_(pools),
+    : id_(id), config_(config), simStats_(stats),
+      stats_(stats.newShard()), pools_(pools),
       executor_(gmem, config.warpSize),
       l1_("l1s" + std::to_string(id), config.l1, pools)
 {
@@ -29,7 +30,7 @@ Sm::startLaunch(const LaunchContext &launch)
                   "sm" + std::to_string(id_), 0,
                   "startLaunch on a busy SM");
     launch_ = &launch;
-    kernelId_ = stats_.kernelId(launch.kernel->name());
+    kernelId_ = simStats_.kernelId(launch.kernel->name());
     warpsPerCta_ = launch.warpsPerCta(config_.warpSize);
 
     const unsigned max_warps = config_.maxThreadsPerSm / config_.warpSize;
@@ -406,9 +407,11 @@ Sm::startMemOp(int slot, size_t pc, const Instruction &inst,
 
         if (GCL_TRACE_ACTIVE(traceSink) && op.numRequests != 0) {
             for (uint32_t i = 0; i < op.numRequests; ++i)
-                pools_.reqs.get(op.requests[i]).id = traceSink->newId();
+                pools_.reqs.get(op.requests[i]).id = traceSink->newId(
+                    op.requests[i], trace::StageSink::kIdReq);
             if (op.isGlobalLoad) {
-                op.id = traceSink->newId();
+                op.id =
+                    traceSink->newId(op_handle, trace::StageSink::kIdOp);
                 traceSink->emit(trace::EventKind::OpIssue, now, op.id,
                                 static_cast<uint64_t>(slot),
                                 static_cast<uint32_t>(pc),
@@ -567,7 +570,7 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
         if (icnt_ok) {
             req.tAccepted = now;
             trace_l1(AccessOutcome::Miss);
-            icnt.inject(req_handle, now);
+            icnt.inject(req_handle, now, traceSink);
             stats_.l1AccessCycle(AccessOutcome::Miss);
             accepted = true;
         } else {
@@ -596,7 +599,7 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
             break;
           case AccessOutcome::Miss:
             req.tAccepted = now;
-            icnt.inject(req_handle, now);
+            icnt.inject(req_handle, now, traceSink);
             accepted = true;
             break;
           case AccessOutcome::FailTag:
@@ -735,6 +738,13 @@ Sm::receiveResponse(ReqHandle req_handle, Cycle now)
         completeRequest(waiting, now);
         waiting = next;
     }
+}
+
+void
+Sm::drainResponses(Cycle now, Interconnect &icnt)
+{
+    while (icnt.hasResponse(id_, now))
+        receiveResponse(icnt.popResponse(id_, now), now);
 }
 
 guard::SmHangInfo

@@ -65,8 +65,28 @@ class Sm
     /** Advance one cycle. */
     void cycle(Cycle now, Interconnect &icnt);
 
+    /**
+     * Tick the Fig 4 denominator for an idle cycle (the Gpu skips the
+     * pipeline walk but the cycle still counts, in this SM's shard).
+     */
+    void idleCycle() { ++stats_.hot.smCycles; }
+
     /** A memory response arrived from the interconnect. */
     void receiveResponse(ReqHandle req, Cycle now);
+
+    /** Pop and process every response deliverable to this SM this cycle. */
+    void drainResponses(Cycle now, Interconnect &icnt);
+
+    /**
+     * Defer this SM's global stores/atomics to commitStagedWrites() (the
+     * deterministic-tick write protocol; see functional.hh). The Gpu
+     * enables this on every SM it owns, at every thread count, so results
+     * are identical whatever sim_threads is.
+     */
+    void enableWriteStaging() { executor_.setStaging(&stagedWrites_); }
+
+    /** Apply this cycle's staged writes; called by the Gpu in SM-id order. */
+    void commitStagedWrites() { executor_.commitStaged(stagedWrites_); }
 
     unsigned numResidentCtas() const { return residentCtas_; }
 
@@ -102,10 +122,14 @@ class Sm
 
     int id_;
     const GpuConfig &config_;
-    SimStats &stats_;
+    SimStats &simStats_;        //!< root object (kernel interning only)
+    SimStats::Shard &stats_;    //!< this SM's private counter shard
     MemPools &pools_;
     WarpExecutor executor_;
     Cache l1_;
+
+    /** This cycle's deferred global stores/atomics (enableWriteStaging). */
+    std::vector<PendingAccess> stagedWrites_;
 
     const LaunchContext *launch_ = nullptr;
     uint32_t kernelId_ = 0;   //!< interned kernel name for stat attribution
@@ -156,8 +180,11 @@ class Sm
     /** Partition mapping hook installed by the Gpu. */
     PartitionMap partitionMap = nullptr;
 
-    /** Event sink (gcl::trace), installed by the Gpu; null when untraced. */
-    trace::TraceSink *traceSink = nullptr;
+    /**
+     * Per-SM staging sink (gcl::trace), installed by the Gpu; null when
+     * untraced. Passthrough at sim_threads == 1, buffered otherwise.
+     */
+    trace::StageSink *traceSink = nullptr;
 
     /** Fault oracle (gcl::guard), installed by the Gpu; null = no faults. */
     guard::FaultInjector *fault = nullptr;

@@ -26,8 +26,54 @@ SimStats::SimStats(const GpuConfig &config)
     : config_(config),
       l2Queries_(config.numPartitions, 0),
       l2Hits_(config.numPartitions, 0),
-      blockTable_(kInitialBlockSlots)
+      base_(*this),
+      hot(base_.hot)
 {
+    base_.blockTable_.resize(kInitialBlockSlots);
+}
+
+void
+SimStats::Hot::add(const Hot &o)
+{
+    warpInsts += o.warpInsts;
+    threadInsts += o.threadInsts;
+    smCycles += o.smCycles;
+    reqsIssued += o.reqsIssued;
+    reqsCompleted += o.reqsCompleted;
+    busySp += o.busySp;
+    busySfu += o.busySfu;
+    busyLdst += o.busyLdst;
+    for (int i = 0; i < 6; ++i)
+        l1Outcome[i] += o.l1Outcome[i];
+    for (int i = 0; i < 2; ++i) {
+        l1Access[i] += o.l1Access[i];
+        l1Miss[i] += o.l1Miss[i];
+        l2Access[i] += o.l2Access[i];
+        l2Miss[i] += o.l2Miss[i];
+    }
+    partStalls += o.partStalls;
+    sloadWarps += o.sloadWarps;
+    sstoreWarps += o.sstoreWarps;
+    gstoreWarps += o.gstoreWarps;
+    atomWarps += o.atomWarps;
+    l2Atomics += o.l2Atomics;
+    l2WriteAbsorbed += o.l2WriteAbsorbed;
+}
+
+SimStats::Shard &
+SimStats::newShard()
+{
+    shards_.push_back(Shard(*this));
+    return shards_.back();
+}
+
+SimStats::Hot
+SimStats::hotTotals() const
+{
+    Hot total = base_.hot;
+    for (const Shard &shard : shards_)
+        total.add(shard.hot);
+    return total;
 }
 
 void
@@ -43,7 +89,7 @@ SimStats::insertCta(std::vector<uint32_t> &ctas, uint32_t cta)
 }
 
 void
-SimStats::growBlockTable()
+SimStats::Shard::growBlockTable()
 {
     std::vector<BlockSlot> old = std::move(blockTable_);
     blockTable_.assign(old.size() * 2, BlockSlot{});
@@ -59,8 +105,10 @@ SimStats::growBlockTable()
 }
 
 SimStats::BlockInfo &
-SimStats::blockFor(uint64_t line_addr)
+SimStats::Shard::blockFor(uint64_t line_addr)
 {
+    if (blockTable_.empty())
+        blockTable_.resize(kInitialBlockSlots);
     const size_t mask = blockTable_.size() - 1;
     size_t at = blockSlotOf(line_addr, mask);
     while (blockTable_[at].info.accesses != 0) {
@@ -83,7 +131,8 @@ SimStats::blockFor(uint64_t line_addr)
 }
 
 void
-SimStats::l1Access(bool non_det, bool miss, uint64_t line_addr, uint32_t cta)
+SimStats::Shard::l1Access(bool non_det, bool miss, uint64_t line_addr,
+                          uint32_t cta)
 {
     ++hot.l1Access[non_det];
     if (miss)
@@ -108,10 +157,11 @@ SimStats::kernelId(const std::string &name)
 }
 
 void
-SimStats::gloadDone(const WarpMemOp &op, uint32_t kernel_id)
+SimStats::Shard::gloadDone(const WarpMemOp &op, uint32_t kernel_id)
 {
     const bool nd = op.nonDet;
     const uint32_t nreq = op.numRequests;
+    const GpuConfig &config = owner_->config_;
 
     // Fig 2 aggregates.
     ClassAgg &agg = cls_[nd];
@@ -128,13 +178,13 @@ SimStats::gloadDone(const WarpMemOp &op, uint32_t kernel_id)
     double unloaded = 0.0;
     switch (op.deepest) {
       case ServiceLevel::L1:
-        unloaded = config_.l1HitLatency;
+        unloaded = config.l1HitLatency;
         break;
       case ServiceLevel::L2:
-        unloaded = config_.unloadedL2Latency();
+        unloaded = config.unloadedL2Latency();
         break;
       case ServiceLevel::Dram:
-        unloaded = config_.unloadedDramLatency();
+        unloaded = config.unloadedDramLatency();
         break;
     }
     const double wasted_mem =
@@ -185,6 +235,73 @@ SimStats::gloadDone(const WarpMemOp &op, uint32_t kernel_id)
 }
 
 void
+SimStats::mergeShard(Shard &shard)
+{
+    base_.hot.add(shard.hot);
+    shard.hot = Hot{};
+
+    for (int nd = 0; nd < 2; ++nd) {
+        ClassAgg &dst = base_.cls_[nd];
+        const ClassAgg &src = shard.cls_[nd];
+        dst.warps += src.warps;
+        dst.reqs += src.reqs;
+        dst.active += src.active;
+        dst.turnSum += src.turnSum;
+        dst.unloaded += src.unloaded;
+        dst.rsrvPrev += src.rsrvPrev;
+        dst.rsrvCur += src.rsrvCur;
+        dst.mem += src.mem;
+        shard.cls_[nd] = ClassAgg{};
+    }
+
+    // Per-pc dense slots: bucket-wise adds into the base's slot. The
+    // nonDet bit is a static property of the pc, identical in every shard.
+    for (uint32_t kernel = 0; kernel < shard.pcDense_.size(); ++kernel) {
+        auto &src_slots = shard.pcDense_[kernel];
+        if (kernel >= base_.pcDense_.size())
+            base_.pcDense_.resize(kernel + 1);
+        auto &dst_slots = base_.pcDense_[kernel];
+        if (src_slots.size() > dst_slots.size())
+            dst_slots.resize(src_slots.size());
+        for (uint32_t pc = 0; pc < src_slots.size(); ++pc) {
+            const PcSlot &src = src_slots[pc];
+            if (!src.used)
+                continue;
+            PcSlot &dst = dst_slots[pc];
+            dst.used = true;
+            dst.nonDet = src.nonDet;
+            for (uint32_t n = 0; n <= WarpMemOp::kMaxRequests; ++n)
+                if (src.byReqs[n].cnt != 0)
+                    dst.byReqs[n].add(src.byReqs[n]);
+        }
+    }
+    shard.pcDense_.clear();
+
+    for (const auto &[key, src] : shard.pcAggs_) {
+        PcAgg &dst = base_.pcAggs_[key];
+        dst.nonDet = src.nonDet;
+        for (const auto &[nreq, bucket] : src.byReqs)
+            dst.byReqs[nreq].add(bucket);
+    }
+    shard.pcAggs_.clear();
+
+    for (BlockSlot &slot : shard.blockTable_) {
+        if (slot.info.accesses == 0)
+            continue;
+        BlockInfo &dst = base_.blockFor(slot.lineAddr);
+        dst.accesses += slot.info.accesses;
+        for (uint32_t cta : slot.info.ctas)
+            insertCta(dst.ctas, cta);
+        for (uint32_t cta : slot.info.ctasDet)
+            insertCta(dst.ctasDet, cta);
+        for (uint32_t cta : slot.info.ctasNondet)
+            insertCta(dst.ctasNondet, cta);
+    }
+    shard.blockTable_.clear();
+    shard.blockCount_ = 0;
+}
+
+void
 SimStats::distanceHistogram(const std::vector<uint32_t> &ctas,
                             Histogram &hist)
 {
@@ -223,6 +340,12 @@ SimStats::finalize()
         return;
     finalized_ = true;
 
+    // Fold every unit shard into the base in unit-creation order (SMs,
+    // then partitions — see Gpu's constructor). Each merge is a
+    // commutative keyed fold, so the result is thread-count independent.
+    for (Shard &shard : shards_)
+        mergeShard(shard);
+
     // --- Hot counters ---
     set_.inc("warp_insts", static_cast<double>(hot.warpInsts));
     set_.inc("thread_insts", static_cast<double>(hot.threadInsts));
@@ -238,6 +361,10 @@ SimStats::finalize()
     set_.inc("gstore.warps", static_cast<double>(hot.gstoreWarps));
     set_.inc("atom.warps", static_cast<double>(hot.atomWarps));
     set_.inc("l2.atomics", static_cast<double>(hot.l2Atomics));
+    // Key exists only when nonzero, matching the old on-event increment.
+    if (hot.l2WriteAbsorbed != 0)
+        set_.inc("l2.write_absorbed",
+                 static_cast<double>(hot.l2WriteAbsorbed));
 
     static const char *outcome_names[6] = {
         "hit", "hit_reserved", "miss", "fail_tag", "fail_mshr", "fail_icnt",
@@ -257,7 +384,7 @@ SimStats::finalize()
         set_.inc(std::string("l2.miss") + sfx,
                  static_cast<double>(hot.l2Miss[nd]));
 
-        const ClassAgg &agg = cls_[nd];
+        const ClassAgg &agg = base_.cls_[nd];
         set_.inc(std::string("gload.warps") + sfx,
                  static_cast<double>(agg.warps));
         set_.inc(std::string("gload.reqs") + sfx,
@@ -281,8 +408,8 @@ SimStats::finalize()
     }
 
     // --- Per-pc aggregates (Figs 6 and 7) ---
-    for (uint32_t kernel = 0; kernel < pcDense_.size(); ++kernel) {
-        const auto &slots = pcDense_[kernel];
+    for (uint32_t kernel = 0; kernel < base_.pcDense_.size(); ++kernel) {
+        const auto &slots = base_.pcDense_[kernel];
         for (uint32_t pc_idx = 0; pc_idx < slots.size(); ++pc_idx) {
             const PcSlot &slot = slots[pc_idx];
             if (!slot.used)
@@ -293,15 +420,15 @@ SimStats::finalize()
                     addPcBucket(hists, nreq, slot.byReqs[nreq]);
         }
     }
-    pcDense_.clear();
-    for (const auto &[key, pc] : pcAggs_) {
+    base_.pcDense_.clear();
+    for (const auto &[key, pc] : base_.pcAggs_) {
         const auto kernel = static_cast<uint32_t>(key >> 32);
         const auto pc_idx = static_cast<uint32_t>(key);
         const PcHists hists = pcHists(kernel, pc_idx, pc.nonDet);
         for (const auto &[nreq, bucket] : pc.byReqs)
             addPcBucket(hists, nreq, bucket);
     }
-    pcAggs_.clear();
+    base_.pcAggs_.clear();
 
     // --- Inter-CTA locality (Figs 10, 11, 12) ---
     Histogram &dist = set_.hist("cta_distance");
@@ -309,7 +436,7 @@ SimStats::finalize()
     Histogram &dist_nondet = set_.hist("cta_distance.nondet");
     Histogram &reuse = set_.hist("block_reuse");
 
-    for (BlockSlot &slot : blockTable_) {
+    for (BlockSlot &slot : base_.blockTable_) {
         BlockInfo &block = slot.info;
         if (block.accesses == 0)
             continue;
@@ -334,8 +461,8 @@ SimStats::finalize()
         if (block.ctasNondet.size() >= 2)
             distanceHistogram(block.ctasNondet, dist_nondet);
     }
-    blockTable_.clear();
-    blockCount_ = 0;
+    base_.blockTable_.clear();
+    base_.blockCount_ = 0;
 }
 
 } // namespace gcl::sim

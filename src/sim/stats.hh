@@ -18,6 +18,17 @@
  * accumulated double is integer-valued, so order of accumulation and
  * iteration cannot change the serialized output.
  *
+ * Sharding (sim_threads): every accumulation path above lives in a Shard.
+ * Each SM and each memory partition owns one shard (newShard()), so
+ * compute-phase workers never write a byte another unit reads. Shards are
+ * merged into the base shard at finalize() in unit-id order; because every
+ * merge is a commutative fold into a keyed structure (plain adds, unique
+ * per-key buckets, unordered CTA sets sorted at the end), the merged state
+ * — and therefore the serialized output — is identical for any thread
+ * count, including the thread-count-1 case, which uses the same per-unit
+ * shards. Direct SimStats methods (tests, launch-level bookkeeping)
+ * accumulate into the base shard.
+ *
  * Scalar key map after finalize() (all monotonically accumulated):
  *   cycles, launches, ctas_launched, threads_per_cta
  *   warp_insts, thread_insts
@@ -29,6 +40,7 @@
  *   l1.outcome.{hit,hit_reserved,miss,fail_tag,fail_mshr,fail_icnt} (Fig 3)
  *   l1.access.* / l1.miss.*  and  l2.access.* / l2.miss.*           (Fig 8)
  *   l2.queries.p<i> / l2.hits.p<i>                              (Table III)
+ *   l2.write_absorbed (only when nonzero)
  *   turn.{cnt,sum,unloaded,rsrv_prev,rsrv_cur,mem}.{det,nondet}     (Fig 5)
  *   part.stall_cycles
  *   blocks.{count,accesses,shared,shared_accesses,shared_cta_sum} (Fig 10/11)
@@ -44,6 +56,7 @@
 #define GCL_SIM_STATS_HH
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -90,47 +103,11 @@ class SimStats
         uint64_t gstoreWarps = 0;
         uint64_t atomWarps = 0;
         uint64_t l2Atomics = 0;
+        uint64_t l2WriteAbsorbed = 0;
+
+        /** Commutative fold (shard merge). */
+        void add(const Hot &o);
     };
-
-    Hot hot;
-
-    /** Cold, string-keyed stats (launch-level bookkeeping + final output). */
-    StatsSet &set() { return set_; }
-    const StatsSet &set() const { return set_; }
-
-    /** One L1 access attempt this cycle had this outcome (Fig 3). */
-    void
-    l1AccessCycle(AccessOutcome outcome)
-    {
-        ++hot.l1Outcome[static_cast<int>(outcome)];
-    }
-
-    /** An accepted L1 data access for a global load (Figs 8, 10, 11). */
-    void l1Access(bool non_det, bool miss, uint64_t line_addr, uint32_t cta);
-
-    /** An L2 read query from L1 (Fig 8, Table III). */
-    void
-    l2Access(int partition, bool non_det, bool miss)
-    {
-        ++hot.l2Access[non_det];
-        if (miss)
-            ++hot.l2Miss[non_det];
-        ++l2Queries_[static_cast<size_t>(partition)];
-        if (!miss)
-            ++l2Hits_[static_cast<size_t>(partition)];
-    }
-
-    /** A cycle the partition head request could not be serviced. */
-    void partitionStall() { ++hot.partStalls; }
-
-    /** Intern a kernel name; the id keys the per-pc aggregates. */
-    uint32_t kernelId(const std::string &name);
-
-    /** A completed warp-level global-load op (Figs 2, 5, 6, 7). */
-    void gloadDone(const WarpMemOp &op, uint32_t kernel_id);
-
-    /** Fold all plain counters and maps into the StatsSet. Idempotent. */
-    void finalize();
 
   private:
     struct ClassAgg
@@ -152,6 +129,16 @@ class SimStats
         double gapL1d = 0;
         double gapIcntL2 = 0;
         double gapL2Icnt = 0;
+
+        void
+        add(const PcBucket &o)
+        {
+            cnt += o.cnt;
+            turn += o.turn;
+            gapL1d += o.gapL1d;
+            gapIcntL2 += o.gapIcntL2;
+            gapL2Icnt += o.gapL2Icnt;
+        }
     };
 
     /** Dense per-pc aggregate: one bucket per possible request count. */
@@ -185,13 +172,113 @@ class SimStats
         BlockInfo info;                    //!< accesses == 0 => slot empty
     };
 
+  public:
+    /**
+     * One unit's private accumulation state. A compute-phase worker only
+     * ever touches its own unit's shard (plus, for the per-partition
+     * l2.queries/hits vectors, its own disjoint index in the owner), so
+     * no hot-path counter is ever shared between threads.
+     */
+    class Shard
+    {
+      public:
+        Hot hot;
+
+        /** One L1 access attempt this cycle had this outcome (Fig 3). */
+        void
+        l1AccessCycle(AccessOutcome outcome)
+        {
+            ++hot.l1Outcome[static_cast<int>(outcome)];
+        }
+
+        /** An accepted L1 data access for a global load (Figs 8, 10, 11). */
+        void l1Access(bool non_det, bool miss, uint64_t line_addr,
+                      uint32_t cta);
+
+        /** An L2 read query from L1 (Fig 8, Table III). */
+        void
+        l2Access(int partition, bool non_det, bool miss)
+        {
+            ++hot.l2Access[non_det];
+            if (miss)
+                ++hot.l2Miss[non_det];
+            ++owner_->l2Queries_[static_cast<size_t>(partition)];
+            if (!miss)
+                ++owner_->l2Hits_[static_cast<size_t>(partition)];
+        }
+
+        /** A cycle the partition head request could not be serviced. */
+        void partitionStall() { ++hot.partStalls; }
+
+        /** A completed warp-level global-load op (Figs 2, 5, 6, 7). */
+        void gloadDone(const WarpMemOp &op, uint32_t kernel_id);
+
+      private:
+        friend class SimStats;
+
+        explicit Shard(SimStats &owner) : owner_(&owner) {}
+
+        /** Find-or-insert into the open-addressed block table. */
+        BlockInfo &blockFor(uint64_t line_addr);
+        void growBlockTable();
+
+        SimStats *owner_;
+        ClassAgg cls_[2];
+        /** Dense per-kernel, per-pc aggregates (grown on demand). */
+        std::vector<std::vector<PcSlot>> pcDense_;
+        /** Spill for pcs past kDensePcLimit; keyed (kernel<<32) | pc. */
+        std::unordered_map<uint64_t, PcAgg> pcAggs_;
+        /** Open-addressed power-of-two table of per-line block info. */
+        std::vector<BlockSlot> blockTable_;
+        size_t blockCount_ = 0;
+    };
+
+    /**
+     * Create a per-unit shard. Stable reference for the stats' lifetime;
+     * merged (in creation order) into the base shard at finalize().
+     */
+    Shard &newShard();
+
+    /** Sum of all hot counters: base shard + every unit shard. */
+    Hot hotTotals() const;
+
+    /** Cold, string-keyed stats (launch-level bookkeeping + final output). */
+    StatsSet &set() { return set_; }
+    const StatsSet &set() const { return set_; }
+
+    // Direct accumulation API (base shard): launch-level bookkeeping and
+    // unit tests. Compute-phase code goes through its unit's Shard.
+    void l1AccessCycle(AccessOutcome outcome) { base_.l1AccessCycle(outcome); }
+    void
+    l1Access(bool non_det, bool miss, uint64_t line_addr, uint32_t cta)
+    {
+        base_.l1Access(non_det, miss, line_addr, cta);
+    }
+    void
+    l2Access(int partition, bool non_det, bool miss)
+    {
+        base_.l2Access(partition, non_det, miss);
+    }
+    void partitionStall() { base_.partitionStall(); }
+    void
+    gloadDone(const WarpMemOp &op, uint32_t kernel_id)
+    {
+        base_.gloadDone(op, kernel_id);
+    }
+
+    /** Intern a kernel name; the id keys the per-pc aggregates. */
+    uint32_t kernelId(const std::string &name);
+
+    /** Fold all plain counters and maps into the StatsSet. Idempotent. */
+    void finalize();
+
+  private:
     static void insertCta(std::vector<uint32_t> &ctas, uint32_t cta);
     static void distanceHistogram(const std::vector<uint32_t> &ctas,
                                   Histogram &hist);
 
-    /** Find-or-insert into the open-addressed block table. */
-    BlockInfo &blockFor(uint64_t line_addr);
-    void growBlockTable();
+    /** Fold @p shard into the base shard and clear it. */
+    void mergeShard(Shard &shard);
 
     /** The five output histograms of one pc (finalize helper). */
     struct PcHists
@@ -207,17 +294,16 @@ class SimStats
 
     std::vector<uint64_t> l2Queries_;
     std::vector<uint64_t> l2Hits_;
-    ClassAgg cls_[2];
     std::vector<std::string> kernelNames_;
     std::unordered_map<std::string, uint32_t> kernelIds_;
-    /** Dense per-kernel, per-pc aggregates (grown on demand). */
-    std::vector<std::vector<PcSlot>> pcDense_;
-    /** Spill for pcs past kDensePcLimit; keyed (kernel_id << 32) | pc. */
-    std::unordered_map<uint64_t, PcAgg> pcAggs_;
-    /** Open-addressed power-of-two table of per-line block info. */
-    std::vector<BlockSlot> blockTable_;
-    size_t blockCount_ = 0;
+    Shard base_;
+    /** Per-unit shards; deque so newShard() never moves existing ones. */
+    std::deque<Shard> shards_;
     bool finalized_ = false;
+
+  public:
+    /** The base shard's hot counters (direct-API and test access). */
+    Hot &hot;
 };
 
 } // namespace gcl::sim

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Per-unit staging wrapper around a TraceSink for the parallel tick.
+ *
+ * A TraceSink is single-threaded: its ring, drain callback and id counter
+ * must only ever be touched by one thread. When the simulator ticks SMs
+ * and memory partitions concurrently (sim_threads > 1), each unit instead
+ * emits into its own StageSink, and the coordinator forwards the staged
+ * events into the real sink during the commit phase, in the exact order a
+ * serial tick would have produced them.
+ *
+ * Two problems are solved here:
+ *
+ * 1. Event order. Within one cycle the serial emission order is: all SM
+ *    events in SM-id order (segment A), then all partition events in
+ *    partition-id order, then the SM response-drain events in SM-id order
+ *    (segment B). Each unit's own events stay in program order inside its
+ *    buffer; SM sinks split their buffer into the two segments so the
+ *    coordinator can forward [sm0..N segA][part0..M][sm0..N segB].
+ *
+ * 2. Event ids. Serial ticking allocates monotonic ids (TraceSink::newId)
+ *    at issue time, in SM-id order within a cycle. Workers cannot share
+ *    the counter, so a buffered StageSink hands out *provisional* ids
+ *    (bit 63 set, unit id and per-cycle sequence packed below) and records
+ *    which pool object's id field received one. At commit the coordinator
+ *    walks the records in SM-id order, draws real ids from the shared
+ *    sink — reproducing the serial numbering — patches the live pool
+ *    objects, and translates staged events as they are forwarded. Only
+ *    same-cycle events of the allocating unit can carry a provisional id:
+ *    anything that crossed the interconnect is at least icnt_latency
+ *    cycles old and was patched in the cycle it was issued.
+ *
+ * In passthrough mode (sim_threads == 1) every call forwards straight to
+ * the real sink, preserving the exact serial behavior at zero extra cost
+ * beyond one branch.
+ */
+
+#ifndef GCL_TRACE_STAGE_SINK_HH
+#define GCL_TRACE_STAGE_SINK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace.hh"
+
+namespace gcl::trace
+{
+
+/** Unit-confined staging buffer; see file comment. */
+class StageSink
+{
+  public:
+    /** Provisional-id marker: real TraceSink ids never reach bit 63. */
+    static constexpr uint64_t kProvisionalBit = uint64_t{1} << 63;
+
+    /** What kind of pool object recorded a provisional id. */
+    enum IdKind : uint8_t
+    {
+        kIdReq = 0,  //!< MemRequest::id
+        kIdOp = 1,   //!< WarpMemOp::id
+    };
+
+    /** One provisional id hand-out, for commit-time patching. */
+    struct IdRecord
+    {
+        uint32_t handle;  //!< pool handle of the object whose id was set
+        uint8_t kind;     //!< IdKind
+        uint64_t prov;    //!< the provisional value that was handed out
+    };
+
+    /** SM buffers split into cycle-stage (A) and drain-stage (B) events. */
+    enum Segment : int
+    {
+        kSegCycle = 0,
+        kSegDrain = 1,
+    };
+
+    /**
+     * Bind to the real sink. @p buffered selects staging (parallel tick)
+     * vs passthrough (serial tick); @p unit tags provisional ids.
+     */
+    void
+    attach(TraceSink *real, int16_t unit, bool buffered)
+    {
+        real_ = real;
+        unit_ = unit;
+        buffered_ = buffered;
+        clearCycle();
+    }
+
+    void detach() { real_ = nullptr; }
+
+    bool enabled() const { return real_ != nullptr && real_->enabled(); }
+
+    void
+    emit(EventKind kind, uint64_t cycle, uint64_t id, uint64_t addr,
+         uint32_t pc = 0, int16_t unit = -1, uint8_t flags = 0)
+    {
+        if (!buffered_) {
+            real_->emit(kind, cycle, id, addr, pc, unit, flags);
+            return;
+        }
+        TraceEvent ev;
+        ev.cycle = cycle;
+        ev.id = id;
+        ev.addr = addr;
+        ev.pc = pc;
+        ev.unit = unit;
+        ev.kind = kind;
+        ev.flags = flags;
+        buf_[seg_].push_back(ev);
+    }
+
+    /**
+     * Allocate an id for the object behind @p handle. Passthrough: the
+     * real sink's next id. Buffered: a provisional id, recorded for
+     * commit-time patching; the per-cycle sequence doubles as the index
+     * into the real-id translation table.
+     */
+    uint64_t
+    newId(uint32_t handle, uint8_t kind)
+    {
+        if (!buffered_)
+            return real_->newId();
+        const uint64_t prov = kProvisionalBit |
+                              (uint64_t{static_cast<uint16_t>(unit_)} << 40) |
+                              static_cast<uint32_t>(records_.size());
+        records_.push_back(IdRecord{handle, kind, prov});
+        return prov;
+    }
+
+    /** Switch which segment subsequent emits land in (SM sinks only). */
+    void beginSegment(int seg) { seg_ = seg; }
+
+    // ---- Commit side (coordinator only) ----
+
+    std::vector<IdRecord> &records() { return records_; }
+
+    /** Size the translation table; call before setReal(). */
+    void prepareRealIds() { realIds_.resize(records_.size()); }
+
+    /** Real id for the record at @p index (== its provisional sequence). */
+    void setReal(size_t index, uint64_t real) { realIds_[index] = real; }
+
+    /** Forward one segment's staged events, translating provisional ids. */
+    void
+    forward(int seg)
+    {
+        for (const TraceEvent &ev : buf_[seg])
+            real_->emit(ev.kind, ev.cycle, translate(ev.id), ev.addr, ev.pc,
+                        ev.unit, ev.flags);
+    }
+
+    /** Drop staged per-cycle state (after forwarding, or on attach). */
+    void
+    clearCycle()
+    {
+        buf_[0].clear();
+        buf_[1].clear();
+        records_.clear();
+        realIds_.clear();
+        seg_ = kSegCycle;
+    }
+
+    bool
+    empty() const
+    {
+        return buf_[0].empty() && buf_[1].empty() && records_.empty();
+    }
+
+  private:
+    uint64_t
+    translate(uint64_t id) const
+    {
+        if (!(id & kProvisionalBit))
+            return id;
+        // A staged event only ever references ids this sink handed out.
+        return realIds_[static_cast<uint32_t>(id)];
+    }
+
+    TraceSink *real_ = nullptr;
+    int16_t unit_ = -1;
+    bool buffered_ = false;
+    int seg_ = kSegCycle;
+    std::vector<TraceEvent> buf_[2];
+    std::vector<IdRecord> records_;
+    std::vector<uint64_t> realIds_;
+};
+
+} // namespace gcl::trace
+
+#endif // GCL_TRACE_STAGE_SINK_HH

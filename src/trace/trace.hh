@@ -202,9 +202,11 @@ class TraceSink
  * Usage: GCL_TRACE(sink_ptr, EventKind::ReqInject, now, req->id, ...);
  */
 #ifndef GCL_TRACE_DISABLED
+// `auto *` so the macro accepts both TraceSink and the per-unit StageSink
+// wrapper (stage_sink.hh) — both expose enabled() and emit().
 #define GCL_TRACE(sink, ...) \
     do { \
-        ::gcl::trace::TraceSink *gcl_trace_sink_ = (sink); \
+        auto *gcl_trace_sink_ = (sink); \
         if (gcl_trace_sink_ && gcl_trace_sink_->enabled()) \
             gcl_trace_sink_->emit(__VA_ARGS__); \
     } while (0)

@@ -23,13 +23,26 @@
  * layout is identical, only the verification is compiled out.
  *
  * Ownership is single-owner by convention (DESIGN.md "Hot path"): exactly
- * one component frees a given handle. The pool is thread-confined, like
- * everything else owned by one SimContext.
+ * one component frees a given handle.
+ *
+ * Concurrency: the pool is thread-confined by default (everything owned by
+ * one SimContext). The intra-run parallel tick (sim_threads > 1) shares
+ * one pool between SM/partition workers; setConcurrent(true) turns the
+ * alloc/free bookkeeping into a short spinlocked critical section. The
+ * slab directory is a fixed-size array of slab pointers (never resized),
+ * so get() stays lock-free: a worker only dereferences handles it owns —
+ * either self-allocated, or handed over through a queue whose producer ran
+ * in an earlier barrier-separated phase — which gives the happens-before
+ * edge for the published object and its slab pointer. Object construction
+ * and destruction stay outside the lock (the slot is exclusively owned at
+ * both points). When the flag is off the lock is skipped entirely, so the
+ * serial path pays nothing.
  */
 
 #ifndef GCL_UTIL_POOL_HH
 #define GCL_UTIL_POOL_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -62,11 +75,19 @@ class HandlePool
     /** Slot field stores slot+1, so the largest usable slot is mask-2. */
     static constexpr size_t kMaxSlots = kSlotMask - 1;
     static constexpr size_t kSlabSize = 4096;  //!< objects per slab
+    static constexpr size_t kMaxSlabs =
+        (kMaxSlots + kSlabSize - 1) / kSlabSize;
 
     explicit HandlePool(std::string name) : name_(std::move(name)) {}
 
     HandlePool(const HandlePool &) = delete;
     HandlePool &operator=(const HandlePool &) = delete;
+
+    /**
+     * Serialize alloc/free bookkeeping for multi-threaded ticking.
+     * Must only be toggled while no other thread touches the pool.
+     */
+    void setConcurrent(bool on) { concurrent_ = on; }
 
     /**
      * Take a default-initialized object from the pool.
@@ -77,28 +98,33 @@ class HandlePool
     PoolHandle
     alloc()
     {
+        lock();
         uint32_t slot;
         if (!freeList_.empty()) {
             slot = freeList_.back();
             freeList_.pop_back();
         } else {
-            if (slotCount_ >= kMaxSlots)
+            if (slotCount_ >= kMaxSlots) {
+                unlock();
                 throw std::length_error(
                     "HandlePool '" + name_ + "' exhausted (" +
                     std::to_string(kMaxSlots) + " live objects)");
-            slot = slotCount_++;
-            if (slot / kSlabSize >= slabs_.size()) {
-                slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
-                gen_.resize(slabs_.size() * kSlabSize, 0);
             }
+            slot = slotCount_++;
+            if (!slabs_[slot / kSlabSize])
+                slabs_[slot / kSlabSize] = std::make_unique<Slab>();
         }
-        Slot &entry = slabs_[slot / kSlabSize][slot % kSlabSize];
-        new (&entry.object) T{};
-#if GCL_POOL_CHECKED
-        gen_[slot] |= kLiveBit;
-#endif
         ++live_;
-        return ((gen_[slot] & kGenMask) << kSlotBits) | (slot + 1);
+        Slab &slab = *slabs_[slot / kSlabSize];
+        const uint32_t gen = slab.gen[slot % kSlabSize];
+#if GCL_POOL_CHECKED
+        slab.gen[slot % kSlabSize] = gen | kLiveBit;
+#endif
+        unlock();
+        // Construct outside the critical section; the slot is exclusively
+        // ours from the moment it left the free list.
+        new (&slab.slots[slot % kSlabSize].object) T{};
+        return ((gen & kGenMask) << kSlotBits) | (slot + 1);
     }
 
     /** Return @p handle's object to the pool; the handle becomes stale. */
@@ -106,34 +132,66 @@ class HandlePool
     free(PoolHandle handle)
     {
         const uint32_t slot = check(handle);
-        slabs_[slot / kSlabSize][slot % kSlabSize].object.~T();
+        Slab &slab = *slabs_[slot / kSlabSize];
+        slab.slots[slot % kSlabSize].object.~T();
+        lock();
         // Bump the generation so stale handles are detectable; skip the
         // value that would make a recycled handle equal a historic one
         // only after the 12-bit wrap (good enough for a debug net).
-        gen_[slot] = (gen_[slot] + 1) & kGenMask;
+        slab.gen[slot % kSlabSize] =
+            (slab.gen[slot % kSlabSize] + 1) & kGenMask;
         freeList_.push_back(slot);
         --live_;
+        unlock();
     }
 
     T &
     get(PoolHandle handle)
     {
         const uint32_t slot = check(handle);
-        return slabs_[slot / kSlabSize][slot % kSlabSize].object;
+        return slabs_[slot / kSlabSize]->slots[slot % kSlabSize].object;
     }
 
     const T &
     get(PoolHandle handle) const
     {
         const uint32_t slot = check(handle);
-        return slabs_[slot / kSlabSize][slot % kSlabSize].object;
+        return slabs_[slot / kSlabSize]->slots[slot % kSlabSize].object;
+    }
+
+    /**
+     * Unchecked dereference by slot, ignoring the generation. Only for the
+     * parallel tick's commit phase, which patches provisional trace ids
+     * recorded earlier in the same cycle: the slot cannot have been
+     * recycled within the cycle, and the caller additionally verifies the
+     * patched field still holds the value it recorded.
+     */
+    T &
+    getRaw(PoolHandle handle)
+    {
+        const uint32_t slot = (handle & kSlotMask) - 1;
+        return slabs_[slot / kSlabSize]->slots[slot % kSlabSize].object;
     }
 
     /** Objects currently checked out. */
-    size_t live() const { return live_; }
+    size_t
+    live() const
+    {
+        lock();
+        const size_t n = live_;
+        unlock();
+        return n;
+    }
 
     /** High-water slot count (never shrinks; sizing diagnostics). */
-    size_t capacity() const { return slotCount_; }
+    size_t
+    capacity() const
+    {
+        lock();
+        const size_t n = slotCount_;
+        unlock();
+        return n;
+    }
 
     const std::string &name() const { return name_; }
 
@@ -148,8 +206,34 @@ class HandlePool
         ~Slot() {}  // NOLINT
     };
 
+    /** Storage plus its slots' generations, allocated as one unit. */
+    struct Slab
+    {
+        Slot slots[kSlabSize];
+        uint32_t gen[kSlabSize];  //!< per-slot generation (+ live bit)
+    };
+
     /** Live flag kept outside the handle bits (checked builds only). */
     static constexpr uint32_t kLiveBit = 0x8000'0000u;
+
+    void
+    lock() const
+    {
+        if (!concurrent_)
+            return;
+        while (lock_.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__) || defined(__i386__)
+            __builtin_ia32_pause();
+#endif
+        }
+    }
+
+    void
+    unlock() const
+    {
+        if (concurrent_)
+            lock_.clear(std::memory_order_release);
+    }
 
     uint32_t
     check(PoolHandle handle) const
@@ -158,14 +242,14 @@ class HandlePool
 #if GCL_POOL_CHECKED
         gcl_assert(handle != kNullHandle,
                    "pool '", name_, "': null handle dereferenced");
-        gcl_assert(slot < slotCount_,
+        gcl_assert(slot < kMaxSlots && slabs_[slot / kSlabSize] != nullptr,
                    "pool '", name_, "': handle slot ", slot,
                    " out of range");
-        gcl_assert((gen_[slot] & kLiveBit) != 0,
+        const uint32_t gen = slabs_[slot / kSlabSize]->gen[slot % kSlabSize];
+        gcl_assert((gen & kLiveBit) != 0,
                    "pool '", name_, "': stale handle (slot ", slot,
                    " is free — use-after-free or double-free)");
-        gcl_assert((gen_[slot] & kGenMask) ==
-                       ((handle >> kSlotBits) & kGenMask),
+        gcl_assert((gen & kGenMask) == ((handle >> kSlotBits) & kGenMask),
                    "pool '", name_, "': stale handle generation for slot ",
                    slot);
 #endif
@@ -173,11 +257,17 @@ class HandlePool
     }
 
     std::string name_;
-    std::vector<std::unique_ptr<Slot[]>> slabs_;
-    std::vector<uint32_t> gen_;      //!< per-slot generation (+ live bit)
+    /**
+     * Fixed-size slab directory: never resized, so concurrent get() of
+     * already-published handles races with nothing when a new slab pointer
+     * is installed elsewhere in the array.
+     */
+    std::unique_ptr<Slab> slabs_[kMaxSlabs];
     std::vector<uint32_t> freeList_;
     uint32_t slotCount_ = 0;
     size_t live_ = 0;
+    bool concurrent_ = false;
+    mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
 };
 
 } // namespace gcl

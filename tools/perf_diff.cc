@@ -4,11 +4,15 @@
  * fail on a throughput regression.
  *
  *   perf_diff <baseline.json> <current.json> [--tolerance=0.10]
+ *             [--rss-tolerance=0.25]
  *
- * Prints a per-app and total delta table; exits 1 if total
- * cycles_per_sec regressed by more than the tolerance (default 10%).
- * scripts/check.sh runs this non-fatally by default and fatally under
- * --perf, against the committed baseline in bench/baselines/.
+ * Prints a per-app and total delta table; exits 1 if the total *or any
+ * single app's* cycles_per_sec regressed by more than the tolerance
+ * (default 10%) — a per-app gate, because one app falling off a cliff can
+ * hide inside a healthy total — or if peak_rss_kb grew by more than the
+ * RSS tolerance (default 25%). scripts/check.sh runs this non-fatally by
+ * default and fatally under --perf, against the committed baseline in
+ * bench/baselines/.
  *
  * The parser is deliberately a scanner, not a JSON library: perf_sweep
  * emits a fixed shape, and this tool must keep working inside the
@@ -117,15 +121,19 @@ main(int argc, char **argv)
     const char *base_path = nullptr;
     const char *cur_path = nullptr;
     double tolerance = 0.10;
+    double rss_tolerance = 0.25;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
             tolerance = std::strtod(argv[i] + 12, nullptr);
+        } else if (std::strncmp(argv[i], "--rss-tolerance=", 16) == 0) {
+            rss_tolerance = std::strtod(argv[i] + 16, nullptr);
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             std::printf("usage: perf_diff <baseline.json> <current.json> "
-                        "[--tolerance=0.10]\n"
-                        "Exits 1 if total cycles_per_sec regressed by more "
-                        "than the tolerance.\n");
+                        "[--tolerance=0.10] [--rss-tolerance=0.25]\n"
+                        "Exits 1 if total or any per-app cycles_per_sec "
+                        "regressed by more\nthan the tolerance, or peak RSS "
+                        "grew past the RSS tolerance.\n");
             return 0;
         } else if (!base_path) {
             base_path = argv[i];
@@ -149,6 +157,7 @@ main(int argc, char **argv)
     std::printf("== perf_diff: %s -> %s ==\n", base_path, cur_path);
     std::printf("%-8s %14s %14s %9s\n", "app", "base c/s", "cur c/s",
                 "delta");
+    int failures = 0;
     for (const auto &[name, base_cps] : base.appCps) {
         const auto it = cur.appCps.find(name);
         if (it == cur.appCps.end()) {
@@ -156,8 +165,17 @@ main(int argc, char **argv)
                         "-", "gone");
             continue;
         }
-        std::printf("%-8s %14.0f %14.0f %+8.1f%%\n", name.c_str(), base_cps,
-                    it->second, (it->second / base_cps - 1.0) * 100.0);
+        const double ratio = it->second / base_cps;
+        const bool regressed = ratio < 1.0 - tolerance;
+        std::printf("%-8s %14.0f %14.0f %+8.1f%%%s\n", name.c_str(),
+                    base_cps, it->second, (ratio - 1.0) * 100.0,
+                    regressed ? "  << REGRESSION" : "");
+        if (regressed) {
+            // Gate per app, not only on the total: one app falling off a
+            // cliff (a pathological interaction with its access pattern)
+            // can hide inside an otherwise-healthy aggregate.
+            ++failures;
+        }
     }
     for (const auto &[name, cur_cps] : cur.appCps)
         if (base.appCps.find(name) == base.appCps.end())
@@ -175,6 +193,21 @@ main(int argc, char **argv)
         std::printf("perf_diff: REGRESSION: total throughput %.2fx of "
                     "baseline (tolerance %.0f%%)\n",
                     speedup, tolerance * 100.0);
+        ++failures;
+    }
+    if (base.peakRssKb > 0 &&
+        static_cast<double>(cur.peakRssKb) >
+            static_cast<double>(base.peakRssKb) * (1.0 + rss_tolerance)) {
+        std::printf("perf_diff: RSS GROWTH: peak RSS %ld KB -> %ld KB "
+                    "(%+.1f%%, tolerance %.0f%%)\n",
+                    base.peakRssKb, cur.peakRssKb,
+                    (static_cast<double>(cur.peakRssKb) / base.peakRssKb -
+                     1.0) * 100.0,
+                    rss_tolerance * 100.0);
+        ++failures;
+    }
+    if (failures > 0) {
+        std::printf("perf_diff: %d gate(s) failed\n", failures);
         return 1;
     }
     std::printf("perf_diff: ok (%.2fx of baseline)\n", speedup);
