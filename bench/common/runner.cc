@@ -13,6 +13,7 @@
 #include <memory>
 #include <sstream>
 
+#include "crit/report.hh"
 #include "exec/scheduler.hh"
 #include "guard/fault.hh"
 #include "sim/gpu.hh"
@@ -152,17 +153,48 @@ writeStatsCsv(const std::string &path)
     }
     out << "app,kind,key,bucket,value\n";
     for (const auto &rec : g_export->records) {
+        // App names are identifiers today, but failure kinds/components
+        // are free-form-ish strings; RFC 4180 quoting keeps the table
+        // parseable no matter what lands in them.
         if (rec.failure.failed)
-            out << rec.name << ",failure," << rec.failure.kind << ','
-                << rec.failure.component << ',' << rec.failure.cycle
-                << '\n';
+            out << trace::csvField(rec.name) << ",failure,"
+                << trace::csvField(rec.failure.kind) << ','
+                << trace::csvField(rec.failure.component) << ','
+                << rec.failure.cycle << '\n';
         std::ostringstream rows;
         trace::exportStatsCsv(rec.stats, rows);
         std::istringstream lines(rows.str());
         std::string line;
         std::getline(lines, line); // per-set header, replaced above
         while (std::getline(lines, line))
-            out << rec.name << ',' << line << '\n';
+            out << trace::csvField(rec.name) << ',' << line << '\n';
+    }
+}
+
+/**
+ * Write the per-app crit reports to --crit-out, plus collapsed-stack lines
+ * (one weighted stall path per line, flamegraph.pl compatible) to
+ * "<crit-out>.collapsed". Apps whose runs carried no crit section (e.g. a
+ * failed run) are skipped silently — the stats JSON still records them.
+ */
+void
+writeCritReport(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        gcl_warn("cannot write crit report to '", path, "'");
+        return;
+    }
+    std::ofstream collapsed(path + ".collapsed");
+    if (!collapsed)
+        gcl_warn("cannot write collapsed stacks to '", path,
+                 ".collapsed'");
+    for (const auto &rec : g_export->records) {
+        if (!rec.stats.has("crit.issue_width"))
+            continue;
+        crit::renderText(out, rec.name, rec.stats, g_options.critTopN);
+        if (collapsed)
+            crit::appendCollapsed(collapsed, rec.name, rec.stats);
     }
 }
 
@@ -183,6 +215,8 @@ finishExports()
         writeStatsJson(g_options.statsJson);
     if (!g_options.statsCsv.empty())
         writeStatsCsv(g_options.statsCsv);
+    if (!g_options.critOut.empty())
+        writeCritReport(g_options.critOut);
 }
 
 bool
@@ -284,7 +318,8 @@ void
 recordResult(const AppResult &result, const sim::GpuConfig &config)
 {
     if (!g_export ||
-        (g_options.statsJson.empty() && g_options.statsCsv.empty()))
+        (g_options.statsJson.empty() && g_options.statsCsv.empty() &&
+         g_options.critOut.empty()))
         return;
     g_export->records.push_back({result.name, result.category,
                                  result.verified, config.fingerprint(),
@@ -327,6 +362,11 @@ appConfig(const std::string &name, const sim::GpuConfig &base)
         config.applyOverrides(g_options.simConfig);
     if (g_options.maxCycles != 0)
         config.maxCycles = g_options.maxCycles;
+    // The profiler changes stats content (crit.* keys), so this happens
+    // before the fingerprint is ever taken: crit-on runs get their own
+    // cache entries and never alias a crit-off sweep's.
+    if (g_options.crit)
+        config.crit = true;
     // Tick threads never affect results (and are excluded from the
     // fingerprint), so applying them after the overrides cannot split the
     // cache; an explicit --sim-config sim_threads=N still wins when the
@@ -416,6 +456,17 @@ initBench(int argc, char **argv)
             g_options.simConfig = v;
         } else if (const char *v = value(arg, "--fault-plan")) {
             g_options.faultPlan = v;
+        } else if (std::strcmp(arg, "--crit") == 0) {
+            g_options.crit = true;
+        } else if (const char *v = value(arg, "--crit-top-n")) {
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(v, &end, 10);
+            if (end == v || *end != '\0' || n == 0)
+                gcl_fatal("--crit-top-n=", v, " is not a row count");
+            g_options.critTopN = static_cast<unsigned>(n);
+        } else if (const char *v = value(arg, "--crit-out")) {
+            g_options.critOut = v;
+            g_options.crit = true;
         } else if (std::strcmp(arg, "--fresh") == 0) {
             g_options.fresh = true;
         } else if (std::strcmp(arg, "--help") == 0 ||
@@ -457,7 +508,17 @@ initBench(int argc, char **argv)
                 "                           'app=bpr;stop@20000' "
                 "(= GCL_FAULT_PLAN;\n"
                 "                           grammar in src/guard/fault.hh)"
-                "\n",
+                "\n"
+                "  --crit                   criticality profiler: per-PC "
+                "stall\n"
+                "                           attribution + latency breakdown "
+                "in the stats\n"
+                "  --crit-top-n=N           critical-load table rows "
+                "(default 10)\n"
+                "  --crit-out=FILE          per-app crit report (implies "
+                "--crit);\n"
+                "                           FILE.collapsed gets "
+                "flamegraph stacks\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -527,7 +588,7 @@ initBench(int argc, char **argv)
     }
 
     if (g_options.traceOut.empty() && g_options.statsJson.empty() &&
-        g_options.statsCsv.empty())
+        g_options.statsCsv.empty() && g_options.critOut.empty())
         return;
 
     static ExportState state;

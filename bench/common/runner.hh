@@ -25,6 +25,13 @@
  *                             (deterministic; 0 = hardware threads minus
  *                             sweep jobs, clamped >= 1; default
  *                             GCL_SIM_THREADS, else 1)
+ *   --crit                    enable the gcl::crit criticality profiler
+ *                             (per-PC stall attribution + latency
+ *                             decomposition folded into the stats)
+ *   --crit-top-n=N            rows in the critical-load table (default 10)
+ *   --crit-out=FILE           write the per-app crit report (implies
+ *                             --crit); FILE.collapsed additionally gets
+ *                             collapsed-stack lines for flamegraph tools
  * Tracing always simulates fresh: a cached stats file has no events.
  *
  * Two parallelism axes compose multiplicatively. --jobs spreads the sweep
@@ -78,6 +85,9 @@ struct Options
     uint64_t maxCycles = 0;        //!< per-run cycle budget (0 = default)
     std::string simConfig;         //!< key=value config overrides
     std::string faultPlan;         //!< guard::FaultPlan spec
+    bool crit = false;             //!< enable the criticality profiler
+    unsigned critTopN = 10;        //!< critical-load table depth
+    std::string critOut;           //!< crit report path (implies crit)
 };
 
 /**

@@ -145,6 +145,7 @@ main(int argc, char **argv)
     std::string out_path = "BENCH_perf.json";
     std::string label = "perf_sweep";
     int sim_threads = -1;  // -1 = unset: GCL_SIM_THREADS, else 1
+    bool crit = false;     // time with the criticality profiler enabled
 
     auto value = [](const char *arg, const char *flag) -> const char * {
         const size_t n = std::strlen(flag);
@@ -174,18 +175,23 @@ main(int argc, char **argv)
             if (end == v || *end != '\0')
                 gcl_fatal("--sim-threads=", v, " is not a thread count");
             sim_threads = static_cast<int>(n);
+        } else if (std::strcmp(arg, "--crit") == 0) {
+            crit = true;
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             std::printf("usage: %s [--apps=a,b,c] [--repeat=N] "
                         "[--out=FILE] [--label=STR]\n"
-                        "          [--sim-threads=N]\n"
+                        "          [--sim-threads=N] [--crit]\n"
                         "Times fresh simulations of the pinned app subset "
                         "and writes a\nBENCH_perf.json throughput snapshot "
                         "(compare with tools/perf_diff).\n"
                         "--sim-threads parallelizes the tick loop inside "
                         "each run;\nresults stay bit-identical (0 = all "
                         "hardware threads;\ndefault GCL_SIM_THREADS, "
-                        "else 1).\n",
+                        "else 1).\n"
+                        "--crit times the run with the criticality "
+                        "profiler enabled,\nto measure its overhead "
+                        "against a plain snapshot.\n",
                         argv[0]);
             return 0;
         } else {
@@ -218,6 +224,7 @@ main(int argc, char **argv)
 
     GpuConfig config{};
     config.simThreads = static_cast<unsigned>(sim_threads);
+    config.crit = crit;
     std::vector<AppPerf> results;
     results.reserve(apps.size());
 
@@ -225,6 +232,8 @@ main(int argc, char **argv)
     if (config.simThreads != 1)
         std::printf("sim-threads: %u (deterministic tick)\n",
                     config.simThreads);
+    if (crit)
+        std::printf("crit profiler: enabled (overhead measurement)\n");
     std::printf("%-8s %12s %12s %10s %14s\n", "app", "sim_cycles",
                 "warp_insts", "best_sec", "cycles/sec");
 

@@ -85,6 +85,35 @@ GCL_BENCH_CACHE="$tmp/cache-t4" "$BUILD_DIR/bench/fig1_load_classes" \
 diff -r "$tmp/cache-t1" "$tmp/cache-t4" \
     || { echo "check: parallel tick diverged from serial" >&2; exit 1; }
 
+# Criticality profiler (gcl::crit): a crit-enabled sweep must export
+# stats whose per-SM issue-slot accounting is exact (trace_check
+# re-verifies issued + stalls == cycles * issue_width from the JSON), its
+# cache entries and reports must be byte-identical across tick-thread
+# counts, and crit_report over the three small apps must match the
+# committed golden. The profiler-off path needs no stage of its own:
+# crit defaults to off, so every other stage in this script (including
+# the perf-delta gate below) already runs and measures the disabled
+# simulator.
+GCL_BENCH_CACHE="$tmp/cache-crit1" "$BUILD_DIR/bench/fig1_load_classes" \
+    --apps=$SMALL_APPS --fresh --crit --sim-threads=1 \
+    --stats-json="$tmp/stats-crit.json" \
+    --crit-out="$tmp/crit-report.txt" > /dev/null 2> /dev/null
+"$BUILD_DIR/tools/trace_check" --stats="$tmp/stats-crit.json"
+GCL_BENCH_CACHE="$tmp/cache-crit4" "$BUILD_DIR/bench/fig1_load_classes" \
+    --apps=$SMALL_APPS --fresh --crit --sim-threads=4 \
+    --crit-out="$tmp/crit-report-t4.txt" > /dev/null 2> /dev/null
+diff -r "$tmp/cache-crit1" "$tmp/cache-crit4" \
+    || { echo "check: crit profiling diverged across tick threads" >&2
+         exit 1; }
+cmp "$tmp/crit-report.txt" "$tmp/crit-report-t4.txt" \
+    || { echo "check: crit report differs across tick threads" >&2
+         exit 1; }
+"$BUILD_DIR/tools/crit_report" --stats="$tmp/stats-crit.json" --top-n=3 \
+    > "$tmp/crit-top3.txt" 2> /dev/null
+diff tests/goldens/crit_report_small.txt "$tmp/crit-top3.txt" \
+    || { echo "check: crit_report diverged from the committed golden" >&2
+         exit 1; }
+
 # Idle-unit gating (Gpu::tick skipping quiescent partitions and response
 # drains) is a pure host-side optimization: a sweep with the gate forced
 # off must leave byte-identical cache entries. idle_gating is deliberately

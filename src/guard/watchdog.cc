@@ -57,6 +57,8 @@ HangReport::render() const
             << " reserved lines";
         if (!sm.stuckWarps.empty())
             oss << "; stuck: " << sm.stuckWarps;
+        if (!sm.critSummary.empty())
+            oss << "; " << sm.critSummary;
         oss << "\n";
     }
     for (const auto &part : partitions) {

@@ -50,6 +50,13 @@ struct SmHangInfo
     size_t mshrOccupancy = 0;     //!< allocated L1 MSHR entries
     size_t reservedLines = 0;     //!< L1 lines reserved for in-flight fills
     std::string stuckWarps;       //!< "w3@pc12 w7@pc12 ..." (first few)
+    /**
+     * Stall attribution from the crit profiler when it is enabled (top-3
+     * stall reasons and top-3 blocking PCs, pre-rendered by
+     * crit::SmCrit::hangSummary); empty otherwise. Kept as a plain string
+     * so guard does not depend on gcl::crit.
+     */
+    std::string critSummary;
 };
 
 /** One memory partition's state at hang time. */

@@ -167,6 +167,15 @@ overrideKeys()
                  badValue("idle_gating", v, "one of 0, 1");
          }},
         numericKey("sim_threads", &GpuConfig::simThreads),
+        {"crit",
+         [](GpuConfig &config, const std::string &v) {
+             if (v == "0")
+                 config.crit = false;
+             else if (v == "1")
+                 config.crit = true;
+             else
+                 badValue("crit", v, "one of 0, 1");
+         }},
         // Run control / robustness
         numericKey("max_cycles", &GpuConfig::maxCycles),
         numericKey("watchdog_interval", &GpuConfig::watchdogInterval),
@@ -270,6 +279,8 @@ GpuConfig::describe() const
             << " requests per non-deterministic sub-warp\n";
     if (!idleGating)
         oss << "IdleGating off (every unit ticks every cycle)\n";
+    if (crit)
+        oss << "CritProf   issue-slot attribution + latency breakdown\n";
     if (simThreads != 1)
         oss << "SimThreads "
             << (simThreads == 0 ? std::string("auto")
@@ -312,6 +323,12 @@ GpuConfig::fingerprint() const
     mix(dramLatency); mix(dramBurstCycles); mix(dramQueueDepth);
     mix(static_cast<uint64_t>(ctaSched)); mix(ctaClusterSize);
     mix(smsPerL2Cluster); mix(nondetSplitRequests);
+    // The crit profiler never changes timing, but it does add the crit.*
+    // key schema to the finalized stats, so an enabled run must not share
+    // a cache entry with a disabled one. Mixed only when on, so every
+    // pre-existing (disabled) fingerprint stays valid.
+    if (crit)
+        mix(1);
     for (char c : faultPlan)
         mix(static_cast<uint64_t>(static_cast<unsigned char>(c)));
     return h;

@@ -119,6 +119,18 @@ struct GpuConfig
     bool idleGating = true;
 
     /**
+     * Enable the gcl::crit criticality profiler: per-PC issue-slot stall
+     * attribution and per-stage memory-latency histograms (see
+     * src/crit/crit.hh). Unlike idle_gating this knob changes the
+     * *content* of the finalized stats (the crit.* key schema appears),
+     * so an enabled run must never share a cache entry with a disabled
+     * one — it IS part of the config fingerprint. Simulated timing is
+     * unaffected either way (tests/test_crit.cc proves the non-crit
+     * stats stay byte-identical).
+     */
+    bool crit = false;
+
+    /**
      * Worker threads for the intra-run parallel tick (SMs and memory
      * partitions ticking concurrently with a deterministic commit phase).
      * 1 = the serial loop; 0 = auto (hardware threads minus active sweep

@@ -17,12 +17,18 @@ Gpu::Gpu(GpuConfig config)
     if (!config_.faultPlan.empty())
         fault_ = std::make_unique<guard::FaultInjector>(
             guard::FaultPlan::parse(config_.faultPlan));
+    if (config_.crit)
+        crit_ = std::make_unique<crit::CritStats>(config_.numSchedulers);
     sms_.reserve(config_.numSms);
     for (unsigned s = 0; s < config_.numSms; ++s) {
         sms_.push_back(std::make_unique<Sm>(static_cast<int>(s), config_,
                                             gmem_, stats_, pools_));
         sms_.back()->partitionMap = &Gpu::mapPartition;
         sms_.back()->fault = fault_.get();
+        // One crit shard per SM, created in SM-id order so the finalize
+        // merge order is thread-count independent (like SimStats shards).
+        if (crit_)
+            sms_.back()->crit = &crit_->newShard();
         // Global stores/atomics commit at end of cycle at EVERY thread
         // count — the uniform write protocol is what makes sim_threads=N
         // bit-identical to sim_threads=1 (see functional.hh).
@@ -244,12 +250,17 @@ Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
     launch.cta = cta;
     launch.params = std::move(params);
 
-    // Section V: classify every global load once, statically.
+    // Section V: classify every global load once, statically. The dense
+    // class table joins the verdicts into crit's stall attribution (and is
+    // cheap enough to build even when the profiler is off).
     core::LoadClassifier classifier(kernel);
     launch.nonDetPc.assign(kernel.size(), false);
-    for (const auto &info : classifier.globalLoads())
-        launch.nonDetPc[info.pc] =
-            info.cls == core::LoadClass::NonDeterministic;
+    launch.pcLoadClass.assign(kernel.size(), 0);
+    for (const auto &info : classifier.globalLoads()) {
+        const bool non_det = info.cls == core::LoadClass::NonDeterministic;
+        launch.nonDetPc[info.pc] = non_det;
+        launch.pcLoadClass[info.pc] = non_det ? 2 : 1;
+    }
 
     // Precompute each pc's scoreboard dependence mask (sources, guard
     // predicate, destination) so the per-cycle issue check is a word-wise
@@ -592,6 +603,11 @@ Gpu::finalizeStats()
                 static_cast<double>(fault_->injected(kind)));
         }
     }
+    // Fold the crit shards first: per-SM shards merge in creation order
+    // into keyed adds, so the crit.* schema is byte-identical at any
+    // sim_threads (the same contract SimStats::finalize honors).
+    if (crit_)
+        crit_->finalize(stats_.kernelNames(), stats_.set());
     stats_.finalize();
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "config.hh"
+#include "crit/crit.hh"
 #include "exec/tick_team.hh"
 #include "guard/fault.hh"
 #include "guard/watchdog.hh"
@@ -154,6 +155,13 @@ class Gpu
 
     guard::Watchdog watchdog_;
     std::unique_ptr<guard::FaultInjector> fault_;
+
+    /**
+     * Criticality profiler (gcl::crit); null unless config_.crit. Owns
+     * one shard per SM, installed on Sm::crit at construction and folded
+     * into the stats set by finalizeStats().
+     */
+    std::unique_ptr<crit::CritStats> crit_;
 
     /**
      * Effective tick-thread count: config_.simThreads clamped to the unit

@@ -101,6 +101,7 @@ MemPartition::serviceHead(Cycle now)
         return true;
       case AccessOutcome::Miss:
         req.tArriveL2 = now;
+        req.tDramEnq = now;
         req.level = ServiceLevel::Dram;
         stats_.l2Access(id_, req.nonDet, true);
         dram_.push(req_handle, now);

@@ -100,6 +100,8 @@ struct MemRequest
     Cycle tAccepted = 0;      //!< accepted by L1 (hit, merge or miss-sent)
     Cycle tInjected = 0;      //!< entered the SM's icnt injection queue
     Cycle tArriveL2 = 0;      //!< popped by the L2 partition
+    Cycle tDramEnq = 0;       //!< read miss entered the DRAM queue (0 =
+                              //!< never went to DRAM or L2-MSHR-merged)
     Cycle tL2Done = 0;        //!< data ready at the partition
     Cycle tRespDepart = 0;    //!< response left the partition's queue
     Cycle tComplete = 0;      //!< data back at the SM / writeback ready

@@ -101,6 +101,10 @@ Sm::launchCta(uint32_t linear_id, uint32_t cx, uint32_t cy, uint32_t cz)
         warp.atBarrier = false;
         warp.inflightOps = 0;
         warp.initRegs(launch_->kernel->numRegs(), config_.warpSize);
+        // Producer tracking backs the crit data-hazard attribution; the
+        // issue path never touches it when the profiler is off.
+        if (crit)
+            warp.sbProducer.assign(launch_->kernel->numRegs(), 0);
 
         LaneMask mask = 0;
         for (unsigned lane = 0; lane < config_.warpSize; ++lane)
@@ -267,6 +271,8 @@ Sm::issueWarp(int slot, Cycle now)
         spStageFreeAt_ = now + 1;
         if (inst.writesDst()) {
             warp.setScoreboard(inst.dst);
+            if (crit)
+                warp.sbProducer[inst.dst] = static_cast<uint32_t>(pc);
             ++warp.inflightOps;
             scheduleWriteback(now + config_.spLatency, slot, inst.dst);
         }
@@ -277,6 +283,8 @@ Sm::issueWarp(int slot, Cycle now)
         sfuStageFreeAt_ = now + config_.sfuInitiationInterval;
         if (inst.writesDst()) {
             warp.setScoreboard(inst.dst);
+            if (crit)
+                warp.sbProducer[inst.dst] = static_cast<uint32_t>(pc);
             ++warp.inflightOps;
             scheduleWriteback(now + config_.sfuLatency, slot, inst.dst);
         }
@@ -325,6 +333,31 @@ Sm::issueWarp(int slot, Cycle now)
 void
 Sm::issueCycle(Cycle now)
 {
+    if (crit) {
+        // Attribution path: every slot of every cycle must be issued or
+        // charged, including cycles the short-circuit below skips. The
+        // simulation stays bit-identical because pickWarp mutates
+        // scheduler state only when it returns a warp, and it is invoked
+        // exactly when the baseline would invoke it (scan == issueDirty_;
+        // a skipped scan is by construction one that would find nothing).
+        ++crit->cycles;
+        const bool scan = issueDirty_;
+        bool issued = false;
+        for (unsigned sched = 0; sched < config_.numSchedulers; ++sched) {
+            const int slot = scan ? pickWarp(sched, now) : -1;
+            if (slot >= 0) {
+                issueWarp(slot, now);
+                issued = true;
+                ++crit->issued;
+            } else {
+                critCharge(sched, now);
+            }
+        }
+        if (scan)
+            issueDirty_ = issued;
+        return;
+    }
+
     // Event-driven short-circuit: when the last scan found nothing
     // issuable and no state that could wake a warp has changed since
     // (writeback, barrier release, LD/ST drain, CTA arrival, or another
@@ -340,6 +373,96 @@ Sm::issueCycle(Cycle now)
         }
     }
     issueDirty_ = issued;
+}
+
+void
+Sm::critCharge(unsigned scheduler, Cycle now)
+{
+    using crit::StallReason;
+    const unsigned nsched = config_.numSchedulers;
+    const unsigned total = static_cast<unsigned>(warps_.size());
+
+    // The blocking warp: the oldest active warp this scheduler owns (the
+    // one it is most overdue to issue). DESIGN.md "Stall taxonomy" spells
+    // out the attribution rules below.
+    int blocking = -1;
+    uint64_t best_age = ~uint64_t{0};
+    for (unsigned s = scheduler; s < total; s += nsched) {
+        if (warps_[s].active && warpAge_[s] < best_age) {
+            best_age = warpAge_[s];
+            blocking = static_cast<int>(s);
+        }
+    }
+    if (blocking < 0) {
+        // Nothing live on this scheduler: either the SM still has CTAs
+        // (their warps all sit on other schedulers or already retired)
+        // or it is fully drained.
+        crit->charge(residentCtas_ > 0 ? StallReason::IbufferEmpty
+                                       : StallReason::IdleNoCta);
+        return;
+    }
+
+    const WarpContext &warp = warps_[static_cast<size_t>(blocking)];
+    if (warpReady(warp, now)) {
+        // Ready but skipped: only reachable on short-circuited cycles,
+        // where a warp waiting on a pure time edge (a busy SP/SFU stage)
+        // ripens with no wake event. The model defers it to the next
+        // wake, so the lost slots are structural.
+        crit->charge(StallReason::Pipeline);
+        return;
+    }
+    if (warp.atBarrier) {
+        crit->charge(StallReason::Barrier);
+        return;
+    }
+
+    const size_t pc = warp.stack.pc();
+    const uint8_t cls = launch_->issueClass[pc];
+
+    // Scoreboard hazard — including Exit draining its in-flight
+    // writebacks: charge the producer of the first blocking register.
+    if (warp.inflightOps > 0) {
+        const bool exit_drain = cls == LaunchContext::IssueExit;
+        const uint64_t *mask =
+            exit_drain ? nullptr : &launch_->sbMask[pc * launch_->sbWords];
+        const unsigned words = exit_drain
+            ? static_cast<unsigned>(warp.scoreboard.size())
+            : launch_->sbWords;
+        for (unsigned w = 0; w < words; ++w) {
+            const uint64_t conflict =
+                warp.scoreboard[w] & (exit_drain ? ~uint64_t{0} : mask[w]);
+            if (!conflict)
+                continue;
+            const uint32_t reg = w * 64 +
+                static_cast<uint32_t>(std::countr_zero(conflict));
+            const uint32_t producer = warp.sbProducer[reg];
+            crit->chargePc(StallReason::DataHazard,
+                           crit::pcKey(kernelId_, producer),
+                           launch_->pcLoadClass[producer]);
+            return;
+        }
+    }
+
+    // No hazard, not at a barrier, not ready: a function unit refused.
+    if (cls == LaunchContext::IssueMemory && !ldstQ_.empty()) {
+        // LD/ST queue full. Blame the resource the head request last
+        // failed on (issue runs before LD/ST, so this is the previous
+        // cycle's outcome — the fail that kept the queue full into this
+        // one) and attribute the slot to the op occupying the stage.
+        StallReason reason = StallReason::Pipeline;
+        if (critLastL1Outcome_ ==
+            static_cast<uint8_t>(AccessOutcome::FailMshr))
+            reason = StallReason::MshrFull;
+        else if (critLastL1Outcome_ ==
+                 static_cast<uint8_t>(AccessOutcome::FailIcnt))
+            reason = StallReason::IcntBackpressure;
+        const WarpMemOp &head = pools_.ops.get(ldstQ_.front());
+        const auto head_pc = static_cast<uint32_t>(head.pc);
+        crit->chargePc(reason, crit::pcKey(kernelId_, head_pc),
+                       launch_->pcLoadClass[head_pc]);
+        return;
+    }
+    crit->charge(StallReason::Pipeline);
 }
 
 // ---------------------------------------------------------------------
@@ -429,6 +552,8 @@ Sm::startMemOp(int slot, size_t pc, const Instruction &inst,
 
     if (writes_reg) {
         warp.setScoreboard(inst.dst);
+        if (crit)
+            warp.sbProducer[inst.dst] = static_cast<uint32_t>(pc);
         ++warp.inflightOps;
     }
 
@@ -478,6 +603,30 @@ Sm::completeRequest(ReqHandle req_handle, Cycle now)
         op.gapIcntL2Sum += std::max(0.0, actual - nominal);
         ++op.missedReqs;
     }
+
+    // Per-stage latency decomposition (gcl::crit), folded before the free
+    // while the stamps are live. An L1-MSHR-merged secondary never left
+    // the SM (tInjected == 0): its whole trip is the primary's, recorded
+    // as one Merge delta. An L2-MSHR merge has no DRAM enqueue stamp, so
+    // its DRAM wait stays inside the L2 stage (see crit::Stage).
+    if (crit && req.isGlobalLoad) {
+        using crit::Stage;
+        const uint64_t key = crit::pcKey(kernelId_, req.pc);
+        crit->stage(key, Stage::Accept, req.tAccepted - op.tIssue);
+        if (req.level == ServiceLevel::L1) {
+            crit->stage(key, Stage::L1, req.tComplete - req.tAccepted);
+        } else if (req.tInjected == 0) {
+            crit->stage(key, Stage::Merge, req.tComplete - req.tAccepted);
+        } else {
+            crit->stage(key, Stage::IcntToL2,
+                        req.tArriveL2 - req.tInjected);
+            const Cycle l2_end = req.tDramEnq ? req.tDramEnq : req.tL2Done;
+            crit->stage(key, Stage::L2, l2_end - req.tArriveL2);
+            if (req.tDramEnq)
+                crit->stage(key, Stage::Dram, req.tL2Done - req.tDramEnq);
+            crit->stage(key, Stage::Resp, req.tComplete - req.tL2Done);
+        }
+    }
     pools_.reqs.free(req_handle);
 
     if (op.complete()) {
@@ -502,6 +651,10 @@ Sm::finishMemOp(OpHandle op_handle, Cycle now)
     op.tDone = now;
     if (op.isGlobalLoad) {
         stats_.gloadDone(op, kernelId_);
+        if (crit)
+            crit->opDone(crit::pcKey(kernelId_,
+                                     static_cast<uint32_t>(op.pc)),
+                         op.tDone - op.tIssue, op.nonDet ? 2 : 1);
         GCL_TRACE(traceSink, trace::EventKind::OpDone, now, op.id,
                   static_cast<uint64_t>(op.warpSlot),
                   static_cast<uint32_t>(op.pc), static_cast<int16_t>(id_),
@@ -572,10 +725,16 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
             trace_l1(AccessOutcome::Miss);
             icnt.inject(req_handle, now, traceSink);
             stats_.l1AccessCycle(AccessOutcome::Miss);
+            if (crit)
+                critLastL1Outcome_ =
+                    static_cast<uint8_t>(AccessOutcome::Miss);
             accepted = true;
         } else {
             trace_l1(AccessOutcome::FailIcnt);
             stats_.l1AccessCycle(AccessOutcome::FailIcnt);
+            if (crit)
+                critLastL1Outcome_ =
+                    static_cast<uint8_t>(AccessOutcome::FailIcnt);
         }
     } else {
         // Injected MSHR exhaustion reports FailMshr without touching the
@@ -586,6 +745,8 @@ Sm::ldstCycle(Cycle now, Interconnect &icnt)
                 : l1_.access(req_handle, icnt_ok);
         trace_l1(outcome);
         stats_.l1AccessCycle(outcome);
+        if (crit)
+            critLastL1Outcome_ = static_cast<uint8_t>(outcome);
         switch (outcome) {
           case AccessOutcome::Hit:
             req.tAccepted = now;
@@ -783,6 +944,8 @@ Sm::hangInfo() const
             info.stuckWarps += "@pc" + std::to_string(warp.stack.pc());
         ++listed;
     }
+    if (crit)
+        info.critSummary = crit->hangSummary();
     return info;
 }
 

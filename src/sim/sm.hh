@@ -25,6 +25,7 @@
 
 #include "cache.hh"
 #include "config.hh"
+#include "crit/crit.hh"
 #include "delay_queue.hh"
 #include "functional.hh"
 #include "guard/fault.hh"
@@ -68,8 +69,16 @@ class Sm
     /**
      * Tick the Fig 4 denominator for an idle cycle (the Gpu skips the
      * pipeline walk but the cycle still counts, in this SM's shard).
+     * With the crit profiler on, the cycle's issue slots are all lost to
+     * IdleNoCta so the accounting identity keeps holding on skipped SMs.
      */
-    void idleCycle() { ++stats_.hot.smCycles; }
+    void
+    idleCycle()
+    {
+        ++stats_.hot.smCycles;
+        if (crit)
+            crit->idleCycle(config_.numSchedulers);
+    }
 
     /** A memory response arrived from the interconnect. */
     void receiveResponse(ReqHandle req, Cycle now);
@@ -105,6 +114,8 @@ class Sm
     bool warpReady(const WarpContext &warp, Cycle now) const;
     int pickWarp(unsigned scheduler, Cycle now);
     void issueWarp(int slot, Cycle now);
+    /** Attribute @p scheduler's lost issue slot (crit profiler only). */
+    void critCharge(unsigned scheduler, Cycle now);
 
     // --- LD/ST unit ---
     void ldstCycle(Cycle now, Interconnect &icnt);
@@ -176,6 +187,14 @@ class Sm
     Cycle spStageFreeAt_ = 0;
     Cycle sfuStageFreeAt_ = 0;
 
+    /**
+     * Last L1 access outcome seen by the LD/ST head (crit profiler only;
+     * 0xff = none). Issue runs before LD/ST within a cycle, so at charge
+     * time this holds the PREVIOUS cycle's outcome — exactly the
+     * resource fail that kept the queue full into this cycle.
+     */
+    uint8_t critLastL1Outcome_ = 0xff;
+
   public:
     /** Partition mapping hook installed by the Gpu. */
     PartitionMap partitionMap = nullptr;
@@ -188,6 +207,13 @@ class Sm
 
     /** Fault oracle (gcl::guard), installed by the Gpu; null = no faults. */
     guard::FaultInjector *fault = nullptr;
+
+    /**
+     * This SM's crit shard (gcl::crit), installed by the Gpu; null when
+     * the profiler is off — every hook hides behind this check, the same
+     * near-zero-disabled-cost idiom as traceSink.
+     */
+    crit::SmCrit *crit = nullptr;
 };
 
 } // namespace gcl::sim

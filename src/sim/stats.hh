@@ -269,6 +269,12 @@ class SimStats
     /** Intern a kernel name; the id keys the per-pc aggregates. */
     uint32_t kernelId(const std::string &name);
 
+    /** Interned kernel names, indexed by kernelId (crit key rendering). */
+    const std::vector<std::string> &kernelNames() const
+    {
+        return kernelNames_;
+    }
+
     /** Fold all plain counters and maps into the StatsSet. Idempotent. */
     void finalize();
 

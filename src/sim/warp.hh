@@ -46,6 +46,14 @@ struct LaunchContext
     std::vector<bool> nonDetPc;
 
     /**
+     * Per-pc load class for crit attribution joins: 0 = not a global
+     * load, 1 = deterministic, 2 = non-deterministic (the classifier
+     * verdict behind nonDetPc, kept as a dense byte array so the stall
+     * charge path reads one byte).
+     */
+    std::vector<uint8_t> pcLoadClass;
+
+    /**
      * Per-pc scoreboard dependence masks, flattened [pc * sbWords + w]:
      * the union of every register the instruction at pc reads or writes
      * (sources, guard predicate, destination), in scoreboard bit layout.
@@ -111,6 +119,13 @@ struct WarpContext
 
     /** Scoreboard: bit r set = register r has a pending writeback. */
     std::vector<uint64_t> scoreboard;
+
+    /**
+     * pc of the instruction that set each scoreboard bit, so a data
+     * hazard can be charged to its producer (crit profiler only; empty
+     * when crit is off — the issue path never reads it then).
+     */
+    std::vector<uint32_t> sbProducer;
 
     uint64_t &
     reg(ptx::RegId r, unsigned lane, unsigned warp_size)

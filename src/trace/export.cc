@@ -85,17 +85,35 @@ importStatsJson(const std::string &text, StatsSet &stats, std::string *error)
     return true;
 }
 
+std::string
+csvField(const std::string &field)
+{
+    if (field.find_first_of(",\"\r\n") == std::string::npos)
+        return field;
+    std::string quoted;
+    quoted.reserve(field.size() + 2);
+    quoted += '"';
+    for (char c : field) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
 void
 exportStatsCsv(const StatsSet &stats, std::ostream &out)
 {
-    // Keys are machine identifiers (no commas/quotes); values format as
-    // round-trippable numbers.
+    // Values format as round-trippable numbers; keys pass through
+    // csvField() so punctuation in stat names can never break a row.
     out << "kind,key,bucket,value\n";
     for (const auto &[key, value] : stats.scalars())
-        out << "scalar," << key << ",," << jsonNumber(value) << "\n";
+        out << "scalar," << csvField(key) << ",," << jsonNumber(value)
+            << "\n";
     for (const auto &[key, hist] : stats.hists())
         for (const auto &[bucket, weight] : hist.buckets())
-            out << "hist," << key << "," << bucket << ","
+            out << "hist," << csvField(key) << "," << bucket << ","
                 << jsonNumber(weight) << "\n";
 }
 

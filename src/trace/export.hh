@@ -41,6 +41,15 @@ bool importStatsJson(const std::string &text, StatsSet &stats,
 /** Serialize @p stats as a flat CSV table (schema above). */
 void exportStatsCsv(const StatsSet &stats, std::ostream &out);
 
+/**
+ * RFC 4180 field quoting: returns @p field unchanged when it contains no
+ * comma, quote, CR, or LF; otherwise wraps it in double quotes with inner
+ * quotes doubled. Every CSV writer in the tree funnels fields through this
+ * so keys with punctuation (e.g. crit.pc.<kernel>#<pc>) and free-form text
+ * (failure messages, app names) can never break a row.
+ */
+std::string csvField(const std::string &field);
+
 /** Result of validating a Chrome trace-event JSON file. */
 struct TraceValidation
 {

@@ -122,6 +122,55 @@ checkTrace(const std::string &path)
     return 0;
 }
 
+/**
+ * Re-verify the crit profiler's accounting identity from the exported
+ * scalars alone: per SM and device-wide, issued + sum(stall reasons) must
+ * equal cycles * issue_width exactly. A violation means a cycle was
+ * double-charged or dropped somewhere between Sm::issueCycle and export.
+ */
+int
+checkCrit(const std::string &path, const std::string &name,
+          const gcl::StatsSet &set)
+{
+    static const char *const kReasons[] = {
+        "data_hazard", "barrier",           "ibuffer_empty", "pipeline",
+        "mshr_full",   "icnt_backpressure", "idle",
+    };
+    const double width = set.get("crit.issue_width");
+    if (width <= 0)
+        return fail(path + ": app '" + name +
+                    "' crit section without a positive issue_width");
+
+    auto identity = [&](const std::string &prefix) {
+        double charged = set.get(prefix + "issued");
+        for (const char *reason : kReasons)
+            charged += set.get(prefix + "stall." + reason);
+        return charged == set.get(prefix + "cycles") * width;
+    };
+
+    unsigned sms = 0;
+    for (;; ++sms) {
+        const std::string prefix = "crit.sm" + std::to_string(sms) + '.';
+        if (!set.has(prefix + "cycles"))
+            break;
+        if (!identity(prefix))
+            return fail(path + ": app '" + name + "' sm" +
+                        std::to_string(sms) +
+                        ": issued + stalls != cycles * issue_width");
+    }
+    if (sms != static_cast<unsigned>(set.get("crit.sms")))
+        return fail(path + ": app '" + name + "': crit.sms says " +
+                    std::to_string(
+                        static_cast<unsigned>(set.get("crit.sms"))) +
+                    " SMs but " +
+                    std::to_string(sms) + " crit.sm<i> sections exported");
+    if (!identity("crit."))
+        return fail(path + ": app '" + name +
+                    "': device-wide issued + stalls != cycles * "
+                    "issue_width");
+    return 0;
+}
+
 int
 checkStats(const std::string &path)
 {
@@ -184,6 +233,9 @@ checkStats(const std::string &path)
         if (!set.has("cycles") || set.get("cycles") <= 0)
             return fail(path + ": app '" + name +
                         "' has no positive \"cycles\" scalar");
+        if (set.has("crit.issue_width"))
+            if (int rc = checkCrit(path, name, set))
+                return rc;
     }
 
     std::printf("trace_check: %s ok (%zu apps)\n", path.c_str(),
