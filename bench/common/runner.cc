@@ -17,6 +17,7 @@
 #include "exec/scheduler.hh"
 #include "guard/fault.hh"
 #include "sim/gpu.hh"
+#include "sim/machine.hh"
 #include "trace/chrome_writer.hh"
 #include "trace/export.hh"
 #include "trace/json.hh"
@@ -43,8 +44,11 @@ constexpr unsigned kDatasetVersion = 5;
  *       committed at end of cycle, at every sim_threads count) shifted
  *       functional timing, so v2 stats are stale even though the config
  *       fingerprint did not change.
+ *   v4: the machine-description frontend changed what the fingerprint
+ *       covers (machine name, per-opcode-class timing, DRAM row model),
+ *       so v3 keys can alias configs the old hash never distinguished.
  */
-constexpr unsigned kCacheSchemaVersion = 3;
+constexpr unsigned kCacheSchemaVersion = 4;
 
 std::filesystem::path
 cacheDir()
@@ -58,6 +62,9 @@ Options g_options;
 
 /** Parsed --fault-plan / GCL_FAULT_PLAN (validated in initBench). */
 guard::FaultPlan g_faultPlan;
+
+/** The machine resolved by initBench (compiled defaults when unset). */
+sim::GpuConfig g_machineConfig;
 
 /** Failed runs seen by this process, for finishBench()'s summary. */
 std::vector<std::pair<std::string, SimFailure>> g_failures;
@@ -77,6 +84,7 @@ struct ExportState
     {
         std::string name;
         std::string category;
+        std::string machine;
         bool verified = false;
         uint64_t fingerprint = 0;
         StatsSet stats;
@@ -119,7 +127,8 @@ writeStatsJson(const std::string &path)
         std::snprintf(fp, sizeof(fp), "%016" PRIx64, rec.fingerprint);
         out << (first ? "\n" : ",\n") << "{\"name\": "
             << trace::jsonQuote(rec.name) << ", \"category\": "
-            << trace::jsonQuote(rec.category) << ", \"verified\": "
+            << trace::jsonQuote(rec.category) << ", \"machine\": "
+            << trace::jsonQuote(rec.machine) << ", \"verified\": "
             << (rec.verified ? "true" : "false")
             << ", \"fingerprint\": \"" << fp << "\"";
         if (rec.failure.failed) {
@@ -322,8 +331,9 @@ recordResult(const AppResult &result, const sim::GpuConfig &config)
          g_options.critOut.empty()))
         return;
     g_export->records.push_back({result.name, result.category,
-                                 result.verified, config.fingerprint(),
-                                 result.stats, result.failure});
+                                 config.machineName, result.verified,
+                                 config.fingerprint(), result.stats,
+                                 result.failure});
 }
 
 /** Simulate one app in @p ctx and package the result (no cache access). */
@@ -452,6 +462,8 @@ initBench(int argc, char **argv)
             if (end == v || *end != '\0' || n == 0)
                 gcl_fatal("--max-cycles=", v, " is not a cycle count");
             g_options.maxCycles = n;
+        } else if (const char *v = value(arg, "--machine")) {
+            g_options.machine = v;
         } else if (const char *v = value(arg, "--sim-config")) {
             g_options.simConfig = v;
         } else if (const char *v = value(arg, "--fault-plan")) {
@@ -495,6 +507,13 @@ initBench(int argc, char **argv)
                 "                           sweep jobs, min 1; default "
                 "GCL_SIM_THREADS,\n"
                 "                           else 1)\n"
+                "  --machine=NAME|PATH      machine description: a "
+                "configs/ zoo name\n"
+                "                           (e.g. c2050, hbm-sectored) or "
+                "a .config file\n"
+                "                           path (= GCL_MACHINE; default: "
+                "compiled-in\n"
+                "                           C2050)\n"
                 "  --max-cycles=N           per-run cycle budget; an "
                 "exceeding run is\n"
                 "                           reported as a 'timeout' "
@@ -547,6 +566,9 @@ initBench(int argc, char **argv)
             g_options.simThreads = static_cast<int>(n);
         }
     }
+    if (g_options.machine.empty())
+        if (const char *env = std::getenv("GCL_MACHINE"))
+            g_options.machine = env;
     if (g_options.simConfig.empty())
         if (const char *env = std::getenv("GCL_SIM_CONFIG"))
             g_options.simConfig = env;
@@ -567,6 +589,24 @@ initBench(int argc, char **argv)
                      "cover the ", hw, " hardware thread(s); clamping to ",
                      "1 tick thread per simulation");
             g_options.simThreads = 1;
+        }
+    }
+
+    // Resolve the machine description once, eagerly: a typo'd name or
+    // unparseable file is a usage error at startup. The source *path*
+    // goes to stderr only — stdout artifacts carry the machine *name*, so
+    // `--machine=configs/c2050.config` stays byte-identical to the
+    // compiled-in defaults.
+    if (!g_options.machine.empty()) {
+        try {
+            const std::string path =
+                sim::MachineRegistry::resolvePath(g_options.machine);
+            g_machineConfig = sim::loadMachineFile(path);
+            std::fprintf(stderr, "[bench] machine: %s (%s)\n",
+                         g_machineConfig.machineName.c_str(),
+                         path.c_str());
+        } catch (const SimError &error) {
+            gcl_fatal("--machine: ", error.message());
         }
     }
 
@@ -611,7 +651,7 @@ initBench(int argc, char **argv)
 sim::GpuConfig
 defaultConfig()
 {
-    return sim::GpuConfig{};
+    return g_machineConfig;
 }
 
 AppResult
@@ -636,7 +676,8 @@ runApp(const std::string &name, const sim::GpuConfig &config)
     workloads::SimContext ctx(workload, run_config);
     if (tracing()) {
         const int pid = g_export->nextPid++;
-        g_export->writer->beginProcess(pid, name);
+        g_export->writer->beginProcess(pid, name,
+                                       run_config.machineName);
         ctx.enableTrace(g_options.timelineInterval,
                         g_export->writer->drain(), traceIdBase(pid));
     }
@@ -724,7 +765,8 @@ runSuite(const sim::GpuConfig &config)
             job.fragmentBody = std::make_unique<std::ostringstream>();
             job.fragment = std::make_unique<trace::ChromeTraceWriter>(
                 *job.fragmentBody, /*fragment=*/true);
-            job.fragment->beginProcess(pid, selected[i]->name);
+            job.fragment->beginProcess(pid, selected[i]->name,
+                                       configs[i].machineName);
             job.ctx->enableTrace(g_options.timelineInterval,
                                  job.fragment->drain(), traceIdBase(pid));
         }
@@ -759,7 +801,8 @@ void
 printHeader(const std::string &title, const sim::GpuConfig &config)
 {
     std::printf("== %s ==\n", title.c_str());
-    std::printf("config fingerprint %016llx, cache %s\n",
+    std::printf("machine %s, config fingerprint %016llx, cache %s\n",
+                config.machineName.c_str(),
                 static_cast<unsigned long long>(config.fingerprint()),
                 cacheDisabled() ? "disabled" : cacheDir().string().c_str());
     if (!g_options.simConfig.empty())

@@ -12,6 +12,9 @@
  *
  * Observability (gcl::trace) is wired in behind flags, parsed by
  * initBench():
+ *   --machine=NAME|PATH       load the machine description (configs/ zoo
+ *                             name or a .config file path; default
+ *                             GCL_MACHINE, else the compiled-in C2050)
  *   --trace-out=FILE          stream a Chrome trace-event JSON (Perfetto)
  *   --timeline-interval=N     sample occupancy counters every N cycles
  *   --stats-json=FILE         dump every app's finalized stats as JSON
@@ -83,6 +86,7 @@ struct Options
     unsigned jobs = 0;             //!< --jobs value (0 = unset/env/serial)
     int simThreads = -1;           //!< --sim-threads (-1 = unset/env/serial)
     uint64_t maxCycles = 0;        //!< per-run cycle budget (0 = default)
+    std::string machine;           //!< --machine spec (name or path)
     std::string simConfig;         //!< key=value config overrides
     std::string faultPlan;         //!< guard::FaultPlan spec
     bool crit = false;             //!< enable the criticality profiler
@@ -122,7 +126,11 @@ unsigned effectiveJobs();
  */
 unsigned effectiveSimThreads();
 
-/** Default Table II configuration. */
+/**
+ * The base configuration every bench starts from: the machine resolved by
+ * --machine / GCL_MACHINE, or the compiled-in C2050 defaults when neither
+ * is set. --sim-config overrides layer on top per run (appConfig).
+ */
 sim::GpuConfig defaultConfig();
 
 /** Print the standard bench header (config fingerprint + cache status). */

@@ -1,7 +1,10 @@
 /**
  * @file
  * Table II reproduction: the simulated device configuration (GPGPU-Sim
- * v3.2.2, Tesla C2050-class defaults).
+ * v3.2.2, Tesla C2050-class defaults). Renders whatever machine
+ * description --machine / GCL_MACHINE resolved — the compiled-in C2050
+ * when unset — so it doubles as a quick "what am I simulating" check for
+ * the configs/ zoo.
  */
 
 #include <cstdio>

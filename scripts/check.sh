@@ -124,6 +124,39 @@ GCL_BENCH_CACHE="$tmp/cache-nogate" "$BUILD_DIR/bench/fig1_load_classes" \
 diff -r "$tmp/cache-j1" "$tmp/cache-nogate" \
     || { echo "check: idle gating changed simulation results" >&2; exit 1; }
 
+# Machine-description zoo (configs/): every committed machine must parse
+# and resolve by name; c2050 must be byte-identical to the compiled-in
+# defaults (field-for-field, in the rendered Table II, and in the cache
+# entries real runs leave behind); every other machine must run a small
+# app to completion with the conservation checks green.
+for m in configs/*.config; do
+    "$BUILD_DIR/tools/machine_dump" "$m" > /dev/null \
+        || { echo "check: $m does not parse" >&2; exit 1; }
+done
+"$BUILD_DIR/tools/machine_dump" --diff c2050 "" > /dev/null \
+    || { echo "check: configs/c2050.config differs from compiled defaults" >&2
+         exit 1; }
+"$BUILD_DIR/bench/table2_config" --fresh > "$tmp/table2-default.txt"
+"$BUILD_DIR/bench/table2_config" --fresh --machine=c2050 \
+    > "$tmp/table2-c2050.txt" 2> /dev/null
+cmp "$tmp/table2-default.txt" "$tmp/table2-c2050.txt" \
+    || { echo "check: --machine=c2050 changes the Table II output" >&2
+         exit 1; }
+diff tests/goldens/table2_c2050.txt "$tmp/table2-c2050.txt" \
+    || { echo "check: Table II diverged from the committed golden" >&2
+         exit 1; }
+GCL_BENCH_CACHE="$tmp/cache-c2050" "$BUILD_DIR/bench/fig1_load_classes" \
+    --apps=$SMALL_APPS --fresh --machine=configs/c2050.config \
+    > /dev/null 2> /dev/null
+diff -r "$tmp/cache-j1" "$tmp/cache-c2050" \
+    || { echo "check: --machine=c2050 diverged from compiled defaults" >&2
+         exit 1; }
+for m in hbm-sectored modern-core tiny; do
+    GCL_BENCH_CACHE="$tmp/cache-zoo-$m" "$BUILD_DIR/bench/fig1_load_classes" \
+        --apps=gaus --fresh --machine="$m" > /dev/null 2> /dev/null \
+        || { echo "check: machine '$m' failed to run gaus" >&2; exit 1; }
+done
+
 # Fault injection (gcl::guard): a seeded plan aimed at one app of a
 # parallel sweep must (a) fail that run with exit code 3 and a structured
 # failure record in the stats JSON, (b) cache nothing for the faulted run,

@@ -7,11 +7,53 @@
 
 #include "guard/fault.hh"
 #include "guard/sim_error.hh"
+#include "ptx/instruction.hh"
 #include "util/bitutil.hh"
 #include "util/logging.hh"
 
 namespace gcl::sim
 {
+
+const char *
+toString(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "int_alu";
+      case OpClass::IntMul: return "int_mul";
+      case OpClass::IntDiv: return "int_div";
+      case OpClass::FpAlu: return "fp_alu";
+      case OpClass::FpMul: return "fp_mul";
+      case OpClass::FpDiv: return "fp_div";
+      case OpClass::Sfu: return "sfu";
+      case OpClass::NumClasses: break;
+    }
+    return "?";
+}
+
+OpClass
+opClassFor(ptx::Opcode op, ptx::DataType type)
+{
+    const bool fp = ptx::isFloat(type);
+    switch (op) {
+      case ptx::Opcode::Rcp:
+      case ptx::Opcode::Sqrt:
+      case ptx::Opcode::Rsqrt:
+      case ptx::Opcode::Sin:
+      case ptx::Opcode::Cos:
+      case ptx::Opcode::Ex2:
+      case ptx::Opcode::Lg2:
+        return OpClass::Sfu;
+      case ptx::Opcode::Mul:
+      case ptx::Opcode::MulHi:
+      case ptx::Opcode::Mad:
+        return fp ? OpClass::FpMul : OpClass::IntMul;
+      case ptx::Opcode::Div:
+      case ptx::Opcode::Rem:
+        return fp ? OpClass::FpDiv : OpClass::IntDiv;
+      default:
+        return fp ? OpClass::FpAlu : OpClass::IntAlu;
+    }
+}
 
 unsigned
 GpuConfig::ctasPerSm(unsigned threads_per_cta,
@@ -44,7 +86,7 @@ namespace
 /** One overridable config field: name + value applier. */
 struct OverrideKey
 {
-    const char *name;
+    std::string name;
     std::function<void(GpuConfig &, const std::string &)> apply;
 };
 
@@ -90,10 +132,86 @@ cacheKey(const char *name, CacheConfig GpuConfig::*cache,
             }};
 }
 
-const std::vector<OverrideKey> &
-overrideKeys()
+/** Split @p value on ':' into exactly @p min..@p max numeric fields. */
+std::vector<uint64_t>
+parseColonFields(const std::string &key, const std::string &value,
+                 size_t min, size_t max, const char *expected)
 {
-    static const std::vector<OverrideKey> keys = {
+    std::vector<uint64_t> out;
+    std::istringstream items(value);
+    std::string item;
+    while (std::getline(items, item, ':')) {
+        if (out.size() == max)
+            badValue(key, value, expected);
+        if (item.empty())
+            badValue(key, value, expected);
+        for (char c : item)
+            if (c < '0' || c > '9')
+                badValue(key, value, expected);
+        out.push_back(parseUnsigned(key, item));
+    }
+    if (out.size() < min)
+        badValue(key, value, expected);
+    return out;
+}
+
+/**
+ * Cache geometry string, gpgpusim.config style:
+ * `<nsets>:<bsize>:<assoc>[:<mshr>[:<merge>]]`. Omitted MSHR fields keep
+ * the target cache's current values, so a machine file can give just the
+ * geometry and inherit the default miss-handling capacity.
+ */
+OverrideKey
+geometryKey(const char *name, CacheConfig GpuConfig::*cache)
+{
+    return {name, [name, cache](GpuConfig &config, const std::string &v) {
+                const auto f = parseColonFields(
+                    name, v, 3, 5,
+                    "a <nsets>:<bsize>:<assoc>[:<mshr>[:<merge>]] "
+                    "geometry");
+                CacheConfig &c = config.*cache;
+                const uint64_t nsets = f[0], bsize = f[1], assoc = f[2];
+                if (nsets == 0 || bsize == 0 || assoc == 0)
+                    badValue(name, v, "a geometry with non-zero fields");
+                c.sizeBytes = static_cast<uint32_t>(nsets * bsize * assoc);
+                c.lineBytes = static_cast<uint32_t>(bsize);
+                c.assoc = static_cast<uint32_t>(assoc);
+                if (f.size() > 3)
+                    c.mshrEntries = static_cast<uint32_t>(f[3]);
+                if (f.size() > 4)
+                    c.mshrMaxMerge = static_cast<uint32_t>(f[4]);
+            }};
+}
+
+/** Per-opcode-class timing: `<latency>:<initiation>`. */
+OverrideKey
+opTimingKey(OpClass cls)
+{
+    return {std::string("op_") + toString(cls),
+            [cls](GpuConfig &config, const std::string &v) {
+                const std::string key =
+                    std::string("op_") + toString(cls);
+                const auto f = parseColonFields(
+                    key, v, 2, 2, "a <latency>:<initiation> pair");
+                if (f[0] == 0 || f[1] == 0)
+                    badValue(key, v, "a pair of non-zero cycle counts");
+                auto &t = config.opTiming[static_cast<size_t>(cls)];
+                t.latency = static_cast<unsigned>(f[0]);
+                t.initiation = static_cast<unsigned>(f[1]);
+            }};
+}
+
+std::vector<OverrideKey>
+buildOverrideKeys()
+{
+    std::vector<OverrideKey> keys = {
+        // Machine identity
+        {"machine_name",
+         [](GpuConfig &config, const std::string &v) {
+             if (v.empty())
+                 badValue("machine_name", v, "a non-empty name");
+             config.machineName = v;
+         }},
         // Core organization
         numericKey("num_sms", &GpuConfig::numSms),
         numericKey("warp_size", &GpuConfig::warpSize),
@@ -110,15 +228,34 @@ overrideKeys()
              else
                  badValue("warp_sched", v, "one of lrr, gto");
          }},
-        // Latencies
-        numericKey("sp_latency", &GpuConfig::spLatency),
-        numericKey("sfu_latency", &GpuConfig::sfuLatency),
-        numericKey("sfu_initiation_interval",
-                   &GpuConfig::sfuInitiationInterval),
+        // Latencies. sp_latency / sfu_latency / sfu_initiation_interval
+        // are group aliases over the opcode-class table, kept so existing
+        // overrides (and terse machine files) keep working: sp_latency
+        // writes every non-SFU class, the sfu_* pair writes the SFU row.
+        {"sp_latency",
+         [](GpuConfig &config, const std::string &v) {
+             const auto lat =
+                 static_cast<unsigned>(parseUnsigned("sp_latency", v));
+             for (unsigned c = 0; c < kNumOpClasses; ++c)
+                 if (static_cast<OpClass>(c) != OpClass::Sfu)
+                     config.opTiming[c].latency = lat;
+         }},
+        {"sfu_latency",
+         [](GpuConfig &config, const std::string &v) {
+             config.opTiming[static_cast<size_t>(OpClass::Sfu)].latency =
+                 static_cast<unsigned>(parseUnsigned("sfu_latency", v));
+         }},
+        {"sfu_initiation_interval",
+         [](GpuConfig &config, const std::string &v) {
+             config.opTiming[static_cast<size_t>(OpClass::Sfu)].initiation =
+                 static_cast<unsigned>(
+                     parseUnsigned("sfu_initiation_interval", v));
+         }},
         numericKey("shared_mem_latency", &GpuConfig::sharedMemLatency),
         numericKey("l1_hit_latency", &GpuConfig::l1HitLatency),
         numericKey("ldst_queue_depth", &GpuConfig::ldstQueueDepth),
         // L1
+        geometryKey("l1_cache", &GpuConfig::l1),
         cacheKey("l1_size", &GpuConfig::l1, &CacheConfig::sizeBytes),
         cacheKey("l1_line", &GpuConfig::l1, &CacheConfig::lineBytes),
         cacheKey("l1_assoc", &GpuConfig::l1, &CacheConfig::assoc),
@@ -127,6 +264,7 @@ overrideKeys()
                  &CacheConfig::mshrMaxMerge),
         // Partitions / L2
         numericKey("num_partitions", &GpuConfig::numPartitions),
+        geometryKey("l2_cache", &GpuConfig::l2),
         cacheKey("l2_size", &GpuConfig::l2, &CacheConfig::sizeBytes),
         cacheKey("l2_line", &GpuConfig::l2, &CacheConfig::lineBytes),
         cacheKey("l2_assoc", &GpuConfig::l2, &CacheConfig::assoc),
@@ -143,6 +281,9 @@ overrideKeys()
         numericKey("dram_latency", &GpuConfig::dramLatency),
         numericKey("dram_burst", &GpuConfig::dramBurstCycles),
         numericKey("dram_queue", &GpuConfig::dramQueueDepth),
+        numericKey("dram_banks", &GpuConfig::dramBanks),
+        numericKey("dram_row_bytes", &GpuConfig::dramRowBytes),
+        numericKey("dram_act_latency", &GpuConfig::dramActLatency),
         // Ablations
         {"cta_sched",
          [](GpuConfig &config, const std::string &v) {
@@ -188,6 +329,17 @@ overrideKeys()
              config.faultPlan = v;
          }},
     };
+    // One `op_<class> <latency>:<initiation>` key per opcode class, the
+    // machine-file form of GPGPU-Sim's ptx_opcode_latency_* tables.
+    for (unsigned c = 0; c < kNumOpClasses; ++c)
+        keys.push_back(opTimingKey(static_cast<OpClass>(c)));
+    return keys;
+}
+
+const std::vector<OverrideKey> &
+overrideKeys()
+{
+    static const std::vector<OverrideKey> keys = buildOverrideKeys();
     return keys;
 }
 
@@ -243,12 +395,20 @@ std::string
 GpuConfig::describe() const
 {
     std::ostringstream oss;
+    oss << "Machine    " << machineName << "\n";
     oss << "Core       " << numSms << " SMs, " << warpSize
         << " SIMT width, " << maxThreadsPerSm << " threads/SM, "
         << maxCtasPerSm << " CTAs/SM, " << numSchedulers
         << " schedulers ("
         << (warpSched == WarpSchedPolicy::LooseRoundRobin ? "LRR" : "GTO")
         << ")\n";
+    oss << "Exec       ";
+    for (unsigned c = 0; c < kNumOpClasses; ++c) {
+        const auto &t = opTiming[c];
+        oss << (c ? ", " : "") << toString(static_cast<OpClass>(c)) << " "
+            << t.latency << "/" << t.initiation;
+    }
+    oss << " (latency/initiation)\n";
     oss << "SharedMem  " << sharedMemPerSm / 1024 << "KB/SM, latency "
         << sharedMemLatency << "\n";
     oss << "L1D cache  " << l1.sizeBytes / 1024 << "KB, " << l1.lineBytes
@@ -264,7 +424,11 @@ GpuConfig::describe() const
         << icntRespQueueDepth << ", partition credit "
         << partQueueDepth << "\n";
     oss << "DRAM       latency " << dramLatency << ", burst "
-        << dramBurstCycles << " cycles, queue " << dramQueueDepth << "\n";
+        << dramBurstCycles << " cycles, queue " << dramQueueDepth;
+    if (dramRowBytes)
+        oss << ", " << dramBanks << " banks x " << dramRowBytes
+            << "B rows, activate +" << dramActLatency;
+    oss << "\n";
     oss << "CTA sched  "
         << (ctaSched == CtaSchedPolicy::RoundRobin ? "round-robin"
                                                    : "clustered")
@@ -308,10 +472,18 @@ GpuConfig::fingerprint() const
         h ^= v;
         h *= 0x100000001b3ull;
     };
+    // Machine identity: two field-identical machines with different names
+    // are different experiments (the name lands in every artifact), so
+    // they must not share cache entries either.
+    for (char c : machineName)
+        mix(static_cast<uint64_t>(static_cast<unsigned char>(c)));
     mix(numSms); mix(warpSize); mix(maxThreadsPerSm); mix(maxCtasPerSm);
     mix(sharedMemPerSm); mix(numSchedulers);
     mix(static_cast<uint64_t>(warpSched));
-    mix(spLatency); mix(sfuLatency); mix(sfuInitiationInterval);
+    for (const FuTiming &t : opTiming) {
+        mix(t.latency);
+        mix(t.initiation);
+    }
     mix(sharedMemLatency); mix(l1HitLatency); mix(ldstQueueDepth);
     mix(l1.sizeBytes); mix(l1.lineBytes); mix(l1.assoc);
     mix(l1.mshrEntries); mix(l1.mshrMaxMerge);
@@ -321,6 +493,7 @@ GpuConfig::fingerprint() const
     mix(ropLatency); mix(icntLatency); mix(icntInjectQueueDepth);
     mix(icntRespQueueDepth); mix(partQueueDepth);
     mix(dramLatency); mix(dramBurstCycles); mix(dramQueueDepth);
+    mix(dramBanks); mix(dramRowBytes); mix(dramActLatency);
     mix(static_cast<uint64_t>(ctaSched)); mix(ctaClusterSize);
     mix(smsPerL2Cluster); mix(nondetSplitRequests);
     // The crit profiler never changes timing, but it does add the crit.*

@@ -1,7 +1,11 @@
 /**
  * @file
  * Simulator configuration, defaulted to the paper's Table II (GPGPU-Sim
- * v3.2.2, NVIDIA Tesla C2050-class device).
+ * v3.2.2, NVIDIA Tesla C2050-class device). The defaults are one point in
+ * the machine zoo: any field here can instead come from a
+ * gpgpusim.config-style machine file resolved by sim::MachineRegistry
+ * (--machine / GCL_MACHINE; see machine.hh), with --sim-config overrides
+ * layered on top.
  *
  * The config also carries the knobs for the Section X ablations: CTA
  * scheduling policy (X.B), semi-global L2 clustering (X.C) and
@@ -11,14 +15,65 @@
 #ifndef GCL_SIM_CONFIG_HH
 #define GCL_SIM_CONFIG_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
+
+namespace gcl::ptx
+{
+// Opaque enum declarations so the opcode-class mapping can be declared
+// here without dragging the whole IR into every simulator header.
+enum class Opcode : uint8_t;
+enum class DataType : uint8_t;
+} // namespace gcl::ptx
 
 namespace gcl::sim
 {
 
 /** Cycle count type for the single simulated clock domain. */
 using Cycle = uint64_t;
+
+/**
+ * Functional-unit opcode classes (the rows of the machine description's
+ * latency/initiation table, following GPGPU-Sim's
+ * ptx_opcode_latency_{int,fp,dp} split). Every non-memory instruction maps
+ * to exactly one class via opClassFor(); the machine file assigns each
+ * class a writeback latency and an issue-stage initiation interval, which
+ * is how per-machine calibration (arXiv 1905.08778) enters the model.
+ */
+enum class OpClass : uint8_t
+{
+    IntAlu,   //!< add/sub/logic/shift/setp/selp/cvt/mov on integer types
+    IntMul,   //!< integer mul/mulhi/mad
+    IntDiv,   //!< integer div/rem
+    FpAlu,    //!< floating add/sub/min/max/...
+    FpMul,    //!< floating mul/mad
+    FpDiv,    //!< floating div
+    Sfu,      //!< rcp/sqrt/rsqrt/sin/cos/ex2/lg2 (the SFU pipeline)
+    NumClasses,
+};
+
+constexpr unsigned kNumOpClasses =
+    static_cast<unsigned>(OpClass::NumClasses);
+
+/** Machine-file key suffix for a class ("int_alu", "fp_div", "sfu", ...). */
+const char *toString(OpClass cls);
+
+/** The functional-unit class executing @p op on @p type. */
+OpClass opClassFor(ptx::Opcode op, ptx::DataType type);
+
+/** One opcode class's execution timing. */
+struct FuTiming
+{
+    unsigned latency;      //!< issue-to-writeback cycles
+    unsigned initiation;   //!< cycles the first pipeline stage stays busy
+
+    bool
+    operator==(const FuTiming &other) const
+    {
+        return latency == other.latency && initiation == other.initiation;
+    }
+};
 
 /** Parameters of one cache level. */
 struct CacheConfig
@@ -49,6 +104,16 @@ enum class WarpSchedPolicy : uint8_t
 /** Full device configuration. */
 struct GpuConfig
 {
+    /**
+     * Machine identity: which description produced this config. The
+     * compiled defaults ARE the c2050 machine (configs/c2050.config is
+     * byte-equivalent), so a default-constructed config and one loaded
+     * from that file share a name, a fingerprint, and therefore cache
+     * entries. Mixed into fingerprint() and recorded in every stats/trace
+     * artifact so a run always says which machine produced it.
+     */
+    std::string machineName = "c2050";
+
     // --- Core organization (Table II) ---
     unsigned numSms = 15;
     unsigned warpSize = 32;
@@ -59,9 +124,23 @@ struct GpuConfig
     WarpSchedPolicy warpSched = WarpSchedPolicy::LooseRoundRobin;
 
     // --- Execution latencies ---
-    unsigned spLatency = 6;
-    unsigned sfuLatency = 16;
-    unsigned sfuInitiationInterval = 4;
+    /**
+     * Per-opcode-class {latency, initiation} table (indexed by OpClass).
+     * Replaces the former flat spLatency/sfuLatency pair: the C2050
+     * defaults keep every SP-pipeline class at {6, 1} and the SFU class
+     * at {16, 4} — numerically identical to the old fields — while a
+     * machine file can differentiate int/fp/mul/div the way GPGPU-Sim's
+     * ptx_opcode_latency_* options do.
+     */
+    std::array<FuTiming, kNumOpClasses> opTiming = {{
+        {6, 1},   // IntAlu
+        {6, 1},   // IntMul
+        {6, 1},   // IntDiv
+        {6, 1},   // FpAlu
+        {6, 1},   // FpMul
+        {6, 1},   // FpDiv
+        {16, 4},  // Sfu
+    }};
     unsigned sharedMemLatency = 24;
     unsigned l1HitLatency = 18;
     unsigned ldstQueueDepth = 8;  //!< warp memory ops queued per SM
@@ -69,7 +148,8 @@ struct GpuConfig
     // --- L1 data cache (per SM; Table II: 16KB, 128B line, 4-way, 64 MSHR)
     CacheConfig l1 = {16 * 1024, 128, 4, 64, 8};
 
-    // --- Memory partitions: unified L2 of 768KB over 6 partitions ---
+    // --- Memory partitions: Table II's unified L2 is numPartitions
+    // slices of l2.sizeBytes each (6 x 128KB = 768KB on the C2050) ---
     unsigned numPartitions = 6;
     CacheConfig l2 = {128 * 1024, 128, 8, 32, 8};
     unsigned ropLatency = 120;    //!< raster-op/L2 pipeline latency (Table II)
@@ -89,6 +169,18 @@ struct GpuConfig
     unsigned dramLatency = 100;
     unsigned dramBurstCycles = 4;     //!< channel occupancy per 128B burst
     unsigned dramQueueDepth = 16;
+    /**
+     * Explicit DRAM timing: an optional open-row model per channel.
+     * dramRowBytes = 0 (the C2050 default) disables it — every access
+     * costs the flat dramLatency, exactly the pre-refactor arithmetic.
+     * When non-zero, each channel keeps dramBanks open-row registers; an
+     * access whose row differs from its bank's open row pays
+     * dramActLatency extra (precharge + activate), which is how the
+     * HBM-class machine (arXiv 1810.07269) expresses row locality.
+     */
+    unsigned dramBanks = 1;
+    unsigned dramRowBytes = 0;
+    unsigned dramActLatency = 0;
 
     // --- Section X ablation knobs ---
     CtaSchedPolicy ctaSched = CtaSchedPolicy::RoundRobin;

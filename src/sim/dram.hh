@@ -7,12 +7,20 @@
  * congestion), and the serial burst occupancy makes heavily-loaded channels
  * slower — the source of the "imbalanced service time in memory partitions"
  * the paper reports in Figs 5 and 7.
+ *
+ * Machine descriptions can additionally enable an open-row model
+ * (`-dram_row_bytes` > 0): the channel keeps one open row per bank, and a
+ * request that hits a different row pays `-dram_act_latency` extra cycles
+ * of both occupancy and access latency (precharge + activate). With
+ * `dram_row_bytes 0` — the compiled default — the arithmetic is exactly
+ * the fixed-latency model above.
  */
 
 #ifndef GCL_SIM_DRAM_HH
 #define GCL_SIM_DRAM_HH
 
 #include <deque>
+#include <vector>
 
 #include "config.hh"
 #include "mem_request.hh"
@@ -64,6 +72,13 @@ class DramChannel
     std::deque<Entry> queue_;
     Cycle channelFreeAt_ = 0;
     uint64_t serviced_ = 0;
+
+    /**
+     * Open row per bank (row-buffer model); ~0 = no row open. Sized
+     * lazily on first push so the default dram_row_bytes=0 path never
+     * allocates.
+     */
+    std::vector<uint64_t> openRow_;
 };
 
 } // namespace gcl::sim

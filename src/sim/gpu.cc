@@ -268,8 +268,18 @@ Gpu::launch(const ptx::Kernel &kernel, Dim3 grid, Dim3 cta,
     launch.sbWords = (kernel.numRegs() + 63) / 64;
     launch.sbMask.assign(kernel.size() * launch.sbWords, 0);
     launch.issueClass.assign(kernel.size(), LaunchContext::IssueSp);
+    launch.opLatency.assign(kernel.size(), 1);
+    launch.opInitiation.assign(kernel.size(), 1);
     for (size_t pc = 0; pc < kernel.size(); ++pc) {
         const ptx::Instruction &inst = kernel.inst(pc);
+        // Resolve the machine description's opcode-class timing to dense
+        // per-pc values the issue path can read without re-classifying.
+        const FuTiming &timing =
+            config_.opTiming[static_cast<size_t>(opClassFor(inst.op,
+                                                            inst.type))];
+        launch.opLatency[pc] = static_cast<uint16_t>(timing.latency);
+        launch.opInitiation[pc] =
+            static_cast<uint16_t>(timing.initiation);
         if (inst.isExit())
             launch.issueClass[pc] = LaunchContext::IssueExit;
         else if (inst.isBarrier())

@@ -1,0 +1,238 @@
+#include "machine.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "guard/sim_error.hh"
+
+namespace gcl::sim
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** The directories a bare machine name is looked up in, in order. */
+std::vector<fs::path>
+searchDirs()
+{
+    std::vector<fs::path> dirs;
+    if (const char *env = std::getenv("GCL_MACHINE_DIR"))
+        if (env[0] != '\0')
+            dirs.emplace_back(env);
+    dirs.emplace_back("configs");
+    return dirs;
+}
+
+} // namespace
+
+GpuConfig
+parseMachineText(const std::string &text, const std::string &origin,
+                 const std::string &fallback_name)
+{
+    GpuConfig config;
+    bool saw_name = false;
+
+    std::istringstream in(text);
+    std::string raw;
+    unsigned lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        const size_t hash = raw.find('#');
+        std::string line =
+            trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+        if (line.empty())
+            continue;
+        if (line[0] != '-')
+            gcl_sim_error(SimError::Kind::Config, "machine", 0, origin,
+                          ":", lineno, ": expected '-key value', got '",
+                          line, "'");
+        const size_t sp = line.find_first_of(" \t");
+        if (sp == std::string::npos || sp == 1)
+            gcl_sim_error(SimError::Kind::Config, "machine", 0, origin,
+                          ":", lineno, ": option '", line,
+                          "' has no value");
+        const std::string key = line.substr(1, sp - 1);
+        const std::string value = trim(line.substr(sp + 1));
+        try {
+            config.applyOverride(key, value);
+        } catch (const SimError &error) {
+            // Re-raise with the file position; the message already
+            // carries the vocabulary for unknown keys.
+            gcl_sim_error(SimError::Kind::Config, "machine", 0, origin,
+                          ":", lineno, ": ", error.message());
+        }
+        if (key == "machine_name")
+            saw_name = true;
+    }
+
+    if (!saw_name)
+        config.machineName = fallback_name;
+    return config;
+}
+
+GpuConfig
+loadMachineFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        gcl_sim_error(SimError::Kind::Config, "machine", 0,
+                      "cannot read machine file '", path, "'");
+    std::stringstream body;
+    body << in.rdbuf();
+    return parseMachineText(body.str(), path, fs::path(path).stem());
+}
+
+std::string
+serializeMachine(const GpuConfig &config)
+{
+    std::ostringstream out;
+    auto opt = [&out](const char *key, const auto &value) {
+        out << "-" << key << " " << value << "\n";
+    };
+
+    out << "# machine description (canonical form; see "
+           "src/sim/machine.hh for the grammar)\n";
+    opt("machine_name", config.machineName);
+
+    out << "\n# core organization\n";
+    opt("num_sms", config.numSms);
+    opt("warp_size", config.warpSize);
+    opt("max_threads_per_sm", config.maxThreadsPerSm);
+    opt("max_ctas_per_sm", config.maxCtasPerSm);
+    opt("shared_mem_per_sm", config.sharedMemPerSm);
+    opt("num_schedulers", config.numSchedulers);
+    opt("warp_sched",
+        config.warpSched == WarpSchedPolicy::LooseRoundRobin ? "lrr"
+                                                             : "gto");
+
+    out << "\n# execution timing: <latency>:<initiation> per opcode "
+           "class\n";
+    for (unsigned c = 0; c < kNumOpClasses; ++c) {
+        const FuTiming &t = config.opTiming[c];
+        out << "-op_" << toString(static_cast<OpClass>(c)) << " "
+            << t.latency << ":" << t.initiation << "\n";
+    }
+
+    out << "\n# memory stage: <nsets>:<bsize>:<assoc>:<mshr>:<merge>\n";
+    auto geometry = [&out](const char *key, const CacheConfig &c) {
+        out << "-" << key << " " << c.numSets() << ":" << c.lineBytes
+            << ":" << c.assoc << ":" << c.mshrEntries << ":"
+            << c.mshrMaxMerge << "\n";
+    };
+    geometry("l1_cache", config.l1);
+    opt("l1_hit_latency", config.l1HitLatency);
+    opt("shared_mem_latency", config.sharedMemLatency);
+    opt("ldst_queue_depth", config.ldstQueueDepth);
+
+    out << "\n# memory partitions\n";
+    opt("num_partitions", config.numPartitions);
+    geometry("l2_cache", config.l2);
+    opt("rop_latency", config.ropLatency);
+
+    out << "\n# interconnect\n";
+    opt("icnt_latency", config.icntLatency);
+    opt("icnt_inject_queue", config.icntInjectQueueDepth);
+    opt("icnt_resp_queue", config.icntRespQueueDepth);
+    opt("part_queue", config.partQueueDepth);
+
+    out << "\n# dram\n";
+    opt("dram_latency", config.dramLatency);
+    opt("dram_burst", config.dramBurstCycles);
+    opt("dram_queue", config.dramQueueDepth);
+    opt("dram_banks", config.dramBanks);
+    opt("dram_row_bytes", config.dramRowBytes);
+    opt("dram_act_latency", config.dramActLatency);
+
+    return out.str();
+}
+
+std::string
+MachineRegistry::resolvePath(const std::string &spec)
+{
+    if (spec.empty())
+        return {};
+
+    std::error_code ec;
+    if (fs::is_regular_file(spec, ec))
+        return spec;
+
+    // A path-shaped spec that does not exist should say so directly
+    // instead of pretending it might be a registry name.
+    if (spec.find('/') != std::string::npos)
+        gcl_sim_error(SimError::Kind::Config, "machine", 0,
+                      "no machine file at '", spec, "'");
+
+    for (const fs::path &dir : searchDirs()) {
+        const fs::path candidate = dir / (spec + ".config");
+        if (fs::is_regular_file(candidate, ec))
+            return candidate.string();
+    }
+
+    std::string known;
+    for (const std::string &name : knownMachines()) {
+        if (!known.empty())
+            known += ", ";
+        known += name;
+    }
+    gcl_sim_error(SimError::Kind::Config, "machine", 0,
+                  "unknown machine '", spec, "' (known: ",
+                  known.empty() ? "none found" : known, "; searched ",
+                  searchDescription(), ")");
+}
+
+GpuConfig
+MachineRegistry::resolve(const std::string &spec)
+{
+    const std::string path = resolvePath(spec);
+    if (path.empty())
+        return GpuConfig{};
+    return loadMachineFile(path);
+}
+
+std::vector<std::string>
+MachineRegistry::knownMachines()
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const fs::path &dir : searchDirs()) {
+        if (!fs::is_directory(dir, ec))
+            continue;
+        for (const auto &entry : fs::directory_iterator(dir, ec)) {
+            if (entry.path().extension() == ".config")
+                names.push_back(entry.path().stem());
+        }
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+std::string
+MachineRegistry::searchDescription()
+{
+    std::string out;
+    for (const fs::path &dir : searchDirs()) {
+        if (!out.empty())
+            out += ", ";
+        out += dir.string();
+    }
+    return out + " (override with GCL_MACHINE_DIR)";
+}
+
+} // namespace gcl::sim

@@ -268,25 +268,29 @@ Sm::issueWarp(int slot, Cycle now)
     switch (info.kind) {
       case StepInfo::Kind::Alu:
       case StepInfo::Kind::Nop:
-        spStageFreeAt_ = now + 1;
+        // Timing comes from the machine description's opcode-class table,
+        // resolved to per-pc values at launch (LaunchContext::opLatency).
+        spStageFreeAt_ = now + launch_->opInitiation[pc];
         if (inst.writesDst()) {
             warp.setScoreboard(inst.dst);
             if (crit)
                 warp.sbProducer[inst.dst] = static_cast<uint32_t>(pc);
             ++warp.inflightOps;
-            scheduleWriteback(now + config_.spLatency, slot, inst.dst);
+            scheduleWriteback(now + launch_->opLatency[pc], slot,
+                              inst.dst);
         }
         warp.stack.advance();
         break;
 
       case StepInfo::Kind::Sfu:
-        sfuStageFreeAt_ = now + config_.sfuInitiationInterval;
+        sfuStageFreeAt_ = now + launch_->opInitiation[pc];
         if (inst.writesDst()) {
             warp.setScoreboard(inst.dst);
             if (crit)
                 warp.sbProducer[inst.dst] = static_cast<uint32_t>(pc);
             ++warp.inflightOps;
-            scheduleWriteback(now + config_.sfuLatency, slot, inst.dst);
+            scheduleWriteback(now + launch_->opLatency[pc], slot,
+                              inst.dst);
         }
         warp.stack.advance();
         break;

@@ -82,6 +82,17 @@ struct LaunchContext
      */
     std::vector<uint8_t> issueClass;
 
+    /**
+     * Per-pc execution timing, resolved from the machine description's
+     * opcode-class table (GpuConfig::opTiming via opClassFor) once per
+     * launch: the issue path reads two u16s instead of classifying the
+     * opcode every cycle. Meaningful for SP/SFU instructions; memory and
+     * control pcs carry their class's values but the LD/ST path never
+     * reads them.
+     */
+    std::vector<uint16_t> opLatency;
+    std::vector<uint16_t> opInitiation;
+
     /** Warps needed per CTA. */
     unsigned
     warpsPerCta(unsigned warp_size) const

@@ -62,12 +62,17 @@ ChromeTraceWriter::raw(const std::string &json)
 }
 
 void
-ChromeTraceWriter::beginProcess(int pid, const std::string &name)
+ChromeTraceWriter::beginProcess(int pid, const std::string &name,
+                                const std::string &label)
 {
     pid_ = pid;
     raw("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
         std::to_string(pid) + ",\"args\":{\"name\":" + jsonQuote(name) +
         "}}");
+    if (!label.empty())
+        raw("{\"ph\":\"M\",\"name\":\"process_labels\",\"pid\":" +
+            std::to_string(pid) + ",\"args\":{\"labels\":" +
+            jsonQuote(label) + "}}");
 }
 
 void

@@ -56,9 +56,13 @@ class ChromeTraceWriter
 
     /**
      * Scope subsequent events under Chrome process @p pid, labeled
-     * @p name (the runner calls this once per traced application).
+     * @p name (the runner calls this once per traced application). A
+     * non-empty @p label additionally emits a process_labels metadata
+     * event — the runner uses it to stamp the machine name on every
+     * traced run.
      */
-    void beginProcess(int pid, const std::string &name);
+    void beginProcess(int pid, const std::string &name,
+                      const std::string &label = {});
 
     /** Convert and write a batch of events (TraceSink drain signature). */
     void consume(const TraceEvent *events, size_t n);

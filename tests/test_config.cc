@@ -97,6 +97,18 @@ TEST(Config, FingerprintDetectsEveryAblationKnob)
     e.warpSched = WarpSchedPolicy::GreedyThenOldest;
     EXPECT_TRUE(prints.insert(e.fingerprint()).second);
 
+    GpuConfig f = base;
+    f.opTiming[static_cast<size_t>(OpClass::FpDiv)] = {32, 4};
+    EXPECT_TRUE(prints.insert(f.fingerprint()).second);
+
+    GpuConfig g = base;
+    g.dramRowBytes = 1024;
+    EXPECT_TRUE(prints.insert(g.fingerprint()).second);
+
+    GpuConfig h = base;
+    h.machineName = "not-c2050";
+    EXPECT_TRUE(prints.insert(h.fingerprint()).second);
+
     // Identical config -> identical fingerprint.
     EXPECT_EQ(GpuConfig{}.fingerprint(), base.fingerprint());
 }
